@@ -1,0 +1,22 @@
+# Convenience targets for the dark-silicon reproduction.
+
+.PHONY: install test bench experiments examples clean
+
+install:
+	pip install -e . || python setup.py develop
+
+test:
+	pytest tests/
+
+bench:
+	pytest benchmarks/ --benchmark-only
+
+experiments:
+	python -m repro.cli all
+
+examples:
+	for f in examples/*.py; do echo "== $$f =="; python $$f; done
+
+clean:
+	rm -rf build dist src/*.egg-info .pytest_benchmarks .benchmarks
+	find . -name __pycache__ -type d -exec rm -rf {} +

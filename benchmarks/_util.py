@@ -1,0 +1,7 @@
+"""Shared helpers for the benchmark modules."""
+
+
+def emit(title: str, result) -> None:
+    """Print an experiment's table under a banner (visible with -s)."""
+    print(f"\n=== {title} ===")
+    print(result.table())

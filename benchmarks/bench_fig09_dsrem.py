@@ -1,0 +1,22 @@
+"""Figure 9: DsRem vs TDPmap."""
+
+from benchmarks._util import emit
+from repro.experiments import fig09_dsrem
+
+
+def test_fig09_dsrem(benchmark):
+    result = benchmark.pedantic(fig09_dsrem.run, rounds=1, iterations=1)
+    emit("Figure 9: TDPmap vs DsRem", result)
+
+    # DsRem beats TDPmap on every workload.
+    for entry in result.entries:
+        assert entry.speedup > 1.0, entry.workload
+        # And never violates the thermal threshold.
+        assert entry.dsrem_peak <= 80.0 + 1e-6, entry.workload
+
+    # Paper headline: ~2x average speed-up.
+    assert 1.5 <= result.average_speedup <= 3.0
+
+    # DsRem lights up silicon TDPmap leaves dark.
+    for entry in result.entries:
+        assert entry.dsrem_dark <= entry.tdpmap_dark + 1e-9, entry.workload

@@ -1,0 +1,8 @@
+"""Benchmark-suite configuration.
+
+Each ``bench_figNN`` module regenerates one figure/table of the paper via
+``pytest-benchmark`` and asserts the headline *shape* the paper reports
+(direction of effects, approximate factors).  Absolute numbers are
+recorded to stdout so a ``--benchmark-only -s`` run doubles as the
+EXPERIMENTS.md data source.
+"""

@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""Where is the minimum-energy operating point? (paper Observation 4)
+
+Sweeps energy-per-instruction over the full supply-voltage axis at 11 nm
+for each PARSEC application and prints an ASCII U-curve for one of them.
+The paper's conclusion — NTC is the regime for minimising energy under a
+performance constraint, not for peak performance — falls out of the
+numbers: the energy optimum of thread-scalable applications sits in the
+near-threshold region at a fraction of the nominal-voltage energy.
+
+Run:  python examples/ntc_energy_study.py [app]
+"""
+
+import sys
+
+from repro import PARSEC
+from repro.apps.parsec import PARSEC_ORDER
+from repro.ntc.energy_sweep import energy_voltage_sweep, minimum_energy_point
+from repro.power.vf_curve import VFCurve
+from repro.tech import NODE_11NM
+
+
+def ascii_curve(points, height=12, width=58) -> str:
+    """Render energy vs voltage as a rough ASCII scatter (log-y)."""
+    import math
+
+    energies = [p.energy_per_instruction for p in points]
+    lo, hi = min(energies), max(energies)
+    span = math.log(hi / lo) if hi > lo else 1.0
+    rows = [[" "] * width for _ in range(height)]
+    for i, p in enumerate(points[:width]):
+        col = int(i * (width - 1) / max(len(points) - 1, 1))
+        level = math.log(p.energy_per_instruction / lo) / span
+        row = height - 1 - int(level * (height - 1))
+        rows[row][col] = "*"
+    return "\n".join("".join(r) for r in rows)
+
+
+def main() -> None:
+    app_name = sys.argv[1] if len(sys.argv) > 1 else "x264"
+    node = NODE_11NM
+    curve = VFCurve.for_node(node)
+
+    points = energy_voltage_sweep(PARSEC[app_name], node, n_points=58)
+    print(
+        f"{app_name} @ 11 nm, 8 threads — energy per instruction vs Vdd "
+        f"({points[0].vdd:.2f} .. {points[-1].vdd:.2f} V):\n"
+    )
+    print(ascii_curve(points))
+    print(f"{'':2s}^ NTC {'':20s} STC {'':18s} boost ^\n")
+
+    print(f"{'app':13s} {'Vopt [V]':>9} {'f [GHz]':>8} {'region':>7} {'E/instr [pJ]':>13}")
+    for name in PARSEC_ORDER:
+        p = minimum_energy_point(PARSEC[name], node)
+        print(
+            f"{name:13s} {p.vdd:>9.3f} {p.frequency / 1e9:>8.2f} "
+            f"{p.region.value:>7} {p.energy_per_instruction * 1e12:>13.1f}"
+        )
+
+    print(
+        f"\nNominal rail at 11 nm: {curve.v_nominal:.2f} V — every optimum "
+        f"sits far below it,\nand the scalable kernels' optima are inside "
+        f"the near-threshold region."
+    )
+
+
+if __name__ == "__main__":
+    main()

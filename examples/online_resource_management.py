@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""Online dark-silicon management: jobs arriving on a live chip.
+
+Sixty application jobs (x264, canneal, swaptions, ferret) arrive over
+~20 seconds on the 100-core 16 nm chip — more work than the chip can run
+at nominal v/f.  Two runtimes compete on the identical stream:
+
+* **TDP-FIFO** — the state of practice: 8 threads at the maximum nominal
+  frequency, admitted while the 185 W TDP has room;
+* **TSP-adaptive** — the paper's proposal made operational: the v/f of
+  each admission comes from the Thermal Safe Power table for the
+  resulting active-core count, verified against the actual steady state.
+
+Run:  python examples/online_resource_management.py
+"""
+
+from repro import Chip, NODE_16NM, PARSEC, ThermalSafePower
+from repro.runtime import (
+    OnlineSimulator,
+    TdpFifoPolicy,
+    TspAdaptivePolicy,
+    deterministic_job_stream,
+)
+
+
+def main() -> None:
+    chip = Chip.for_node(NODE_16NM)
+    apps = [PARSEC[n] for n in ("x264", "canneal", "swaptions", "ferret")]
+    jobs = deterministic_job_stream(
+        apps, n_jobs=60, mean_interarrival=0.3, work=400e9, seed=3
+    )
+    print(
+        f"Stream: {len(jobs)} jobs of {jobs[0].work / 1e9:.0f} G instructions, "
+        f"arriving over {jobs[-1].arrival:.1f} s\n"
+    )
+
+    runs = {
+        "TDP-FIFO (185 W)": OnlineSimulator(chip, TdpFifoPolicy(tdp=185.0)),
+        "TSP-adaptive": OnlineSimulator(
+            chip, TspAdaptivePolicy(ThermalSafePower(chip))
+        ),
+    }
+
+    header = (
+        f"{'policy':18s} {'makespan':>9} {'mean resp':>10} {'throughput':>11} "
+        f"{'util':>6} {'peak T':>7} {'energy':>8}"
+    )
+    print(header)
+    print("-" * len(header))
+    results = {}
+    for name, sim in runs.items():
+        r = sim.run(jobs)
+        results[name] = r
+        print(
+            f"{name:18s} {r.makespan:>8.1f}s {r.mean_response_time:>9.1f}s "
+            f"{r.throughput_gips:>7.0f}GIPS {r.utilisation:>6.0%} "
+            f"{r.max_peak_temperature:>6.1f}C {r.energy / 1e3:>6.1f}kJ"
+        )
+
+    tdp, tsp = results["TDP-FIFO (185 W)"], results["TSP-adaptive"]
+    print(
+        f"\nThe TSP runtime finishes "
+        f"{(1 - tsp.makespan / tdp.makespan):.0%} sooner at "
+        f"{(tsp.throughput_gips / tdp.throughput_gips - 1):+.0%} throughput, "
+        f"never exceeding {tsp.max_peak_temperature:.1f} °C —\nbecause it "
+        f"converts thermal headroom into admitted cores instead of idling "
+        f"behind a\nfixed wattage number.  That is the paper's conclusion, "
+        f"operating online."
+    )
+
+
+if __name__ == "__main__":
+    main()

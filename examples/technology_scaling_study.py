@@ -1,0 +1,80 @@
+#!/usr/bin/env python3
+"""Dark-silicon projections across technology nodes (the paper's Section 3).
+
+The work the paper revises (Esmaeilzadeh et al., ISCA 2011) predicted
+more than 50 % dark silicon at 22 nm from a pure power-budget argument.
+This study replays the projection with this library's models for the
+three evaluated nodes (16/11/8 nm) and contrasts three methodologies:
+
+1. fixed TDP at the nominal maximum frequency (the criticised approach),
+2. the temperature constraint at nominal frequency, and
+3. the temperature constraint with per-application DVFS (TSP-guided) —
+   the paper's recommended view, under which "dark" silicon is largely
+   *dim* silicon running at a lower v/f.
+
+Run:  python examples/technology_scaling_study.py
+"""
+
+from repro import (
+    Chip,
+    PARSEC,
+    PowerBudgetConstraint,
+    TemperatureConstraint,
+    NeighbourhoodSpreadPlacer,
+    ThermalSafePower,
+    estimate_dark_silicon,
+)
+from repro.tech import EVALUATED_NODES
+
+TDP = 185.0
+APP = "ferret"  # a representative power-hungry application
+
+
+def main() -> None:
+    app = PARSEC[APP]
+    placer = NeighbourhoodSpreadPlacer()
+
+    print(f"Application: {APP}, 8-thread instances, TDP {TDP:.0f} W\n")
+    header = (
+        f"{'node':6s} {'cores':>6} {'f_nom':>6} "
+        f"{'dark@TDP':>9} {'dark@T':>7} {'dark@T+DVFS':>12} {'GIPS@T+DVFS':>12}"
+    )
+    print(header)
+    print("-" * len(header))
+
+    for node in EVALUATED_NODES:
+        chip = Chip.for_node(node)
+        f_nom = node.f_max
+
+        at_tdp = estimate_dark_silicon(
+            chip, app, f_nom, PowerBudgetConstraint(TDP), placer=placer
+        )
+        at_temp = estimate_dark_silicon(
+            chip, app, f_nom, TemperatureConstraint(), placer=placer
+        )
+
+        # Temperature + DVFS: pick the TSP-safe frequency for a nearly
+        # full chip and map at that level instead of the nominal one.
+        tsp = ThermalSafePower(chip)
+        m = (chip.n_cores // 8) * 8
+        f_safe = tsp.safe_frequency(app, m)
+        dim = estimate_dark_silicon(
+            chip, app, f_safe, TemperatureConstraint(), placer=placer
+        )
+
+        print(
+            f"{node.name:6s} {chip.n_cores:>6d} {f_nom / 1e9:>5.1f}G "
+            f"{at_tdp.dark_fraction:>8.0%} {at_temp.dark_fraction:>6.0%} "
+            f"{dim.dark_fraction:>11.0%} {dim.gips:>12.1f}"
+        )
+
+    print(
+        "\nReading: the fixed power budget paints an ever darker picture "
+        "at newer nodes,\nthe temperature constraint recovers some of it, "
+        "and DVFS turns most of the rest\ninto dim (slower, still active) "
+        "silicon — the paper's revised, less conservative\nprojection."
+    )
+
+
+if __name__ == "__main__":
+    main()

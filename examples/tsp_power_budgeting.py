@@ -1,0 +1,58 @@
+#!/usr/bin/env python3
+"""Thermal Safe Power: a per-core power budget that adapts to core count.
+
+TSP (paper Section 5) replaces the single TDP number with a function
+TSP(m): the per-core budget that keeps *any* mapping of m active cores
+below the DTM threshold.  This example
+
+1. prints the TSP table for the 16 nm chip,
+2. contrasts the chip-level budget m * TSP(m) with the fixed 185 W TDP,
+3. picks, per application, the highest DVFS level whose Eq. (1) power
+   fits TSP(m) — the paper's Figure 10 methodology.
+
+Run:  python examples/tsp_power_budgeting.py
+"""
+
+from repro import Chip, NODE_16NM, PARSEC, ThermalSafePower
+from repro.apps.parsec import PARSEC_ORDER
+from repro.units import GIGA
+
+
+def main() -> None:
+    chip = Chip.for_node(NODE_16NM)
+    tsp = ThermalSafePower(chip)
+
+    print("TSP table (worst-case per-core budget vs active cores):")
+    print(f"{'m':>4}  {'TSP(m) [W/core]':>16}  {'m*TSP(m) [W]':>13}")
+    for m in (10, 20, 40, 60, 80, 100):
+        print(f"{m:>4}  {tsp.worst_case(m):>16.2f}  {tsp.total_budget(m):>13.1f}")
+
+    print(
+        "\nNote how the chip-level safe budget *grows* with active cores "
+        "while the\nper-core share shrinks — a single TDP cannot express "
+        "both ends.\n"
+    )
+
+    m = 80  # 20 % dark silicon, the paper's 16 nm point in Figure 10
+    budget = tsp.worst_case(m)
+    print(
+        f"With {m} active cores (20 % dark silicon), each core may draw "
+        f"{budget:.2f} W."
+    )
+    print("Highest safe DVFS level per application (8-thread instances):")
+    for name in PARSEC_ORDER:
+        app = PARSEC[name]
+        chosen = None
+        for f in chip.node.frequency_ladder():
+            if app.core_power(chip.node, 8, f, temperature=chip.t_dtm) <= budget:
+                chosen = f
+        instances = m // 8
+        gips = instances * app.instance_performance(8, chosen) / 1e9
+        print(
+            f"  {name:13s} -> {chosen / GIGA:.1f} GHz, "
+            f"{instances} instances, {gips:6.1f} GIPS"
+        )
+
+
+if __name__ == "__main__":
+    main()

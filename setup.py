@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+All metadata lives in pyproject.toml; this file only enables legacy
+editable installs (``pip install -e . --no-use-pep517``) on offline
+environments that lack the ``wheel`` package required by PEP 517 builds.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,37 @@
+"""Application model: PARSEC-style profiles, speed-up curves, workloads.
+
+The paper characterises applications only through (a) their Amdahl's-law
+thread scaling (Figure 4), (b) their Eq. (1) power coefficients, and
+(c) their IPC.  :class:`repro.apps.profile.AppProfile` bundles these;
+:mod:`repro.apps.parsec` provides the seven evaluated PARSEC applications
+with coefficients calibrated to the paper's anchors (see DESIGN.md);
+:mod:`repro.apps.workload` assembles multi-instance workloads (Section
+2.3: every instance runs 1..8 parallel dependent threads).
+"""
+
+from repro.apps.profile import AppProfile
+from repro.apps.speedup import (
+    amdahl_speedup,
+    amdahl_utilisation,
+    fit_parallel_fraction,
+)
+from repro.apps.parsec import (
+    PARSEC,
+    PARSEC_ORDER,
+    app_by_name,
+    most_power_hungry,
+)
+from repro.apps.workload import ApplicationInstance, Workload
+
+__all__ = [
+    "AppProfile",
+    "amdahl_speedup",
+    "amdahl_utilisation",
+    "fit_parallel_fraction",
+    "PARSEC",
+    "PARSEC_ORDER",
+    "app_by_name",
+    "most_power_hungry",
+    "ApplicationInstance",
+    "Workload",
+]

@@ -1,0 +1,148 @@
+"""Thread-scaling model (paper Figure 4).
+
+The paper derives per-application speed-up factors from gem5 simulations
+combined with Amdahl's law.  Pure Amdahl cannot match both ends of the
+measured curves — PARSEC applications reach healthy 8-thread speed-ups
+yet saturate near 3x at 64 threads (the "parallelism wall" of *dependent*
+threads) — so, like the gem5 measurements the paper blends in, we extend
+Amdahl's law with a linear synchronisation-overhead term:
+
+    S(n) = 1 / ((1 - p) + p / n + gamma * (n - 1))
+
+``p`` is the classic parallel fraction and ``gamma`` the per-extra-thread
+synchronisation cost.  ``gamma = 0`` recovers Amdahl exactly.  The
+per-core utilisation (the activity factor ``alpha`` of Eq. (1)) is
+``S(n) / n``.
+
+Figure 4's anchors at 64 threads (x264 ~3x, bodytrack ~2.4x,
+canneal ~1.7x) together with realistic 8-thread utilisations pin down the
+``(p, gamma)`` pairs used in :mod:`repro.apps.parsec`.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+
+
+def amdahl_speedup(
+    parallel_fraction: float, threads: int, sync_overhead: float = 0.0
+) -> float:
+    """Speed-up of ``threads`` parallel dependent threads over one thread.
+
+    Args:
+        parallel_fraction: the parallelisable share ``p`` in [0, 1].
+        threads: thread count, >= 1.
+        sync_overhead: per-extra-thread synchronisation cost ``gamma``
+            (>= 0); 0 gives classic Amdahl.
+
+    Returns:
+        ``1 / ((1 - p) + p / n + gamma (n - 1))``.
+    """
+    _check(parallel_fraction, threads, sync_overhead)
+    p = parallel_fraction
+    n = threads
+    return 1.0 / ((1.0 - p) + p / n + sync_overhead * (n - 1))
+
+
+def amdahl_utilisation(
+    parallel_fraction: float, threads: int, sync_overhead: float = 0.0
+) -> float:
+    """Average per-core activity factor of an ``n``-thread instance.
+
+    Equals ``S(n) / n``; 1.0 for a single thread, decreasing with more
+    threads as serialisation and synchronisation leave cores idle.
+    """
+    return amdahl_speedup(parallel_fraction, threads, sync_overhead) / threads
+
+
+def saturation_threads(parallel_fraction: float, sync_overhead: float) -> int:
+    """Thread count at which the speed-up curve peaks.
+
+    With ``gamma > 0`` the curve has an interior maximum at
+    ``n* = sqrt(p / gamma)`` (continuous optimum); the better of the two
+    neighbouring integers is returned.  With ``gamma == 0`` the speed-up
+    is monotone, so there is no finite peak and a
+    :class:`ConfigurationError` is raised.
+    """
+    _check(parallel_fraction, 1, sync_overhead)
+    if sync_overhead == 0.0:
+        raise ConfigurationError(
+            "pure Amdahl speed-up is monotone; no finite saturation point"
+        )
+    if parallel_fraction == 0.0:
+        return 1
+    n_star = (parallel_fraction / sync_overhead) ** 0.5
+    lo = max(1, int(n_star))
+    candidates = (lo, lo + 1)
+    return max(
+        candidates,
+        key=lambda n: amdahl_speedup(parallel_fraction, n, sync_overhead),
+    )
+
+
+def fit_parallel_fraction(threads: int, speedup: float) -> float:
+    """Parallel fraction yielding ``speedup`` at ``threads`` (gamma = 0).
+
+    Inverts classic Amdahl:  ``p = (1 - 1/S) / (1 - 1/n)``.
+
+    Raises:
+        ConfigurationError: if the observed speed-up is impossible
+            (below 1 or above ``threads``) or ``threads < 2``.
+    """
+    if threads < 2:
+        raise ConfigurationError(
+            f"fitting needs at least 2 threads, got {threads}"
+        )
+    if not 1.0 <= speedup <= threads:
+        raise ConfigurationError(
+            f"speed-up must lie in [1, {threads}], got {speedup}"
+        )
+    return (1.0 - 1.0 / speedup) / (1.0 - 1.0 / threads)
+
+
+def fit_scaling(
+    threads_a: int, speedup_a: float, threads_b: int, speedup_b: float
+) -> tuple[float, float]:
+    """Fit ``(p, gamma)`` through two measured (threads, speed-up) points.
+
+    Solves the 2x2 linear system given by the extended-Amdahl identity
+    ``1/S = (1 - p) + p/n + gamma (n - 1)`` at both points.
+
+    Raises:
+        ConfigurationError: if the points are degenerate or the fit
+            leaves the physical ranges ``0 <= p <= 1``, ``gamma >= 0``.
+    """
+    if threads_a == threads_b:
+        raise ConfigurationError("need two distinct thread counts")
+    for n, s in ((threads_a, speedup_a), (threads_b, speedup_b)):
+        if n < 1 or s < 1.0:
+            raise ConfigurationError(
+                f"invalid measurement (threads={n}, speedup={s})"
+            )
+    # 1/S - 1 = p (1/n - 1) + gamma (n - 1)
+    ca, cb = 1.0 / speedup_a - 1.0, 1.0 / speedup_b - 1.0
+    aa, ab = 1.0 / threads_a - 1.0, 1.0 / threads_b - 1.0
+    ba, bb = threads_a - 1.0, threads_b - 1.0
+    det = aa * bb - ab * ba
+    if abs(det) < 1e-15:
+        raise ConfigurationError("degenerate measurement pair")
+    p = (ca * bb - cb * ba) / det
+    gamma = (aa * cb - ab * ca) / det
+    if not 0.0 <= p <= 1.0 or gamma < 0.0:
+        raise ConfigurationError(
+            f"fit left physical range: p={p:.4f}, gamma={gamma:.6f}"
+        )
+    return p, gamma
+
+
+def _check(parallel_fraction: float, threads: int, sync_overhead: float) -> None:
+    if not 0.0 <= parallel_fraction <= 1.0:
+        raise ConfigurationError(
+            f"parallel_fraction must be in [0, 1], got {parallel_fraction}"
+        )
+    if threads < 1:
+        raise ConfigurationError(f"threads must be >= 1, got {threads}")
+    if sync_overhead < 0.0:
+        raise ConfigurationError(
+            f"sync_overhead must be non-negative, got {sync_overhead}"
+        )

@@ -1,0 +1,102 @@
+"""Closed-loop boosting controller (Intel Turbo Boost style).
+
+The paper (Section 6): "we use a closed-loop control as used in Intel's
+Turbo Boost, with a control period of 1 ms.  That is, every 1 ms the
+system verifies that the temperature on all cores is below or above the
+predefined threshold of 80 degC, and the frequency on all cores is
+increased or decreased one step (200 MHz) accordingly."
+
+The controller is deliberately chip-wide (one frequency for all active
+cores), exactly as described; per-core boosting is out of the paper's
+scope.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+
+
+class BoostingController:
+    """Bang-bang frequency controller around a temperature threshold.
+
+    Args:
+        f_min: lowest frequency the controller will command, Hz.
+        f_max: highest (boost) frequency it may command, Hz — typically
+            the Eq. (2) curve's reachable limit, above the nominal level.
+        step: frequency step per control period, Hz (200 MHz in the
+            paper).
+        threshold: temperature threshold, degC (80 in the paper).
+        initial_frequency: starting frequency, Hz; defaults to ``f_min``.
+    """
+
+    def __init__(
+        self,
+        f_min: float,
+        f_max: float,
+        step: float,
+        threshold: float,
+        initial_frequency: float | None = None,
+    ) -> None:
+        if not 0 < f_min <= f_max:
+            raise ConfigurationError(
+                f"need 0 < f_min <= f_max, got {f_min} and {f_max}"
+            )
+        if step <= 0:
+            raise ConfigurationError(f"step must be positive, got {step}")
+        self._f_min = f_min
+        self._f_max = f_max
+        self._step = step
+        self._threshold = threshold
+        start = f_min if initial_frequency is None else initial_frequency
+        if not f_min <= start <= f_max:
+            raise ConfigurationError(
+                f"initial_frequency {start} outside [{f_min}, {f_max}]"
+            )
+        self._frequency = start
+
+    @property
+    def frequency(self) -> float:
+        """Currently commanded chip-wide frequency, Hz."""
+        return self._frequency
+
+    @property
+    def f_min(self) -> float:
+        """Lowest commandable frequency, Hz."""
+        return self._f_min
+
+    @property
+    def f_max(self) -> float:
+        """Highest (boost) commandable frequency, Hz."""
+        return self._f_max
+
+    @property
+    def step(self) -> float:
+        """Frequency step per control period, Hz."""
+        return self._step
+
+    @property
+    def threshold(self) -> float:
+        """The control temperature threshold, degC."""
+        return self._threshold
+
+    def update(self, peak_temperature: float) -> float:
+        """One control period: step the frequency and return it.
+
+        Below the threshold the frequency rises one step (boosting);
+        at or above it, it falls one step (cool-down) — producing the
+        oscillation around the threshold visible in Figure 11.
+        """
+        if peak_temperature < self._threshold:
+            self._frequency = min(self._frequency + self._step, self._f_max)
+        else:
+            self._frequency = max(self._frequency - self._step, self._f_min)
+        return self._frequency
+
+    def reset(self, frequency: float | None = None) -> None:
+        """Reset the commanded frequency (default: ``f_min``)."""
+        target = self._f_min if frequency is None else frequency
+        if not self._f_min <= target <= self._f_max:
+            raise ConfigurationError(
+                f"frequency {target} outside [{self._f_min}, {self._f_max}]"
+            )
+        self._frequency = target

@@ -1,0 +1,112 @@
+"""The Chip: one technology node's manycore platform, fully assembled.
+
+A :class:`Chip` bundles what Figure 1's tool flow produces for one
+technology node — the floorplan, the thermal RC model built from it, and
+a steady-state solver — so the estimation engine, mapping policies and
+boosting simulations all share one object (and its cached factorisations
+and influence matrix).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.errors import ConfigurationError
+from repro.floorplan.floorplan import Floorplan
+from repro.floorplan.generator import floorplan_for_node, grid_floorplan
+from repro.tech.library import chip_grid
+from repro.tech.node import TechNode
+from repro.thermal.builder import build_thermal_model
+from repro.thermal.config import PAPER_THERMAL_CONFIG, ThermalConfig
+from repro.thermal.model import ThermalModel
+from repro.thermal.steady_state import SteadyStateSolver
+
+
+class Chip:
+    """A manycore chip at one technology node.
+
+    Args:
+        node: the technology node.
+        floorplan: core placement; defaults to the paper's grid for the
+            node (e.g. 10x10 at 16 nm).
+        thermal_config: package configuration; defaults to the paper's
+            Section 2.1 HotSpot setup.
+        grid: explicit (rows, cols) when a custom floorplan is a regular
+            grid; inferred from the node when the default floorplan is
+            used.
+    """
+
+    def __init__(
+        self,
+        node: TechNode,
+        floorplan: Optional[Floorplan] = None,
+        thermal_config: ThermalConfig = PAPER_THERMAL_CONFIG,
+        grid: Optional[tuple[int, int]] = None,
+    ) -> None:
+        self.node = node
+        if floorplan is None:
+            floorplan = floorplan_for_node(node)
+            if grid is None:
+                grid = chip_grid(node)
+        self.floorplan = floorplan
+        self.grid = grid
+        self.thermal_config = thermal_config
+        self.thermal: ThermalModel = build_thermal_model(floorplan, thermal_config)
+        self.solver = SteadyStateSolver(self.thermal)
+
+    @classmethod
+    def for_node(
+        cls,
+        node: TechNode,
+        thermal_config: ThermalConfig = PAPER_THERMAL_CONFIG,
+    ) -> "Chip":
+        """The paper's chip at ``node`` (100/198/361 cores)."""
+        return cls(node, thermal_config=thermal_config)
+
+    @classmethod
+    def grid_chip(
+        cls,
+        node: TechNode,
+        rows: int,
+        cols: int,
+        thermal_config: ThermalConfig = PAPER_THERMAL_CONFIG,
+    ) -> "Chip":
+        """A custom ``rows x cols`` chip at ``node``'s core area."""
+        return cls(
+            node,
+            floorplan=grid_floorplan(rows, cols, node.core_area),
+            thermal_config=thermal_config,
+            grid=(rows, cols),
+        )
+
+    @property
+    def n_cores(self) -> int:
+        """Core count."""
+        return len(self.floorplan)
+
+    @property
+    def t_dtm(self) -> float:
+        """DTM trigger temperature, degC."""
+        return self.thermal_config.t_dtm
+
+    @property
+    def ambient(self) -> float:
+        """Ambient temperature, degC."""
+        return self.thermal_config.ambient
+
+    def grid_coordinates(self, core: int) -> tuple[int, int]:
+        """(row, col) of a core on a grid chip.
+
+        Raises:
+            ConfigurationError: if the chip has no grid layout or the
+                index is out of range.
+        """
+        if self.grid is None:
+            raise ConfigurationError("this chip has no regular grid layout")
+        rows, cols = self.grid
+        if not 0 <= core < rows * cols:
+            raise ConfigurationError(
+                f"core index {core} out of range [0, {rows * cols})"
+            )
+        row, col = divmod(core, cols)
+        return row, col

@@ -1,0 +1,139 @@
+"""Command-line entry point: regenerate any paper figure as a text table.
+
+Usage::
+
+    darksilicon list                 # available experiments
+    darksilicon fig5                 # one figure
+    darksilicon fig11 --quick       # shortened transients
+    darksilicon all                  # everything (slow figures shortened
+                                     # unless --full is given)
+
+Each experiment prints the rows the corresponding paper figure plots;
+EXPERIMENTS.md records how they compare against the published values.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Callable
+
+from repro.experiments import (
+    ext_projection,
+    ext_sensitivity,
+    summary,
+    ext_runtime,
+    fig01_scaling,
+    fig02_vf_curve,
+    fig03_power_fit,
+    fig04_speedup,
+    fig05_tdp_dark_silicon,
+    fig06_temperature_constraint,
+    fig07_dvfs,
+    fig08_patterning,
+    fig09_dsrem,
+    fig10_tsp,
+    fig11_boosting_transient,
+    fig12_boosting_sweep,
+    fig13_boosting_apps,
+    fig14_ntc,
+)
+
+_QUICK_DURATION = 2.0
+_FULL_FIG11_DURATION = 100.0
+_FULL_BOOST_DURATION = 5.0
+
+
+def _runners(quick: bool) -> dict[str, Callable[[], object]]:
+    fig11_duration = _QUICK_DURATION if quick else _FULL_FIG11_DURATION
+    boost_duration = _QUICK_DURATION if quick else _FULL_BOOST_DURATION
+    return {
+        "fig1": fig01_scaling.run,
+        "fig2": fig02_vf_curve.run,
+        "fig3": fig03_power_fit.run,
+        "fig4": fig04_speedup.run,
+        "fig5": fig05_tdp_dark_silicon.run,
+        "fig6": fig06_temperature_constraint.run,
+        "fig7": fig07_dvfs.run,
+        "fig8": fig08_patterning.run,
+        "fig9": fig09_dsrem.run,
+        "fig10": fig10_tsp.run,
+        "fig11": lambda: fig11_boosting_transient.run(duration=fig11_duration),
+        "fig12": lambda: fig12_boosting_sweep.run(boost_duration=boost_duration),
+        "fig13": lambda: fig13_boosting_apps.run(boost_duration=boost_duration),
+        "fig14": fig14_ntc.run,
+        "runtime": lambda: ext_runtime.run(
+            n_jobs=20 if quick else 60
+        ),
+        "projection": ext_projection.run,
+        "sensitivity": ext_sensitivity.run,
+        "summary": lambda: summary.run(
+            transient_duration=_QUICK_DURATION if quick else 5.0
+        ),
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = argparse.ArgumentParser(
+        prog="darksilicon",
+        description="Regenerate figures of 'New Trends in Dark Silicon' (DAC 2015).",
+    )
+    parser.add_argument(
+        "experiment",
+        help="experiment name (fig1..fig14), 'all', or 'list'",
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="shorten the transient simulations (figures 11-13)",
+    )
+    parser.add_argument(
+        "--csv",
+        metavar="DIR",
+        help="also export each experiment's rows to DIR/<name>.csv",
+    )
+    args = parser.parse_args(argv)
+
+    runners = _runners(args.quick)
+    if args.experiment == "list":
+        for name in runners:
+            print(name)
+        return 0
+
+    if args.experiment == "all":
+        names = list(runners)
+    elif args.experiment in runners:
+        names = [args.experiment]
+    else:
+        print(
+            f"unknown experiment {args.experiment!r}; try 'list'",
+            file=sys.stderr,
+        )
+        return 2
+
+    csv_dir = None
+    if args.csv:
+        from pathlib import Path
+
+        csv_dir = Path(args.csv)
+        csv_dir.mkdir(parents=True, exist_ok=True)
+
+    for name in names:
+        started = time.time()
+        result = runners[name]()
+        elapsed = time.time() - started
+        print(f"=== {name} ({elapsed:.1f} s) ===")
+        print(result.table())
+        if csv_dir is not None:
+            from repro.io import result_to_csv
+
+            target = result_to_csv(result, csv_dir / f"{name}.csv")
+            print(f"[rows exported to {target}]")
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,46 @@
+"""Dark-silicon estimation and Thermal Safe Power — the paper's core.
+
+* :mod:`repro.core.constraints` — the two ways the paper models dark
+  silicon: as a chip-level power budget (TDP) or as a peak-temperature
+  limit (T_DTM).
+* :mod:`repro.core.estimator` — the estimation engine: map application
+  instances onto a chip until the constraint trips, and account for the
+  active/dark split, power, temperature and performance.
+* :mod:`repro.core.tsp` — Thermal Safe Power (Section 5): per-mapping and
+  worst-case safe per-core power budgets as a function of the active-core
+  count.
+* :mod:`repro.core.dark_silicon` — the sweep APIs behind Figures 5-7
+  and 10.
+"""
+
+from repro.core.constraints import (
+    Constraint,
+    PowerBudgetConstraint,
+    TemperatureConstraint,
+    CompositeConstraint,
+)
+from repro.core.estimator import MappingResult, PlacedInstance, map_workload
+from repro.core.tsp import ThermalSafePower
+from repro.core.dark_silicon import (
+    estimate_dark_silicon,
+    sweep_frequencies,
+    compare_tdp_vs_temperature,
+    best_homogeneous_configuration,
+    FrequencySweepPoint,
+)
+
+__all__ = [
+    "Constraint",
+    "PowerBudgetConstraint",
+    "TemperatureConstraint",
+    "CompositeConstraint",
+    "MappingResult",
+    "PlacedInstance",
+    "map_workload",
+    "ThermalSafePower",
+    "estimate_dark_silicon",
+    "sweep_frequencies",
+    "compare_tdp_vs_temperature",
+    "best_homogeneous_configuration",
+    "FrequencySweepPoint",
+]

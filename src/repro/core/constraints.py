@@ -1,0 +1,85 @@
+"""Dark-silicon constraints: power budget vs temperature (Sections 3.1-3.2).
+
+The paper's central methodological point is that "dark silicon" depends on
+*which constraint you model*: a fixed chip-level power budget (TDP, the
+state of the art it critiques) or the actual physical limit, the DTM
+trigger temperature.  Both are expressed here behind one interface so the
+estimation engine can run the same mapping experiment under either.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Sequence
+
+import numpy as np
+
+from repro.chip import Chip
+from repro.errors import ConfigurationError
+
+#: Relative slack applied to budget comparisons to absorb float noise.
+_REL_TOL = 1e-9
+
+
+class Constraint(abc.ABC):
+    """A predicate over a chip state (per-core power vector)."""
+
+    @abc.abstractmethod
+    def admits(self, chip: Chip, core_powers: Sequence[float]) -> bool:
+        """True if the chip may operate with ``core_powers`` (W)."""
+
+    def __and__(self, other: "Constraint") -> "CompositeConstraint":
+        return CompositeConstraint([self, other])
+
+
+class PowerBudgetConstraint(Constraint):
+    """Total chip power must not exceed a fixed budget (TDP-style).
+
+    Args:
+        budget: the power budget in W (e.g. the paper's 220 W or 185 W).
+    """
+
+    def __init__(self, budget: float) -> None:
+        if budget <= 0:
+            raise ConfigurationError(f"budget must be positive, got {budget}")
+        self.budget = budget
+
+    def admits(self, chip: Chip, core_powers: Sequence[float]) -> bool:
+        total = float(np.sum(np.asarray(core_powers, dtype=float)))
+        return total <= self.budget * (1.0 + _REL_TOL)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"PowerBudgetConstraint({self.budget:.1f} W)"
+
+
+class TemperatureConstraint(Constraint):
+    """Steady-state peak core temperature must stay below T_DTM.
+
+    Args:
+        t_dtm: threshold in degC; defaults to the chip's configured DTM
+            trigger (80 degC in the paper).
+    """
+
+    def __init__(self, t_dtm: float | None = None) -> None:
+        self.t_dtm = t_dtm
+
+    def admits(self, chip: Chip, core_powers: Sequence[float]) -> bool:
+        threshold = chip.t_dtm if self.t_dtm is None else self.t_dtm
+        peak = chip.solver.peak_temperature(core_powers)
+        return peak <= threshold + 1e-6
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        limit = "chip default" if self.t_dtm is None else f"{self.t_dtm:.1f} degC"
+        return f"TemperatureConstraint({limit})"
+
+
+class CompositeConstraint(Constraint):
+    """Conjunction of constraints (all must admit)."""
+
+    def __init__(self, constraints: Sequence[Constraint]) -> None:
+        if not constraints:
+            raise ConfigurationError("composite needs at least one constraint")
+        self.constraints = list(constraints)
+
+    def admits(self, chip: Chip, core_powers: Sequence[float]) -> bool:
+        return all(c.admits(chip, core_powers) for c in self.constraints)

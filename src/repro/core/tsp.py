@@ -1,0 +1,231 @@
+"""Thermal Safe Power (TSP) — Section 5, after Pagani et al. CODES+ISSS'14.
+
+TSP replaces the single-number TDP with a *function of the active-core
+count*: ``TSP(m)`` is the per-core power budget such that, when ``m``
+active cores each consume at most ``TSP(m)`` watts, no core on the chip
+exceeds the DTM threshold — for *any* placement of those ``m`` cores
+(worst-case TSP) or for one *given* placement (per-mapping TSP).
+
+With the steady-state influence matrix ``B`` (``T = T_amb + B P``), the
+temperature of core ``i`` under an active set ``A`` at uniform active
+power ``P`` and inactive power ``P_inact`` is
+
+    T_i = T_amb + P * sum_{j in A} B[i, j] + P_inact * sum_{j not in A} B[i, j]
+
+so the safe per-core budget of a given mapping is
+
+    TSP_A = min_i (T_DTM - T_amb - inact_i) / (sum_{j in A} B[i, j])
+
+The worst case over mappings is attained by thermally concentrated ones;
+following the TSP paper's heuristic, a candidate worst mapping is built
+around every possible "centre" core (the ``m`` cores with the largest
+influence on the centre), and the minimum budget over all candidates is
+kept.  The whole ``TSP(1..n)`` table is computed in one vectorised pass
+(per centre: a column gather, a cumulative sum, and a min-reduce), so it
+costs O(n^3) arithmetic rather than O(n^4).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.chip import Chip
+from repro.errors import ConfigurationError, InfeasibleError
+
+
+class ThermalSafePower:
+    """TSP calculator bound to one chip.
+
+    Args:
+        chip: the chip (provides the influence matrix, ambient and T_DTM).
+        inactive_power: residual power of dark cores, in W.
+        t_dtm: threshold override, degC; defaults to the chip's.
+    """
+
+    def __init__(
+        self,
+        chip: Chip,
+        inactive_power: float = 0.0,
+        t_dtm: Optional[float] = None,
+    ) -> None:
+        if inactive_power < 0:
+            raise ConfigurationError(
+                f"inactive_power must be non-negative, got {inactive_power}"
+            )
+        self._chip = chip
+        self._b = chip.thermal.influence_matrix()
+        self._inactive_power = inactive_power
+        self._t_dtm = chip.t_dtm if t_dtm is None else t_dtm
+        if self._t_dtm <= chip.ambient:
+            raise ConfigurationError(
+                f"T_DTM ({self._t_dtm}) must exceed ambient ({chip.ambient})"
+            )
+        self._worst_budgets: Optional[np.ndarray] = None  # index m-1
+        self._worst_centres: Optional[np.ndarray] = None
+        self._order: Optional[np.ndarray] = None
+
+    @property
+    def chip(self) -> Chip:
+        """The bound chip."""
+        return self._chip
+
+    @property
+    def headroom(self) -> float:
+        """Temperature budget ``T_DTM - T_amb``, in K."""
+        return self._t_dtm - self._chip.ambient
+
+    def for_mapping(self, active: Sequence[int]) -> float:
+        """Per-active-core safe power (W) for one specific mapping.
+
+        Args:
+            active: indices of the active cores (non-empty, unique).
+
+        Raises:
+            InfeasibleError: if the inactive cores' residual power alone
+                already drives some core past T_DTM.
+        """
+        active_idx = self._check_active(active)
+        b = self._b
+        mask = np.zeros(self._chip.n_cores, dtype=bool)
+        mask[active_idx] = True
+        active_sums = b[:, mask].sum(axis=1)
+        inactive_heat = self._inactive_power * b[:, ~mask].sum(axis=1)
+        budgets = (self.headroom - inactive_heat) / active_sums
+        result = float(np.min(budgets))
+        if result <= 0:
+            raise InfeasibleError(
+                "inactive-core power alone already violates T_DTM"
+            )
+        return result
+
+    def worst_case(self, m: int) -> float:
+        """Worst-case per-core TSP(m) over all ``m``-core mappings (W)."""
+        self._check_m(m)
+        self._ensure_table()
+        budget = float(self._worst_budgets[m - 1])
+        if budget <= 0:
+            raise InfeasibleError(
+                "inactive-core power alone already violates T_DTM"
+            )
+        return budget
+
+    def worst_case_mapping(self, m: int) -> list[int]:
+        """A thermally worst (most concentrated) mapping of ``m`` cores."""
+        self._check_m(m)
+        self._ensure_table()
+        centre = int(self._worst_centres[m - 1])
+        return sorted(self._order[centre, :m].tolist())
+
+    def total_budget(self, m: int) -> float:
+        """Chip-level safe power with ``m`` active cores: ``m * TSP(m)``."""
+        return m * self.worst_case(m)
+
+    def table(self, counts: Optional[Sequence[int]] = None) -> dict[int, float]:
+        """``{m: TSP(m)}`` for the given active-core counts.
+
+        Defaults to every count from 1 to the chip's core count — the
+        abstraction a runtime would precompute once per chip.
+        """
+        if counts is None:
+            counts = range(1, self._chip.n_cores + 1)
+        return {m: self.worst_case(m) for m in counts}
+
+    def safe_frequency(
+        self,
+        app,
+        m: int,
+        threads: int = 8,
+        frequencies: Optional[Sequence[float]] = None,
+    ) -> float:
+        """Highest DVFS level of ``app`` whose Eq. (1) power fits TSP(m).
+
+        This is the per-application step of the paper's Figure 10
+        methodology: given ``m`` active cores, each core may draw
+        ``TSP(m)`` watts; pick the fastest ladder frequency whose
+        per-core power (at ``threads`` threads per instance, leakage
+        evaluated at T_DTM) stays within that budget.
+
+        Args:
+            app: an :class:`repro.apps.profile.AppProfile`.
+            m: number of active cores.
+            threads: threads per instance.
+            frequencies: candidate ladder (default: the node's).
+
+        Raises:
+            InfeasibleError: when even the lowest level exceeds TSP(m).
+        """
+        budget = self.worst_case(m)
+        ladder = sorted(
+            frequencies
+            if frequencies is not None
+            else self._chip.node.frequency_ladder()
+        )
+        chosen = 0.0
+        for f in ladder:
+            power = app.core_power(
+                self._chip.node, threads, f, temperature=self._t_dtm
+            )
+            if power <= budget:
+                chosen = f
+        if chosen == 0.0:
+            raise InfeasibleError(
+                f"no DVFS level of {app.name} fits TSP({m}) = {budget:.3f} W/core"
+            )
+        return chosen
+
+    def safe_frequency_table(
+        self,
+        app,
+        counts: Sequence[int],
+        threads: int = 8,
+    ) -> dict[int, float]:
+        """``{m: safe frequency}`` for several active-core counts."""
+        return {m: self.safe_frequency(app, m, threads=threads) for m in counts}
+
+    # -- internals ----------------------------------------------------
+
+    def _ensure_table(self) -> None:
+        if self._worst_budgets is not None:
+            return
+        b = self._b
+        n = self._chip.n_cores
+        headroom = self.headroom
+        p_inact = self._inactive_power
+        row_totals = b.sum(axis=1)
+        order = np.argsort(-b, axis=1)
+        best = np.full(n, np.inf)
+        best_centre = np.zeros(n, dtype=int)
+        for centre in range(n):
+            # Columns ordered by decreasing influence on the centre; the
+            # cumulative sum's column m-1 is every core's heating by the
+            # centre's m-core worst candidate at 1 W/core.
+            cum = np.cumsum(b[:, order[centre]], axis=1)
+            inactive_heat = p_inact * (row_totals[:, None] - cum)
+            budgets = (headroom - inactive_heat) / cum
+            per_m = budgets.min(axis=0)
+            improved = per_m < best
+            best = np.where(improved, per_m, best)
+            best_centre[improved] = centre
+        self._worst_budgets = best
+        self._worst_centres = best_centre
+        self._order = order
+
+    def _check_active(self, active: Sequence[int]) -> np.ndarray:
+        idx = np.asarray(active, dtype=int)
+        if idx.size == 0:
+            raise ConfigurationError("mapping must contain at least one core")
+        if idx.size != np.unique(idx).size:
+            raise ConfigurationError("mapping contains duplicate cores")
+        if idx.min() < 0 or idx.max() >= self._chip.n_cores:
+            raise ConfigurationError(
+                f"core indices must be in [0, {self._chip.n_cores})"
+            )
+        return idx
+
+    def _check_m(self, m: int) -> None:
+        if not 1 <= m <= self._chip.n_cores:
+            raise ConfigurationError(
+                f"active-core count must be in [1, {self._chip.n_cores}], got {m}"
+            )

@@ -1,0 +1,26 @@
+"""Dynamic Thermal Management (DTM).
+
+The paper treats the DTM trigger temperature as the physical boundary of
+dark silicon: "Exceeding this critical temperature triggers Dynamic
+Thermal Management (DTM) on the chip ... which might power down
+additional cores, resulting in more dark silicon" (Section 3.1).  This
+package makes that consequence concrete:
+
+* :mod:`repro.dtm.policies` — reactive DTM policies: power-gate the
+  hottest instance, or throttle its v/f one step, until the steady state
+  is safe;
+* :mod:`repro.dtm.enforcement` — apply a policy to a mapping result and
+  report what the naive TDP-based mapping *actually* keeps after thermal
+  enforcement (the "hidden" dark silicon of an optimistic TDP).
+"""
+
+from repro.dtm.policies import DtmPolicy, GateHottest, ThrottleHottest
+from repro.dtm.enforcement import DtmOutcome, enforce
+
+__all__ = [
+    "DtmPolicy",
+    "GateHottest",
+    "ThrottleHottest",
+    "DtmOutcome",
+    "enforce",
+]

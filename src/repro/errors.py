@@ -1,0 +1,41 @@
+"""Exception hierarchy for the dark-silicon reproduction library.
+
+All library-specific errors derive from :class:`ReproError` so callers can
+catch the whole family with one ``except`` clause while still being able to
+distinguish configuration mistakes from infeasible physical requests.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by :mod:`repro`."""
+
+
+class ConfigurationError(ReproError):
+    """A model or simulator was constructed with inconsistent parameters.
+
+    Examples: a floorplan with overlapping blocks, a thermal stack with a
+    non-positive thickness, or a technology node missing scaling factors.
+    """
+
+
+class InfeasibleError(ReproError):
+    """A physically impossible operating point was requested.
+
+    Examples: asking Eq. (2) for the voltage of a frequency above the curve's
+    reachable range, or asking TSP for more active cores than exist.
+    """
+
+
+class ConvergenceError(ReproError):
+    """An iterative solver failed to converge.
+
+    Raised by the leakage-aware steady-state fixed point when the
+    temperature/leakage loop diverges (thermal runaway) or exceeds its
+    iteration budget.
+    """
+
+
+class MappingError(ReproError):
+    """A mapping policy could not place the requested workload."""

@@ -1,0 +1,54 @@
+"""Shared infrastructure for the experiment modules.
+
+Chips are cached per (node, thermal config id): building the RC model and
+its factorisation is cheap, but the influence matrix used by TSP and the
+thermal-spread placer is worth reusing across figures.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import Sequence
+
+from repro.chip import Chip
+from repro.errors import ConfigurationError
+from repro.tech.library import node_by_name
+from repro.units import GIGA
+
+#: Frequencies of the Figure 5 x-axis (GHz 2.8 .. 3.6), in Hz.
+FIG5_FREQUENCIES: tuple[float, ...] = tuple(
+    round(f, 1) * GIGA for f in (2.8, 3.0, 3.2, 3.4, 3.6)
+)
+
+
+@lru_cache(maxsize=8)
+def get_chip(node_name: str) -> Chip:
+    """The paper's chip at the named node, cached per process."""
+    return Chip.for_node(node_by_name(node_name))
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    """Render a fixed-width text table.
+
+    Floats are shown with 2 decimals, everything else via ``str``.
+    """
+    if not headers:
+        raise ConfigurationError("need at least one column")
+
+    def cell(value: object) -> str:
+        if isinstance(value, float):
+            return f"{value:.2f}"
+        return str(value)
+
+    text_rows = [[cell(v) for v in row] for row in rows]
+    widths = [
+        max(len(h), *(len(r[i]) for r in text_rows)) if text_rows else len(h)
+        for i, h in enumerate(headers)
+    ]
+    lines = [
+        "  ".join(h.ljust(w) for h, w in zip(headers, widths)),
+        "  ".join("-" * w for w in widths),
+    ]
+    for row in text_rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)

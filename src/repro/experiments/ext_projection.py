@@ -1,0 +1,140 @@
+"""Extension experiment: dark-silicon projections across nodes.
+
+The paper's thesis condensed into one table.  For each evaluated node
+(16/11/8 nm) and a representative power-hungry application, dark silicon
+is estimated under three methodologies of increasing fidelity:
+
+1. **TDP @ nominal v/f** — the approach the paper critiques (after
+   Esmaeilzadeh et al.): fixed power budget, maximum frequency;
+2. **T_DTM @ nominal v/f** — the physical constraint, same frequency;
+3. **T_DTM + DVFS** — the physical constraint at the TSP-guided
+   frequency for a nearly full chip: most of the remaining "dark"
+   silicon becomes *dim* silicon.
+
+The expected shape is the paper's headline: methodology 1 paints an
+ever darker picture at newer nodes; methodology 3 keeps almost the
+whole chip lit, at growing total performance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.apps.parsec import app_by_name
+from repro.core.constraints import PowerBudgetConstraint, TemperatureConstraint
+from repro.core.dark_silicon import estimate_dark_silicon
+from repro.core.tsp import ThermalSafePower
+from repro.experiments.common import format_table, get_chip
+from repro.mapping.patterns import NeighbourhoodSpreadPlacer
+from repro.power.budget import PAPER_TDP_PESSIMISTIC
+from repro.units import GIGA
+
+
+@dataclass(frozen=True)
+class ProjectionRow:
+    """One node's projection.
+
+    Attributes:
+        node: node name.
+        cores: chip core count.
+        dark_tdp: dark fraction under TDP @ nominal frequency.
+        dark_temp: dark fraction under T_DTM @ nominal frequency.
+        dark_dvfs: dark fraction under T_DTM at the TSP-guided frequency.
+        dvfs_frequency: that frequency, Hz.
+        gips_dvfs: total performance of methodology 3, GIPS.
+    """
+
+    node: str
+    cores: int
+    dark_tdp: float
+    dark_temp: float
+    dark_dvfs: float
+    dvfs_frequency: float
+    gips_dvfs: float
+
+
+@dataclass(frozen=True)
+class ProjectionResult:
+    """The full projection table."""
+
+    app: str
+    tdp: float
+    entries: tuple[ProjectionRow, ...]
+
+    def node(self, name: str) -> ProjectionRow:
+        """Row of the named node."""
+        return next(e for e in self.entries if e.node == name)
+
+    def rows(self):
+        """(node, cores, dark% x3, f GHz, GIPS) rows."""
+        return [
+            [
+                e.node,
+                e.cores,
+                round(100 * e.dark_tdp, 1),
+                round(100 * e.dark_temp, 1),
+                round(100 * e.dark_dvfs, 1),
+                e.dvfs_frequency / GIGA,
+                round(e.gips_dvfs, 1),
+            ]
+            for e in self.entries
+        ]
+
+    def table(self) -> str:
+        """Formatted text table."""
+        return format_table(
+            (
+                "node",
+                "cores",
+                "dark@TDP [%]",
+                "dark@T [%]",
+                "dark@T+DVFS [%]",
+                "f_dvfs [GHz]",
+                "GIPS@T+DVFS",
+            ),
+            self.rows(),
+        )
+
+
+def run(
+    app_name: str = "ferret",
+    node_names: Sequence[str] = ("16nm", "11nm", "8nm"),
+    tdp: float = PAPER_TDP_PESSIMISTIC,
+    threads: int = 8,
+) -> ProjectionResult:
+    """Build the projection table."""
+    app = app_by_name(app_name)
+    placer = NeighbourhoodSpreadPlacer()
+    entries = []
+    for node_name in node_names:
+        chip = get_chip(node_name)
+        f_nom = chip.node.f_max
+
+        at_tdp = estimate_dark_silicon(
+            chip, app, f_nom, PowerBudgetConstraint(tdp),
+            threads=threads, placer=placer,
+        )
+        at_temp = estimate_dark_silicon(
+            chip, app, f_nom, TemperatureConstraint(),
+            threads=threads, placer=placer,
+        )
+        tsp = ThermalSafePower(chip)
+        nearly_full = (chip.n_cores // threads) * threads
+        f_safe = tsp.safe_frequency(app, nearly_full, threads=threads)
+        dim = estimate_dark_silicon(
+            chip, app, f_safe, TemperatureConstraint(),
+            threads=threads, placer=placer,
+        )
+        entries.append(
+            ProjectionRow(
+                node=node_name,
+                cores=chip.n_cores,
+                dark_tdp=at_tdp.dark_fraction,
+                dark_temp=at_temp.dark_fraction,
+                dark_dvfs=dim.dark_fraction,
+                dvfs_frequency=f_safe,
+                gips_dvfs=dim.gips,
+            )
+        )
+    return ProjectionResult(app=app_name, tdp=tdp, entries=tuple(entries))

@@ -1,0 +1,60 @@
+"""Figure 1 (table): ITRS scaling factors and derived chip parameters.
+
+Regenerates the factor table of the paper's Figure 1 together with the
+derived per-node quantities the rest of the paper relies on (core area,
+chip core count, nominal maximum frequency).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.experiments.common import format_table
+from repro.tech.library import ALL_NODES, chip_core_count
+from repro.units import GIGA, to_mm2
+
+
+@dataclass(frozen=True)
+class ScalingTable:
+    """The Figure 1 table plus derived columns."""
+
+    entries: tuple[tuple[str, float, float, float, float, float, int, float], ...]
+
+    def rows(self):
+        """(node, vdd, freq, cap, area, core mm^2, chip cores, f_max GHz)."""
+        return list(self.entries)
+
+    def table(self) -> str:
+        """Formatted text table."""
+        return format_table(
+            (
+                "node",
+                "Vdd x",
+                "freq x",
+                "cap x",
+                "area x",
+                "core [mm^2]",
+                "chip cores",
+                "f_max [GHz]",
+            ),
+            self.rows(),
+        )
+
+
+def run() -> ScalingTable:
+    """Build the table for all four nodes."""
+    entries = []
+    for node in ALL_NODES:
+        entries.append(
+            (
+                node.name,
+                node.factors.vdd,
+                node.factors.frequency,
+                node.factors.capacitance,
+                node.factors.area,
+                round(to_mm2(node.core_area), 2),
+                chip_core_count(node),
+                node.f_max / GIGA,
+            )
+        )
+    return ScalingTable(entries=tuple(entries))

@@ -1,0 +1,51 @@
+"""Figure 2: the Eq. (2) frequency-voltage curve and its regions at 22 nm.
+
+Samples the curve over the plotted voltage range (threshold voltage to
+1.5 V) and reports the NTC / STC / boost region boundaries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.experiments.common import format_table
+from repro.power.vf_curve import VFCurve
+from repro.tech.library import NODE_22NM, node_by_name
+from repro.units import GIGA
+
+
+@dataclass(frozen=True)
+class VFCurveResult:
+    """Sampled Eq. (2) curve with region labels."""
+
+    node: str
+    k_ghz_v: float
+    vth: float
+    samples: tuple[tuple[float, float, str], ...]  # (V, f GHz, region)
+    region_bounds: dict
+
+    def rows(self):
+        """(voltage V, frequency GHz, region) samples."""
+        return [list(s) for s in self.samples]
+
+    def table(self) -> str:
+        """Formatted text table."""
+        return format_table(("Vdd [V]", "f [GHz]", "region"), self.rows())
+
+
+def run(node_name: str = "22nm", n_samples: int = 26) -> VFCurveResult:
+    """Sample the node's Eq. (2) curve (defaults reproduce Figure 2)."""
+    node = NODE_22NM if node_name == "22nm" else node_by_name(node_name)
+    curve = VFCurve.for_node(node)
+    samples = tuple(
+        (v, f / GIGA, curve.region(v).value) for v, f in curve.sample(n_samples)
+    )
+    from repro.ntc.regions import region_bounds
+
+    return VFCurveResult(
+        node=node.name,
+        k_ghz_v=curve.k / GIGA,
+        vth=curve.vth,
+        samples=samples,
+        region_bounds=region_bounds(node),
+    )

@@ -1,0 +1,52 @@
+"""Figure 4: speed-up vs parallel threads for x264, bodytrack, canneal.
+
+The paper plots the 2 GHz speed-up factors at 16..64 threads; the curves
+saturate near 3x / 2.4x / 1.7x — the parallelism wall motivating the
+multi-instance application model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.apps.parsec import app_by_name
+from repro.experiments.common import format_table
+
+#: The applications plotted in Figure 4.
+FIG4_APPS: tuple[str, ...] = ("x264", "bodytrack", "canneal")
+
+#: The thread counts of the Figure 4 x-axis.
+FIG4_THREADS: tuple[int, ...] = (1, 2, 4, 8, 16, 32, 48, 64)
+
+
+@dataclass(frozen=True)
+class SpeedupResult:
+    """Speed-up factors per (application, thread count)."""
+
+    thread_counts: tuple[int, ...]
+    curves: dict  # app name -> tuple of speed-ups
+
+    def rows(self):
+        """One row per thread count: (threads, s_app1, s_app2, ...)."""
+        apps = list(self.curves)
+        out = []
+        for i, n in enumerate(self.thread_counts):
+            out.append([n] + [round(self.curves[a][i], 2) for a in apps])
+        return out
+
+    def table(self) -> str:
+        """Formatted text table."""
+        return format_table(("threads", *self.curves), self.rows())
+
+
+def run(
+    app_names: Sequence[str] = FIG4_APPS,
+    thread_counts: Sequence[int] = FIG4_THREADS,
+) -> SpeedupResult:
+    """Compute the Figure 4 speed-up curves."""
+    curves = {
+        name: tuple(app_by_name(name).speedup(n) for n in thread_counts)
+        for name in app_names
+    }
+    return SpeedupResult(thread_counts=tuple(thread_counts), curves=curves)

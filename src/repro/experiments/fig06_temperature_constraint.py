@@ -1,0 +1,110 @@
+"""Figure 6: dark silicon under a TDP vs a temperature constraint.
+
+The same 8-thread workloads are mapped (a) until total power reaches the
+pessimistic TDP and (b) until the steady-state peak temperature reaches
+T_DTM; the figure compares the resulting dark-silicon shares at 16 nm
+(3.6 GHz) and 11 nm (4 GHz) and reports the average reduction.
+
+Reproduction note (recorded in EXPERIMENTS.md): the *direction* — the
+temperature constraint admits more active cores for the power-hungry
+applications — reproduces robustly, but the magnitude is bounded by
+package physics: with the paper's own HotSpot configuration the whole
+chip saturates T_DTM at ~205 W, only ~10 % above the 185 W TDP, so the
+achievable average dark-silicon reduction is single-digit percentage
+points rather than the paper's 32 %/40 %.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.apps.parsec import PARSEC_ORDER, app_by_name
+from repro.core.dark_silicon import compare_tdp_vs_temperature
+from repro.experiments.common import format_table, get_chip
+from repro.mapping.patterns import NeighbourhoodSpreadPlacer
+from repro.power.budget import PAPER_TDP_PESSIMISTIC
+
+
+@dataclass(frozen=True)
+class Fig6NodeResult:
+    """One technology node's panel.
+
+    Attributes:
+        node: node name.
+        frequency: the nominal frequency used, Hz.
+        per_app: ``{app: (dark_tdp, dark_temp, peak_temp)}``.
+    """
+
+    node: str
+    frequency: float
+    per_app: dict
+
+    @property
+    def average_reduction(self) -> float:
+        """Mean (dark_tdp - dark_temp) over applications, in fraction."""
+        deltas = [v[0] - v[1] for v in self.per_app.values()]
+        return sum(deltas) / len(deltas)
+
+
+@dataclass(frozen=True)
+class Fig6Result:
+    """Both Figure 6 panels."""
+
+    nodes: tuple[Fig6NodeResult, ...]
+
+    def rows(self):
+        """(node, app, dark_tdp %, dark_temp %, reduction p.p.) rows."""
+        out = []
+        for node in self.nodes:
+            for app, (d_tdp, d_temp, _) in node.per_app.items():
+                out.append(
+                    [
+                        node.node,
+                        app,
+                        round(100 * d_tdp, 1),
+                        round(100 * d_temp, 1),
+                        round(100 * (d_tdp - d_temp), 1),
+                    ]
+                )
+        return out
+
+    def table(self) -> str:
+        """Formatted text table."""
+        return format_table(
+            ("node", "app", "dark@TDP [%]", "dark@T [%]", "reduction [p.p.]"),
+            self.rows(),
+        )
+
+
+def run(
+    node_names: Sequence[str] = ("16nm", "11nm"),
+    app_names: Sequence[str] = PARSEC_ORDER,
+    tdp: float = PAPER_TDP_PESSIMISTIC,
+    threads: int = 8,
+) -> Fig6Result:
+    """Run the TDP-vs-temperature comparison for the given nodes."""
+    placer = NeighbourhoodSpreadPlacer()
+    results = []
+    for node_name in node_names:
+        chip = get_chip(node_name)
+        frequency = chip.node.f_max
+        per_app = {}
+        for name in app_names:
+            under_tdp, under_temp = compare_tdp_vs_temperature(
+                chip,
+                app_by_name(name),
+                frequency,
+                tdp,
+                threads=threads,
+                placer=placer,
+            )
+            per_app[name] = (
+                under_tdp.dark_fraction,
+                under_temp.dark_fraction,
+                under_temp.peak_temperature,
+            )
+        results.append(
+            Fig6NodeResult(node=node_name, frequency=frequency, per_app=per_app)
+        )
+    return Fig6Result(nodes=tuple(results))

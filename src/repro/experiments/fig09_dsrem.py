@@ -1,0 +1,118 @@
+"""Figure 9: DsRem vs TDPmap on the 16 nm chip.
+
+TDPmap maps 8-thread instances at the maximum v/f level until TDP; DsRem
+jointly chooses thread counts and v/f levels, then repairs/exploits
+against the temperature constraint.  The paper reports roughly a 2x
+overall-performance speed-up for DsRem across applications and mixes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.apps.parsec import PARSEC_ORDER, app_by_name
+from repro.chip import Chip
+from repro.experiments.common import format_table, get_chip
+from repro.mapping.dsrem import ds_rem
+from repro.mapping.tdpmap import tdp_map
+from repro.power.budget import PAPER_TDP_PESSIMISTIC
+
+#: The paper's "different Parsec applications and application mixes".
+DEFAULT_WORKLOADS: tuple[tuple[str, ...], ...] = tuple(
+    (name,) for name in PARSEC_ORDER
+) + (
+    ("x264", "canneal"),
+    ("swaptions", "bodytrack", "dedup"),
+    ("ferret", "blackscholes", "canneal", "x264"),
+)
+
+
+@dataclass(frozen=True)
+class Fig9Entry:
+    """One workload's bar pair.
+
+    Attributes:
+        workload: the application mix.
+        tdpmap_gips / dsrem_gips: overall performance, GIPS.
+        tdpmap_dark / dsrem_dark: dark-silicon fractions.
+        dsrem_peak: DsRem's steady-state peak temperature, degC.
+    """
+
+    workload: tuple[str, ...]
+    tdpmap_gips: float
+    dsrem_gips: float
+    tdpmap_dark: float
+    dsrem_dark: float
+    dsrem_peak: float
+
+    @property
+    def speedup(self) -> float:
+        """DsRem performance over TDPmap performance."""
+        return self.dsrem_gips / self.tdpmap_gips
+
+
+@dataclass(frozen=True)
+class Fig9Result:
+    """All Figure 9 workloads."""
+
+    tdp: float
+    entries: tuple[Fig9Entry, ...]
+
+    @property
+    def average_speedup(self) -> float:
+        """Mean DsRem/TDPmap speed-up over workloads."""
+        return sum(e.speedup for e in self.entries) / len(self.entries)
+
+    def rows(self):
+        """(mix, TDPmap GIPS, DsRem GIPS, speedup, dark %) rows."""
+        return [
+            [
+                "+".join(e.workload),
+                round(e.tdpmap_gips, 1),
+                round(e.dsrem_gips, 1),
+                round(e.speedup, 2),
+                round(100 * e.tdpmap_dark, 1),
+                round(100 * e.dsrem_dark, 1),
+            ]
+            for e in self.entries
+        ]
+
+    def table(self) -> str:
+        """Formatted text table."""
+        return format_table(
+            (
+                "workload",
+                "TDPmap [GIPS]",
+                "DsRem [GIPS]",
+                "speedup",
+                "TDPmap dark [%]",
+                "DsRem dark [%]",
+            ),
+            self.rows(),
+        )
+
+
+def run(
+    chip: Optional[Chip] = None,
+    workloads: Sequence[Sequence[str]] = DEFAULT_WORKLOADS,
+    tdp: float = PAPER_TDP_PESSIMISTIC,
+) -> Fig9Result:
+    """Run TDPmap and DsRem over every workload."""
+    chip = chip or get_chip("16nm")
+    entries = []
+    for names in workloads:
+        apps = [app_by_name(n) for n in names]
+        base = tdp_map(chip, apps, tdp)
+        improved = ds_rem(chip, apps, tdp)
+        entries.append(
+            Fig9Entry(
+                workload=tuple(names),
+                tdpmap_gips=base.gips,
+                dsrem_gips=improved.gips,
+                tdpmap_dark=base.dark_fraction,
+                dsrem_dark=improved.dark_fraction,
+                dsrem_peak=improved.peak_temperature,
+            )
+        )
+    return Fig9Result(tdp=tdp, entries=tuple(entries))

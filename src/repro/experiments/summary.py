@@ -1,0 +1,159 @@
+"""One-command reproduction report: paper value vs measured, per figure.
+
+Recomputes the headline metric of every figure (shortened transients for
+Figures 11-13) and prints them next to the paper's published values —
+the quantitative core of EXPERIMENTS.md, regenerated live.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.experiments import (
+    fig03_power_fit,
+    fig04_speedup,
+    fig05_tdp_dark_silicon,
+    fig06_temperature_constraint,
+    fig07_dvfs,
+    fig08_patterning,
+    fig09_dsrem,
+    fig10_tsp,
+    fig11_boosting_transient,
+    fig13_boosting_apps,
+    fig14_ntc,
+)
+from repro.experiments.common import format_table
+
+
+@dataclass(frozen=True)
+class SummaryResult:
+    """(figure, metric, paper, measured) rows."""
+
+    entries: tuple[tuple[str, str, str, str], ...]
+
+    def rows(self):
+        """The comparison rows."""
+        return [list(e) for e in self.entries]
+
+    def table(self) -> str:
+        """Formatted text table."""
+        return format_table(("figure", "metric", "paper", "measured"), self.rows())
+
+
+def run(transient_duration: float = 2.0) -> SummaryResult:
+    """Recompute every figure's headline metric.
+
+    Args:
+        transient_duration: seconds simulated for the boosting figures
+            (the paper runs 100 s; a short warm-started window preserves
+            the averages).
+    """
+    entries: list[tuple[str, str, str, str]] = []
+
+    f3 = fig03_power_fit.run()
+    entries.append(
+        ("fig3", "x264 1t @4GHz 22nm [W]", "~18", f"{f3.power_at_4ghz:.1f}")
+    )
+
+    f4 = fig04_speedup.run()
+    idx = f4.thread_counts.index(64)
+    entries.append(
+        (
+            "fig4",
+            "speed-up @64t (x264/bodytrack/canneal)",
+            "3.0 / 2.4 / 1.7",
+            f"{f4.curves['x264'][idx]:.2f} / {f4.curves['bodytrack'][idx]:.2f} "
+            f"/ {f4.curves['canneal'][idx]:.2f}",
+        )
+    )
+
+    f5 = fig05_tdp_dark_silicon.run()
+    entries.append(
+        (
+            "fig5",
+            "max dark silicon @220W / @185W [%]",
+            "~37 / ~46",
+            f"{100 * f5.max_dark_fraction(f5.tdp_optimistic):.0f} / "
+            f"{100 * f5.max_dark_fraction(f5.tdp_pessimistic):.0f}",
+        )
+    )
+
+    f6 = fig06_temperature_constraint.run()
+    by6 = {n.node: n for n in f6.nodes}
+    entries.append(
+        (
+            "fig6",
+            "avg dark reduction 16nm / 11nm [p.p.]",
+            "32 / 40 (see EXPERIMENTS.md)",
+            f"{100 * by6['16nm'].average_reduction:.1f} / "
+            f"{100 * by6['11nm'].average_reduction:.1f}",
+        )
+    )
+
+    f7 = fig07_dvfs.run()
+    by7 = {n.node: n for n in f7.nodes}
+    entries.append(
+        (
+            "fig7",
+            "max DVFS gain 16nm / 11nm [%]",
+            "32 / 38",
+            f"{100 * by7['16nm'].max_gain:.0f} / {100 * by7['11nm'].max_gain:.0f}",
+        )
+    )
+
+    f8 = fig08_patterning.run()
+    entries.append(
+        (
+            "fig8",
+            "safe cores contiguous -> patterned",
+            "52 -> 60",
+            f"{f8.contiguous_safe.active_cores} -> {f8.patterned.active_cores}",
+        )
+    )
+
+    f9 = fig09_dsrem.run()
+    entries.append(
+        ("fig9", "DsRem/TDPmap average speed-up", "~2x", f"{f9.average_speedup:.2f}x")
+    )
+
+    f10 = fig10_tsp.run()
+    gain = f10.node("8nm").average_gips / f10.node("11nm").average_gips - 1
+    entries.append(
+        ("fig10", "TSP perf increment 11nm -> 8nm [%]", "~60", f"{100 * gain:.0f}")
+    )
+
+    f11 = fig11_boosting_transient.run(duration=transient_duration)
+    entries.append(
+        (
+            "fig11",
+            "avg GIPS boosting vs constant",
+            "258.1 vs 245.3 (+5.2 %)",
+            f"{f11.boosting.average_gips:.1f} vs {f11.constant.average_gips:.1f} "
+            f"({100 * f11.boosting_gain:+.1f} %)",
+        )
+    )
+
+    f13 = fig13_boosting_apps.run(boost_duration=transient_duration)
+    entries.append(
+        (
+            "fig13",
+            "min constant (V, f) across cases",
+            "0.92 V / 3.0 GHz (STC)",
+            f"{f13.min_voltage:.2f} V / {f13.min_frequency / 1e9:.1f} GHz (STC)",
+        )
+    )
+
+    f14 = fig14_ntc.run()
+    canneal = f14.by_app("canneal")
+    swaptions = f14.by_app("swaptions")
+    entries.append(
+        (
+            "fig14",
+            "NTC/STC-1t energy: swaptions, canneal",
+            "NTC wins, NTC loses",
+            f"{swaptions['ntc'].energy_kj / swaptions['stc-1t'].energy_kj:.2f}x, "
+            f"{canneal['ntc'].energy_kj / canneal['stc-1t'].energy_kj:.2f}x",
+        )
+    )
+
+    return SummaryResult(entries=tuple(entries))

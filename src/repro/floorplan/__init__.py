@@ -1,0 +1,21 @@
+"""Floorplans: core placement geometry feeding the thermal model.
+
+The paper's tool flow (Figure 1) generates a floorplan from the scaled
+core areas and feeds it to HotSpot.  :mod:`repro.floorplan.generator`
+builds the regular core grids used by the paper's chips (10x10 at 16 nm,
+11x18 at 11 nm, 19x19 at 8 nm); :class:`repro.floorplan.floorplan.Floorplan`
+captures block geometry and adjacency for the RC network builder.
+"""
+
+from repro.floorplan.geometry import Rect, shared_edge_length
+from repro.floorplan.floorplan import Block, Floorplan
+from repro.floorplan.generator import grid_floorplan, floorplan_for_node
+
+__all__ = [
+    "Rect",
+    "shared_edge_length",
+    "Block",
+    "Floorplan",
+    "grid_floorplan",
+    "floorplan_for_node",
+]

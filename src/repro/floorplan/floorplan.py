@@ -1,0 +1,132 @@
+"""The floorplan: named blocks, chip extents, and block adjacency.
+
+A :class:`Floorplan` is a flat list of non-overlapping :class:`Block`
+rectangles covering (part of) the die.  The thermal builder consumes the
+block areas (vertical RC columns) and the adjacency list with shared-edge
+lengths (lateral conduction).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.errors import ConfigurationError
+from repro.floorplan.geometry import Rect, shared_edge_length
+
+
+@dataclass(frozen=True)
+class Block:
+    """One floorplan block (a core, in this library's chips).
+
+    Attributes:
+        name: unique block name, e.g. ``"core_17"``.
+        rect: the block's rectangle on the die.
+    """
+
+    name: str
+    rect: Rect
+
+
+class Floorplan:
+    """A validated set of non-overlapping blocks.
+
+    Args:
+        blocks: the block list; names must be unique and rectangles must
+            not overlap.
+
+    Raises:
+        ConfigurationError: on duplicate names or overlapping blocks.
+    """
+
+    def __init__(self, blocks: Iterable[Block]) -> None:
+        self._blocks: tuple[Block, ...] = tuple(blocks)
+        if not self._blocks:
+            raise ConfigurationError("a floorplan needs at least one block")
+        names = [b.name for b in self._blocks]
+        if len(set(names)) != len(names):
+            dupes = sorted({n for n in names if names.count(n) > 1})
+            raise ConfigurationError(f"duplicate block names: {dupes}")
+        self._index = {b.name: i for i, b in enumerate(self._blocks)}
+        self._validate_no_overlap()
+        self._adjacency: list[tuple[int, int, float]] | None = None
+
+    def _validate_no_overlap(self) -> None:
+        # O(n^2) sweep is fine at the paper's scales (<= 361 blocks); a
+        # line sweep would only matter for floorplans far larger than any
+        # chip modelled here.
+        for i, a in enumerate(self._blocks):
+            for b in self._blocks[i + 1 :]:
+                if a.rect.overlaps(b.rect):
+                    raise ConfigurationError(
+                        f"blocks {a.name!r} and {b.name!r} overlap"
+                    )
+
+    @property
+    def blocks(self) -> tuple[Block, ...]:
+        """All blocks, in construction order."""
+        return self._blocks
+
+    def __len__(self) -> int:
+        return len(self._blocks)
+
+    def index_of(self, name: str) -> int:
+        """Position of the named block in :attr:`blocks`."""
+        try:
+            return self._index[name]
+        except KeyError:
+            raise ConfigurationError(f"no block named {name!r}") from None
+
+    @property
+    def width(self) -> float:
+        """Bounding-box width of the floorplan, in m."""
+        return max(b.rect.x2 for b in self._blocks) - min(
+            b.rect.x for b in self._blocks
+        )
+
+    @property
+    def height(self) -> float:
+        """Bounding-box height of the floorplan, in m."""
+        return max(b.rect.y2 for b in self._blocks) - min(
+            b.rect.y for b in self._blocks
+        )
+
+    @property
+    def area(self) -> float:
+        """Sum of block areas, in m^2."""
+        return sum(b.rect.area for b in self._blocks)
+
+    def adjacency(self) -> Sequence[tuple[int, int, float]]:
+        """Pairs of abutting blocks with their shared edge length.
+
+        Returns:
+            Tuples ``(i, j, length)`` with ``i < j`` block indices and the
+            shared boundary length in m; computed once and cached.
+        """
+        if self._adjacency is None:
+            pairs: list[tuple[int, int, float]] = []
+            for i, a in enumerate(self._blocks):
+                for j in range(i + 1, len(self._blocks)):
+                    length = shared_edge_length(a.rect, self._blocks[j].rect)
+                    if length > 0.0:
+                        pairs.append((i, j, length))
+            self._adjacency = pairs
+        return self._adjacency
+
+    def neighbours(self, index: int) -> list[int]:
+        """Indices of blocks sharing an edge with block ``index``."""
+        if not 0 <= index < len(self._blocks):
+            raise ConfigurationError(
+                f"block index {index} out of range [0, {len(self._blocks)})"
+            )
+        out: list[int] = []
+        for i, j, _ in self.adjacency():
+            if i == index:
+                out.append(j)
+            elif j == index:
+                out.append(i)
+        return out
+
+    def centers(self) -> list[tuple[float, float]]:
+        """Block centre coordinates, in block order."""
+        return [b.rect.center for b in self._blocks]

@@ -1,0 +1,50 @@
+"""Floorplan generation ("Generate Floorplan" box of Figure 1).
+
+The paper tiles the die with identical square cores.  The chip
+configurations are regular grids: 10x10 (16 nm), 11x18 (11 nm), 19x19
+(8 nm); see :func:`repro.tech.library.chip_grid`.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.errors import ConfigurationError
+from repro.floorplan.floorplan import Block, Floorplan
+from repro.floorplan.geometry import Rect
+from repro.tech.library import chip_grid
+from repro.tech.node import TechNode
+
+
+def grid_floorplan(rows: int, cols: int, core_area: float) -> Floorplan:
+    """A ``rows x cols`` grid of identical square cores.
+
+    Blocks are named ``core_<k>`` with ``k`` counting row-major from the
+    lower-left corner; the index layout matches the thermal model's core
+    ordering and the mapping policies' grid coordinates.
+
+    Args:
+        rows: number of grid rows (>= 1).
+        cols: number of grid columns (>= 1).
+        core_area: area of one core in m^2 (cores are square).
+    """
+    if rows < 1 or cols < 1:
+        raise ConfigurationError(f"grid must be at least 1x1, got {rows}x{cols}")
+    if core_area <= 0:
+        raise ConfigurationError(f"core_area must be positive, got {core_area}")
+    side = math.sqrt(core_area)
+    blocks = [
+        Block(
+            name=f"core_{r * cols + c}",
+            rect=Rect(x=c * side, y=r * side, width=side, height=side),
+        )
+        for r in range(rows)
+        for c in range(cols)
+    ]
+    return Floorplan(blocks)
+
+
+def floorplan_for_node(node: TechNode) -> Floorplan:
+    """The paper's chip floorplan at ``node`` (Section 2.1 grids)."""
+    rows, cols = chip_grid(node)
+    return grid_floorplan(rows, cols, node.core_area)

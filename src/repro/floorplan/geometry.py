@@ -1,0 +1,93 @@
+"""Axis-aligned rectangle geometry for floorplan blocks.
+
+All coordinates are in metres, origin at the chip's lower-left corner,
+x growing rightwards and y upwards.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+#: Geometric tolerance (m) when deciding whether two edges coincide.
+EDGE_TOLERANCE = 1e-9
+
+
+@dataclass(frozen=True)
+class Rect:
+    """An axis-aligned rectangle.
+
+    Attributes:
+        x: lower-left corner x, in m.
+        y: lower-left corner y, in m.
+        width: extent along x, in m (positive).
+        height: extent along y, in m (positive).
+    """
+
+    x: float
+    y: float
+    width: float
+    height: float
+
+    def __post_init__(self) -> None:
+        if self.width <= 0 or self.height <= 0:
+            raise ConfigurationError(
+                f"rectangle extents must be positive, got "
+                f"width={self.width}, height={self.height}"
+            )
+
+    @property
+    def area(self) -> float:
+        """Area in m^2."""
+        return self.width * self.height
+
+    @property
+    def x2(self) -> float:
+        """Right edge x coordinate."""
+        return self.x + self.width
+
+    @property
+    def y2(self) -> float:
+        """Top edge y coordinate."""
+        return self.y + self.height
+
+    @property
+    def center(self) -> tuple[float, float]:
+        """Centre point (x, y)."""
+        return (self.x + 0.5 * self.width, self.y + 0.5 * self.height)
+
+    def overlaps(self, other: "Rect") -> bool:
+        """True if the interiors of the two rectangles intersect."""
+        return (
+            self.x < other.x2 - EDGE_TOLERANCE
+            and other.x < self.x2 - EDGE_TOLERANCE
+            and self.y < other.y2 - EDGE_TOLERANCE
+            and other.y < self.y2 - EDGE_TOLERANCE
+        )
+
+    def contains(self, other: "Rect") -> bool:
+        """True if ``other`` lies entirely inside this rectangle."""
+        return (
+            other.x >= self.x - EDGE_TOLERANCE
+            and other.y >= self.y - EDGE_TOLERANCE
+            and other.x2 <= self.x2 + EDGE_TOLERANCE
+            and other.y2 <= self.y2 + EDGE_TOLERANCE
+        )
+
+
+def shared_edge_length(a: Rect, b: Rect) -> float:
+    """Length of the boundary segment two non-overlapping rectangles share.
+
+    Returns 0 when the rectangles do not abut.  Corner-only contact counts
+    as 0 (no heat-conduction cross-section).
+    """
+    # Vertical shared edge: a's right edge on b's left edge or vice versa.
+    if abs(a.x2 - b.x) <= EDGE_TOLERANCE or abs(b.x2 - a.x) <= EDGE_TOLERANCE:
+        overlap = min(a.y2, b.y2) - max(a.y, b.y)
+        return max(overlap, 0.0)
+    # Horizontal shared edge.
+    if abs(a.y2 - b.y) <= EDGE_TOLERANCE or abs(b.y2 - a.y) <= EDGE_TOLERANCE:
+        overlap = min(a.x2, b.x2) - max(a.x, b.x)
+        return max(overlap, 0.0)
+    return 0.0

@@ -1,0 +1,79 @@
+"""Result export: experiment tables to CSV and JSON.
+
+Every experiment result exposes ``rows()`` (list of row sequences) and a
+``table()`` text rendering; this module adds machine-readable exports so
+downstream plotting/analysis can consume regenerated figures without
+scraping text tables.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import Protocol, Sequence
+
+from repro.errors import ConfigurationError
+
+
+class TabularResult(Protocol):
+    """Anything with ``rows()`` — all experiment results qualify."""
+
+    def rows(self) -> Sequence[Sequence[object]]:
+        """Row data, one sequence per row."""
+        ...  # pragma: no cover - protocol stub
+
+
+def rows_to_csv(
+    rows: Sequence[Sequence[object]],
+    path: str | Path,
+    headers: Sequence[str] | None = None,
+) -> Path:
+    """Write rows (optionally with a header line) to a CSV file.
+
+    Returns:
+        The written path.
+
+    Raises:
+        ConfigurationError: on ragged rows or a header/row width mismatch.
+    """
+    rows = [list(r) for r in rows]
+    if rows:
+        width = len(rows[0])
+        if any(len(r) != width for r in rows):
+            raise ConfigurationError("rows have inconsistent lengths")
+        if headers is not None and len(headers) != width:
+            raise ConfigurationError(
+                f"{len(headers)} headers for rows of width {width}"
+            )
+    path = Path(path)
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        if headers is not None:
+            writer.writerow(headers)
+        writer.writerows(rows)
+    return path
+
+
+def result_to_csv(
+    result: TabularResult,
+    path: str | Path,
+    headers: Sequence[str] | None = None,
+) -> Path:
+    """Export an experiment result's rows to CSV."""
+    return rows_to_csv(result.rows(), path, headers=headers)
+
+
+def result_to_json(result: TabularResult, path: str | Path) -> Path:
+    """Export an experiment result's rows to a JSON array of arrays."""
+    path = Path(path)
+    with path.open("w") as handle:
+        json.dump(result.rows(), handle, indent=2, default=str)
+        handle.write("\n")
+    return path
+
+
+def read_csv_rows(path: str | Path) -> list[list[str]]:
+    """Read back a CSV written by :func:`rows_to_csv` (strings only)."""
+    with Path(path).open(newline="") as handle:
+        return [row for row in csv.reader(handle)]

@@ -1,0 +1,55 @@
+"""Mapping policies: where threads land on the chip, and which v/f they get.
+
+Two kinds of objects live here:
+
+* **Placers** decide *positions*: given an instance needing ``n`` cores
+  and the set of already-occupied cores, they return core indices.
+  :class:`repro.mapping.contiguous.ContiguousPlacer` packs row-major (the
+  naive baseline of Figure 8a); :mod:`repro.mapping.patterns` provides
+  dark-silicon patterning placers (DaSim-style, Figure 8b).
+* **Policies** decide *how much to run*: TDPmap (Section 4's baseline:
+  8 threads, max v/f, stop at TDP) and DsRem (joint thread-count and v/f
+  selection with thermal repair/exploit passes, Figure 9).
+"""
+
+from repro.mapping.base import Placer, PlacementError
+from repro.mapping.contiguous import ContiguousPlacer
+from repro.mapping.patterns import (
+    CheckerboardPlacer,
+    ThermalSpreadPlacer,
+    NeighbourhoodSpreadPlacer,
+)
+
+# The policy modules (tdpmap, dsrem) consume the estimation engine in
+# repro.core, which itself imports the placer interface from this
+# package; importing them lazily breaks that cycle without forcing
+# callers through deep module paths.
+_LAZY = {
+    "tdp_map": ("repro.mapping.tdpmap", "tdp_map"),
+    "ds_rem": ("repro.mapping.dsrem", "ds_rem"),
+    "DsRemConfig": ("repro.mapping.dsrem", "DsRemConfig"),
+}
+
+
+def __getattr__(name):
+    try:
+        module_name, attr = _LAZY[name]
+    except KeyError:
+        raise AttributeError(
+            f"module {__name__!r} has no attribute {name!r}"
+        ) from None
+    import importlib
+
+    return getattr(importlib.import_module(module_name), attr)
+
+__all__ = [
+    "Placer",
+    "PlacementError",
+    "ContiguousPlacer",
+    "CheckerboardPlacer",
+    "ThermalSpreadPlacer",
+    "NeighbourhoodSpreadPlacer",
+    "tdp_map",
+    "ds_rem",
+    "DsRemConfig",
+]

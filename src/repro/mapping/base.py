@@ -1,0 +1,44 @@
+"""Placer interface: choosing core positions for an instance's threads."""
+
+from __future__ import annotations
+
+import abc
+from typing import AbstractSet, Optional, Sequence
+
+from repro.chip import Chip
+from repro.errors import MappingError
+
+
+class PlacementError(MappingError):
+    """A placer could not find positions for an instance."""
+
+
+class Placer(abc.ABC):
+    """Strategy object choosing which cores an instance occupies.
+
+    Placers are stateless with respect to the mapping in progress: the
+    caller passes the occupied set explicitly, so one placer instance can
+    serve many mapping runs (and hypothesis-style property tests can call
+    it with arbitrary occupancy states).
+    """
+
+    @abc.abstractmethod
+    def place(
+        self, chip: Chip, n_cores: int, occupied: AbstractSet[int]
+    ) -> Optional[Sequence[int]]:
+        """Choose ``n_cores`` free cores for one instance.
+
+        Args:
+            chip: the target chip.
+            n_cores: cores the instance needs (one per thread).
+            occupied: indices already taken by earlier instances.
+
+        Returns:
+            The chosen core indices (length ``n_cores``), or ``None``
+            when not enough free cores remain.
+        """
+
+    @staticmethod
+    def free_cores(chip: Chip, occupied: AbstractSet[int]) -> list[int]:
+        """All free core indices in ascending order."""
+        return [i for i in range(chip.n_cores) if i not in occupied]

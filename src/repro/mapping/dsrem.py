@@ -1,0 +1,339 @@
+"""DsRem — joint thread-count / v-f selection with thermal repair.
+
+DsRem (Khdr et al., DAC 2015, summarised in the paper's Section 4)
+"jointly determines the number of active cores for each application and
+their v/f levels, such that the overall performance is maximized.  [It]
+first computes the optimal settings of applications under TDP, then it
+heuristically modifies them, either to avoid potential thermal violations
+or to exploit any available thermal headroom."
+
+This module implements that three-phase heuristic:
+
+1. **Budget phase** — greedy knapsack under TDP: repeatedly add the
+   instance configuration (application from the mix, thread count,
+   frequency) with the best performance-per-watt density that still fits
+   the remaining power and cores, then upgrade frequencies with leftover
+   power.  High-TLP applications naturally end up with many threads at
+   moderate v/f; high-ILP applications with few threads at high v/f.
+2. **Repair phase** — while the steady-state peak temperature exceeds
+   T_DTM, step down the v/f of the instance heating the hottest core
+   (removing it when already at the lowest level).
+3. **Exploit phase** — while thermal headroom remains, try frequency
+   upgrades (largest GIPS gain first) and additional instances that keep
+   the peak temperature below T_DTM.
+
+Placement uses a dark-silicon-patterning placer by default, since DsRem
+builds on the DaSim insight that spreading active cores buys headroom.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.apps.profile import AppProfile
+from repro.apps.workload import ApplicationInstance
+from repro.chip import Chip
+from repro.core.estimator import MappingResult, PlacedInstance
+from repro.errors import ConfigurationError
+from repro.mapping.base import Placer
+from repro.mapping.patterns import ThermalSpreadPlacer
+
+
+@dataclass(frozen=True)
+class DsRemConfig:
+    """Tuning knobs of the DsRem heuristic.
+
+    Attributes:
+        threads_options: candidate per-instance thread counts
+            (default 1..8, capped by each app's max_threads).
+        frequencies: candidate v/f levels (default: node ladder).
+        exploit_margin: headroom (K) below T_DTM at which the exploit
+            phase stops trying upgrades.
+        max_steps: safety bound on repair/exploit iterations.
+    """
+
+    threads_options: Optional[Sequence[int]] = None
+    frequencies: Optional[Sequence[float]] = None
+    exploit_margin: float = 0.25
+    max_steps: int = 2000
+
+
+class _State:
+    """Mutable mapping state shared by the three phases."""
+
+    def __init__(self, chip: Chip, placer: Placer) -> None:
+        self.chip = chip
+        self.placer = placer
+        self.placed: list[PlacedInstance] = []
+
+    @property
+    def occupied(self) -> set[int]:
+        return {c for p in self.placed for c in p.cores}
+
+    def core_powers(self) -> np.ndarray:
+        powers = np.zeros(self.chip.n_cores)
+        for p in self.placed:
+            powers[list(p.cores)] += p.core_power
+        return powers
+
+    def total_power(self) -> float:
+        return float(sum(p.core_power * len(p.cores) for p in self.placed))
+
+    def peak_temperature(self) -> float:
+        return self.chip.solver.peak_temperature(self.core_powers())
+
+    def add(self, instance: ApplicationInstance) -> bool:
+        cores = self.placer.place(self.chip, instance.cores, self.occupied)
+        if cores is None:
+            return False
+        per_core = instance.core_power(self.chip.node, temperature=self.chip.t_dtm)
+        self.placed.append(
+            PlacedInstance(instance=instance, cores=tuple(cores), core_power=per_core)
+        )
+        return True
+
+    def replace(self, index: int, frequency: float) -> None:
+        old = self.placed[index]
+        instance = old.instance.with_frequency(frequency)
+        per_core = instance.core_power(self.chip.node, temperature=self.chip.t_dtm)
+        self.placed[index] = PlacedInstance(
+            instance=instance, cores=old.cores, core_power=per_core
+        )
+
+    def remove(self, index: int) -> None:
+        del self.placed[index]
+
+    def hottest_instance(self) -> Optional[int]:
+        """Index of the placed instance containing the hottest core."""
+        if not self.placed:
+            return None
+        temps = self.chip.solver.temperatures(self.core_powers())
+        hottest_core = int(np.argmax(temps))
+        for i, p in enumerate(self.placed):
+            if hottest_core in p.cores:
+                return i
+        # The hottest core is dark (heated by neighbours): blame the
+        # instance with the highest per-core power instead.
+        return max(range(len(self.placed)), key=lambda i: self.placed[i].core_power)
+
+    def result(self) -> MappingResult:
+        powers = self.core_powers()
+        return MappingResult(
+            chip=self.chip,
+            placed=tuple(self.placed),
+            rejected=(),
+            core_powers=powers,
+            peak_temperature=self.chip.solver.peak_temperature(powers),
+        )
+
+
+def ds_rem(
+    chip: Chip,
+    apps: Sequence[AppProfile],
+    tdp: float,
+    placer: Optional[Placer] = None,
+    config: Optional[DsRemConfig] = None,
+) -> MappingResult:
+    """Run DsRem for an application mix on ``chip``.
+
+    Args:
+        chip: the target chip.
+        apps: the application mix (each may receive any number of
+            instances, including zero).
+        tdp: the TDP used by the budget phase, W.
+        placer: position policy; defaults to the thermal spread placer.
+        config: heuristic tuning knobs.
+
+    Returns:
+        The final thermally-safe :class:`MappingResult`.
+    """
+    if not apps:
+        raise ConfigurationError("need at least one application in the mix")
+    if tdp <= 0:
+        raise ConfigurationError(f"tdp must be positive, got {tdp}")
+    cfg = config or DsRemConfig()
+    frequencies = sorted(
+        cfg.frequencies if cfg.frequencies is not None else chip.node.frequency_ladder()
+    )
+    state = _State(chip, placer or ThermalSpreadPlacer())
+
+    _budget_phase(state, apps, tdp, frequencies, cfg)
+    _repair_phase(state, frequencies, cfg)
+    _exploit_phase(state, apps, frequencies, cfg)
+    return state.result()
+
+
+# -- phase 1: greedy knapsack under TDP -------------------------------
+
+
+def _candidate_configs(
+    app: AppProfile, chip: Chip, frequencies: Sequence[float], cfg: DsRemConfig
+) -> list[tuple[int, float, float, float]]:
+    """(threads, frequency, instance_power, instance_performance) tuples."""
+    threads_options = (
+        cfg.threads_options
+        if cfg.threads_options is not None
+        else range(1, app.max_threads + 1)
+    )
+    configs = []
+    for n in threads_options:
+        if n > app.max_threads:
+            continue
+        for f in frequencies:
+            power = n * app.core_power(chip.node, n, f, temperature=chip.t_dtm)
+            perf = app.instance_performance(n, f)
+            configs.append((n, f, power, perf))
+    return configs
+
+
+def _budget_phase(
+    state: _State,
+    apps: Sequence[AppProfile],
+    tdp: float,
+    frequencies: Sequence[float],
+    cfg: DsRemConfig,
+) -> None:
+    chip = state.chip
+    configs = {app.name: _candidate_configs(app, chip, frequencies, cfg) for app in apps}
+    remaining_power = tdp
+    free_cores = chip.n_cores
+
+    # Density greedy: best performance per watt that still fits.
+    while True:
+        best = None
+        for app in apps:
+            for n, f, power, perf in configs[app.name]:
+                if n > free_cores or power > remaining_power:
+                    continue
+                density = perf / power
+                if best is None or density > best[0]:
+                    best = (density, app, n, f)
+        if best is None:
+            break
+        _, app, n, f = best
+        if not state.add(ApplicationInstance(app=app, threads=n, frequency=f)):
+            break
+        added = state.placed[-1]
+        remaining_power -= added.core_power * len(added.cores)
+        free_cores -= len(added.cores)
+
+    # Upgrade pass: spend leftover power on frequency increases, largest
+    # performance gain per extra watt first.
+    for _ in range(cfg.max_steps):
+        best = None
+        for i, placed in enumerate(state.placed):
+            inst = placed.instance
+            higher = [f for f in frequencies if f > inst.frequency]
+            if not higher:
+                continue
+            f_next = higher[0]
+            new_power = inst.cores * inst.app.core_power(
+                chip.node, inst.threads, f_next, temperature=chip.t_dtm
+            )
+            old_power = placed.core_power * len(placed.cores)
+            extra = new_power - old_power
+            if extra > remaining_power:
+                continue
+            gain = inst.app.instance_performance(inst.threads, f_next) - inst.performance()
+            if gain <= 0:
+                continue
+            score = gain / max(extra, 1e-9)
+            if best is None or score > best[0]:
+                best = (score, i, f_next, extra)
+        if best is None:
+            break
+        _, i, f_next, extra = best
+        state.replace(i, f_next)
+        remaining_power -= extra
+
+
+# -- phase 2: thermal repair ------------------------------------------
+
+
+def _repair_phase(
+    state: _State, frequencies: Sequence[float], cfg: DsRemConfig
+) -> None:
+    chip = state.chip
+    for _ in range(cfg.max_steps):
+        if state.peak_temperature() <= chip.t_dtm + 1e-6:
+            return
+        index = state.hottest_instance()
+        if index is None:
+            return
+        inst = state.placed[index].instance
+        lower = [f for f in frequencies if f < inst.frequency]
+        if lower:
+            state.replace(index, lower[-1])
+        else:
+            state.remove(index)
+
+
+# -- phase 3: exploit headroom ----------------------------------------
+
+
+def _exploit_phase(
+    state: _State,
+    apps: Sequence[AppProfile],
+    frequencies: Sequence[float],
+    cfg: DsRemConfig,
+) -> None:
+    chip = state.chip
+    for _ in range(cfg.max_steps):
+        peak = state.peak_temperature()
+        if peak > chip.t_dtm - cfg.exploit_margin:
+            return
+        if not _try_upgrade(state, frequencies) and not _try_add(
+            state, apps, frequencies, cfg
+        ):
+            return
+
+
+def _try_upgrade(state: _State, frequencies: Sequence[float]) -> bool:
+    """Apply the best admissible one-step frequency upgrade, if any."""
+    chip = state.chip
+    candidates = []
+    for i, placed in enumerate(state.placed):
+        inst = placed.instance
+        higher = [f for f in frequencies if f > inst.frequency]
+        if not higher:
+            continue
+        gain = (
+            inst.app.instance_performance(inst.threads, higher[0])
+            - inst.performance()
+        )
+        candidates.append((gain, i, higher[0]))
+    for gain, i, f_next in sorted(candidates, reverse=True):
+        old_f = state.placed[i].instance.frequency
+        state.replace(i, f_next)
+        if state.peak_temperature() <= chip.t_dtm + 1e-6:
+            return True
+        state.replace(i, old_f)
+    return False
+
+
+def _try_add(
+    state: _State,
+    apps: Sequence[AppProfile],
+    frequencies: Sequence[float],
+    cfg: DsRemConfig,
+) -> bool:
+    """Add the best-performing instance that stays thermally safe."""
+    chip = state.chip
+    free = chip.n_cores - len(state.occupied)
+    if free == 0:
+        return False
+    candidates = []
+    for app in apps:
+        for n, f, power, perf in _candidate_configs(app, chip, frequencies, cfg):
+            if n <= free:
+                candidates.append((perf, app, n, f))
+    for perf, app, n, f in sorted(candidates, key=lambda c: -c[0]):
+        if not state.add(ApplicationInstance(app=app, threads=n, frequency=f)):
+            continue
+        if state.peak_temperature() <= chip.t_dtm + 1e-6:
+            return True
+        state.remove(len(state.placed) - 1)
+    return False

@@ -1,0 +1,53 @@
+"""TDPmap — the TDP-based mapping baseline of Section 4 / Figure 9.
+
+TDPmap maps instances of the application mix with a fixed shape — 8
+threads each, all cores at the maximum nominal v/f level — and stops as
+soon as the next instance would push total power past TDP.  It is the
+policy the paper contrasts DsRem against.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.apps.profile import AppProfile
+from repro.apps.workload import ApplicationInstance, Workload
+from repro.chip import Chip
+from repro.core.constraints import PowerBudgetConstraint
+from repro.core.estimator import MappingResult, map_workload
+from repro.errors import ConfigurationError
+from repro.mapping.base import Placer
+
+
+def tdp_map(
+    chip: Chip,
+    apps: Sequence[AppProfile],
+    tdp: float,
+    threads: int = 8,
+    placer: Optional[Placer] = None,
+) -> MappingResult:
+    """Map the mix round-robin at max v/f until TDP is reached.
+
+    Args:
+        chip: the target chip.
+        apps: the application mix, cycled round-robin (a single-element
+            sequence reproduces the per-application columns of Figure 9).
+        tdp: the power budget, W.
+        threads: threads per instance (the paper fixes 8).
+        placer: position policy (contiguous by default).
+    """
+    if not apps:
+        raise ConfigurationError("need at least one application in the mix")
+    max_instances = chip.n_cores // threads
+    instances = [
+        ApplicationInstance(
+            app=apps[i % len(apps)], threads=threads, frequency=chip.node.f_max
+        )
+        for i in range(max_instances)
+    ]
+    return map_workload(
+        chip,
+        Workload(instances),
+        PowerBudgetConstraint(tdp),
+        placer=placer,
+    )

@@ -1,0 +1,155 @@
+"""Spatio-temporal dark-silicon patterning: rotate the active set.
+
+The paper's abstract promises "sophisticated spatio-temporal mapping
+decisions result in improved thermal profiles with reduced peak
+temperatures".  The *spatial* half is the patterning of
+:mod:`repro.mapping.patterns`; this module adds the *temporal* half:
+periodically migrating the running instances onto currently dark cores,
+so each silicon region alternates between heating and cooling phases and
+the time-averaged hot spot flattens out.
+
+The mechanism only pays off against the package's slow thermal state
+(spreader/sink, seconds): rotations far faster than the silicon time
+constant see the *average* power field, which for a K-phase rotation of
+a contiguous band is 1/K of the static density everywhere.  Migration
+overhead is not modelled (the paper's mapping studies do not model it
+either); the rotation period is a parameter, so the cost of a real
+migration can be charged by the caller via a throughput discount.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.apps.workload import Workload
+from repro.chip import Chip
+from repro.core.constraints import PowerBudgetConstraint
+from repro.core.estimator import map_workload
+from repro.errors import ConfigurationError
+from repro.mapping.base import Placer
+from repro.mapping.contiguous import ContiguousPlacer
+from repro.thermal.transient import TransientSimulator
+
+
+def rotation_phases(
+    chip: Chip, base_powers: np.ndarray, n_phases: int
+) -> list[np.ndarray]:
+    """Shifted copies of a power field, one per rotation phase.
+
+    Phase ``k`` rotates the per-core power vector by ``k * n / K``
+    positions in row-major core order — on the paper's grid chips this
+    slides an active band across the die, visiting every region.
+    """
+    if n_phases < 1:
+        raise ConfigurationError(f"n_phases must be >= 1, got {n_phases}")
+    n = chip.n_cores
+    return [
+        np.roll(base_powers, (k * n) // n_phases) for k in range(n_phases)
+    ]
+
+
+@dataclass(frozen=True)
+class TemporalPatternResult:
+    """Static vs rotating peak temperatures for one workload.
+
+    Attributes:
+        static_peak: steady-state peak of the fixed mapping, degC.
+        rotating_peak: maximum instantaneous peak over the final rotation
+            cycle (after warm-up), degC.
+        n_phases: rotation phases used.
+        period: phase dwell time, s.
+        peak_trace: sampled rotating peak temperatures, degC.
+    """
+
+    static_peak: float
+    rotating_peak: float
+    n_phases: int
+    period: float
+    peak_trace: np.ndarray
+
+    @property
+    def reduction(self) -> float:
+        """Peak-temperature reduction achieved by rotating, in K."""
+        return self.static_peak - self.rotating_peak
+
+
+def evaluate_rotation(
+    chip: Chip,
+    workload: Workload,
+    n_phases: int = 2,
+    period: float = 0.1,
+    cycles: int = 40,
+    dt: float = 1e-3,
+    placer: Optional[Placer] = None,
+) -> TemporalPatternResult:
+    """Compare a static mapping against its K-phase rotation.
+
+    The workload is placed once (contiguously by default — the worst
+    spatial pattern, where temporal rotation has the most to offer);
+    the rotation then cycles the resulting power field across the die.
+
+    Args:
+        chip: the target chip.
+        workload: instances with threads and frequency assigned; must fit
+            the chip's capacity.
+        n_phases: rotation phases (2 = ping-pong between two half-die
+            bands).
+        period: dwell time per phase, s.
+        cycles: full rotation cycles to simulate (the first ~half is
+            warm-up; the last cycle is measured).
+        dt: transient integration step, s.
+        placer: spatial placement of the base phase.
+
+    Returns:
+        A :class:`TemporalPatternResult`.
+    """
+    if period < dt:
+        raise ConfigurationError(
+            f"period ({period} s) must be at least dt ({dt} s)"
+        )
+    if cycles < 2:
+        raise ConfigurationError(f"need at least 2 cycles, got {cycles}")
+
+    base = map_workload(
+        chip,
+        workload,
+        PowerBudgetConstraint(1e12),  # capacity-only: realise the mapping
+        placer=placer or ContiguousPlacer(),
+    )
+    if base.rejected:
+        raise ConfigurationError(
+            "workload does not fit the chip; temporal rotation needs the "
+            "full workload placed"
+        )
+    static_peak = base.peak_temperature
+    phases = rotation_phases(chip, base.core_powers, n_phases)
+
+    sim = TransientSimulator(chip.thermal, dt=dt)
+    # Warm-start from the *average* power field: the rotation's long-run
+    # package state, so a handful of cycles suffices.
+    sim.warm_start(np.mean(phases, axis=0))
+
+    steps_per_phase = max(1, int(round(period / dt)))
+    total_steps = cycles * n_phases * steps_per_phase
+    last_cycle_start = (cycles - 1) * n_phases * steps_per_phase
+
+    peaks: list[float] = []
+    rotating_peak = -np.inf
+    for step in range(total_steps):
+        phase = (step // steps_per_phase) % n_phases
+        sim.step(phases[phase])
+        peak = sim.peak_temperature
+        peaks.append(peak)
+        if step >= last_cycle_start:
+            rotating_peak = max(rotating_peak, peak)
+
+    return TemporalPatternResult(
+        static_peak=static_peak,
+        rotating_peak=float(rotating_peak),
+        n_phases=n_phases,
+        period=period,
+        peak_trace=np.array(peaks),
+    )

@@ -1,0 +1,21 @@
+"""Performance and energy metrics shared by the experiments."""
+
+from repro.metrics.performance import (
+    total_gips,
+    average_gips,
+    performance_gain,
+)
+from repro.metrics.energy import (
+    energy_joules,
+    energy_from_trace,
+    average_power_from_trace,
+)
+
+__all__ = [
+    "total_gips",
+    "average_gips",
+    "performance_gain",
+    "energy_joules",
+    "energy_from_trace",
+    "average_power_from_trace",
+]

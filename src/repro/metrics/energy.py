@@ -1,0 +1,43 @@
+"""Energy metrics: joules from powers and from transient traces."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+def energy_joules(power_watts: float, duration_seconds: float) -> float:
+    """Energy of a constant power draw, in J."""
+    if duration_seconds < 0:
+        raise ConfigurationError(
+            f"duration must be non-negative, got {duration_seconds}"
+        )
+    return power_watts * duration_seconds
+
+
+def energy_from_trace(
+    times: Sequence[float], powers: Sequence[float]
+) -> float:
+    """Trapezoidal energy integral of a sampled power trace, in J."""
+    t = np.asarray(times, dtype=float)
+    p = np.asarray(powers, dtype=float)
+    if t.shape != p.shape or t.ndim != 1:
+        raise ConfigurationError(
+            "times and powers must be equal-length 1-D sequences"
+        )
+    if t.size < 2:
+        raise ConfigurationError("need at least two samples to integrate")
+    if np.any(np.diff(t) <= 0):
+        raise ConfigurationError("times must be strictly increasing")
+    return float(np.trapezoid(p, t))
+
+
+def average_power_from_trace(
+    times: Sequence[float], powers: Sequence[float]
+) -> float:
+    """Time-weighted average power of a sampled trace, in W."""
+    t = np.asarray(times, dtype=float)
+    return energy_from_trace(times, powers) / float(t[-1] - t[0])

@@ -1,0 +1,34 @@
+"""Performance metrics: GIPS aggregation and gain ratios.
+
+The paper reports "Overall System Performance" in GIPS
+(giga-instructions per second) throughout Figures 7 and 9-13; these are
+the small aggregation helpers the experiment modules share.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.errors import ConfigurationError
+from repro.units import gips
+
+
+def total_gips(performances_ips: Iterable[float]) -> float:
+    """Sum of throughputs (instructions/s), converted to GIPS."""
+    return gips(sum(performances_ips))
+
+
+def average_gips(samples_gips: Sequence[float]) -> float:
+    """Time-average of a GIPS trace (uniform sampling assumed)."""
+    if not len(samples_gips):
+        raise ConfigurationError("cannot average an empty trace")
+    return float(sum(samples_gips) / len(samples_gips))
+
+
+def performance_gain(baseline_gips: float, improved_gips: float) -> float:
+    """Relative gain of ``improved`` over ``baseline`` (0.32 == +32 %)."""
+    if baseline_gips <= 0:
+        raise ConfigurationError(
+            f"baseline must be positive, got {baseline_gips}"
+        )
+    return improved_gips / baseline_gips - 1.0

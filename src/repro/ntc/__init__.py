@@ -1,0 +1,26 @@
+"""Near-Threshold Computing analysis (paper Section 6, Figure 14).
+
+NTC trades frequency for voltage: running many threads at a
+near-threshold voltage can consume far less energy than few threads at a
+high STC voltage *for the same performance* — but only when the
+application's thread scaling cooperates.  :mod:`repro.ntc.iso_performance`
+reproduces the paper's ISO-performance energy comparison;
+:mod:`repro.ntc.regions` classifies operating points into the Figure 2
+regions.
+"""
+
+from repro.ntc.regions import classify_frequency, classify_voltage, region_bounds
+from repro.ntc.iso_performance import (
+    IsoPerformancePoint,
+    iso_performance_comparison,
+    stc_frequency_for_iso,
+)
+
+__all__ = [
+    "classify_frequency",
+    "classify_voltage",
+    "region_bounds",
+    "IsoPerformancePoint",
+    "iso_performance_comparison",
+    "stc_frequency_for_iso",
+]

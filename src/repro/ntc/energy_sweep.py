@@ -1,0 +1,118 @@
+"""Energy-per-instruction vs supply voltage: the NTC 'U-curve'.
+
+The classic near-threshold result (Pinckney et al., DAC 2012 — the
+paper's NTC reference) is that energy per operation falls as the supply
+voltage drops (dynamic energy goes with V^2) until leakage and
+constant-power terms, amortised over ever slower cycles, turn the curve
+back up.  The minimum-energy point sits near — usually somewhat above —
+the threshold voltage.
+
+This module sweeps Eq. (1)/Eq. (2) over the voltage axis and locates the
+minimum-energy operating point per application, completing the paper's
+Observation 4: NTC is the regime for *energy*-constrained operation,
+not for peak performance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.apps.profile import AppProfile
+from repro.errors import ConfigurationError
+from repro.power.vf_curve import Region, VFCurve
+from repro.tech.node import TechNode
+from repro.units import gips as to_gips
+
+
+@dataclass(frozen=True)
+class EnergyPoint:
+    """One operating point of the energy/voltage sweep.
+
+    Attributes:
+        vdd: supply voltage, V.
+        frequency: Eq. (2) frequency at that voltage, Hz.
+        region: Figure 2 region.
+        power: Eq. (1) per-core power, W.
+        gips: per-instance throughput, GIPS.
+        energy_per_instruction: J per committed instruction (instance
+            power over instance throughput).
+    """
+
+    vdd: float
+    frequency: float
+    region: Region
+    power: float
+    gips: float
+    energy_per_instruction: float
+
+
+def energy_voltage_sweep(
+    app: AppProfile,
+    node: TechNode,
+    threads: int = 8,
+    n_points: int = 60,
+    temperature: float = 60.0,
+    v_min: float | None = None,
+) -> list[EnergyPoint]:
+    """Sweep the voltage axis and report energy per instruction.
+
+    Args:
+        app: the application.
+        node: technology node.
+        threads: threads per instance.
+        n_points: sweep resolution.
+        temperature: die temperature for leakage evaluation, degC (energy
+            studies run cooler than the DTM limit; 60 degC is a typical
+            NTC operating temperature).
+        v_min: lowest swept voltage; defaults to 5 % above the node's
+            threshold voltage (below which frequency collapses and the
+            energy diverges).
+
+    Returns:
+        Points in ascending voltage order.
+    """
+    if n_points < 2:
+        raise ConfigurationError(f"need at least 2 points, got {n_points}")
+    curve = VFCurve.for_node(node)
+    lo = curve.vth * 1.05 if v_min is None else v_min
+    if not curve.vth < lo < curve.v_limit:
+        raise ConfigurationError(
+            f"v_min must lie in ({curve.vth:.3f}, {curve.v_limit:.3f}) V"
+        )
+    hi = curve.v_limit
+    points: list[EnergyPoint] = []
+    model = app.power_model(node)
+    n_cores = threads
+    for i in range(n_points):
+        v = lo + (hi - lo) * i / (n_points - 1)
+        f = curve.frequency(v)
+        per_core = model.power(
+            f, alpha=app.utilisation(threads), temperature=temperature, vdd=v
+        )
+        instance_power = n_cores * per_core
+        perf = app.instance_performance(threads, f)
+        points.append(
+            EnergyPoint(
+                vdd=v,
+                frequency=f,
+                region=curve.region(v),
+                power=per_core,
+                gips=to_gips(perf),
+                energy_per_instruction=instance_power / perf,
+            )
+        )
+    return points
+
+
+def minimum_energy_point(
+    app: AppProfile,
+    node: TechNode,
+    threads: int = 8,
+    n_points: int = 120,
+    temperature: float = 60.0,
+) -> EnergyPoint:
+    """The minimum-energy operating point of the sweep."""
+    points = energy_voltage_sweep(
+        app, node, threads=threads, n_points=n_points, temperature=temperature
+    )
+    return min(points, key=lambda p: p.energy_per_instruction)

@@ -1,0 +1,186 @@
+"""ISO-performance STC-vs-NTC energy comparison (Figure 14).
+
+The paper's setup: 24 instances per application at 11 nm.  The NTC scheme
+runs each instance with 8 threads at a near-threshold operating point
+(1 GHz in the paper); the STC schemes run 1 or 2 threads per instance at
+the frequency that *matches the NTC performance* — possible because fewer
+threads mean less Amdahl overhead, so a higher per-core frequency
+compensates for the lost parallelism.  With equal performance the two
+schemes execute the same work in the same time, and the energy ratio is
+the power ratio.
+
+The expected shape: for thread-scalable applications NTC wins by a wide
+margin (dynamic power is cubic in frequency, so the STC single thread at
+``S(8) x`` the NTC frequency is hugely expensive); for poorly scaling
+applications (canneal) the ``n_threads x P_ind`` overhead of NTC's eight
+barely-utilised cores makes NTC *lose* — the paper's Observation 4.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.apps.profile import AppProfile
+from repro.errors import ConfigurationError, InfeasibleError
+from repro.power.vf_curve import Region, VFCurve
+from repro.tech.node import TechNode
+from repro.units import GIGA, gips as to_gips
+
+
+@dataclass(frozen=True)
+class IsoPerformancePoint:
+    """One (application, scheme) cell of the Figure 14 comparison.
+
+    Attributes:
+        app: application name.
+        scheme: ``"ntc"`` or ``"stc-<k>t"``.
+        threads: threads per instance.
+        frequency: per-core frequency, Hz.
+        voltage: minimum stable supply, V.
+        region: Figure 2 region of the operating point.
+        gips: total performance of all instances, GIPS.
+        total_power: total Eq. (1) power of all instances, W.
+        energy_kj: energy to complete the reference work, kJ.
+        feasible: False when the ISO-performance frequency exceeded the
+            node's voltage limit and was capped (performance then falls
+            short of ISO).
+    """
+
+    app: str
+    scheme: str
+    threads: int
+    frequency: float
+    voltage: float
+    region: Region
+    gips: float
+    total_power: float
+    energy_kj: float
+    feasible: bool
+
+
+def stc_frequency_for_iso(
+    app: AppProfile, stc_threads: int, ntc_threads: int, ntc_frequency: float
+) -> float:
+    """Frequency at which ``stc_threads`` match ``ntc_threads`` @ NTC.
+
+    ISO performance per instance requires
+    ``S(k) * IPC * f_stc = S(n) * IPC * f_ntc``, hence
+    ``f_stc = f_ntc * S(n) / S(k)``.
+    """
+    return ntc_frequency * app.speedup(ntc_threads) / app.speedup(stc_threads)
+
+
+def iso_performance_comparison(
+    node: TechNode,
+    apps: Sequence[AppProfile],
+    n_instances: int = 24,
+    ntc_threads: int = 8,
+    ntc_frequency: float = 1.0 * GIGA,
+    stc_thread_options: Sequence[int] = (1, 2),
+    reference_time: float = 10.0,
+    temperature: float = 80.0,
+) -> list[IsoPerformancePoint]:
+    """Figure 14's grid: every app under NTC and each STC scheme.
+
+    Args:
+        node: technology node (the paper uses 11 nm).
+        apps: applications to compare.
+        n_instances: instances per application (paper: 24).
+        ntc_threads: threads per NTC instance (paper: 8).
+        ntc_frequency: the NTC operating frequency (paper: 1 GHz).
+        stc_thread_options: thread counts of the STC schemes (paper: 1, 2).
+        reference_time: seconds of execution at ISO performance defining
+            the work unit for the energy numbers.
+        temperature: leakage-evaluation temperature, degC.
+
+    Returns:
+        One :class:`IsoPerformancePoint` per (app, scheme), NTC first.
+    """
+    if n_instances < 1:
+        raise ConfigurationError(
+            f"n_instances must be at least 1, got {n_instances}"
+        )
+    if reference_time <= 0:
+        raise ConfigurationError(
+            f"reference_time must be positive, got {reference_time}"
+        )
+    curve = VFCurve.for_node(node)
+    points: list[IsoPerformancePoint] = []
+    for app in apps:
+        ntc_perf = n_instances * app.instance_performance(ntc_threads, ntc_frequency)
+        points.append(
+            _evaluate(
+                app,
+                "ntc",
+                ntc_threads,
+                ntc_frequency,
+                node,
+                curve,
+                n_instances,
+                reference_time,
+                temperature,
+                iso_performance=ntc_perf,
+                feasible=True,
+            )
+        )
+        for k in stc_thread_options:
+            f_iso = stc_frequency_for_iso(app, k, ntc_threads, ntc_frequency)
+            feasible = True
+            try:
+                curve.voltage(f_iso)
+            except InfeasibleError:
+                f_iso = curve.f_limit
+                feasible = False
+            points.append(
+                _evaluate(
+                    app,
+                    f"stc-{k}t",
+                    k,
+                    f_iso,
+                    node,
+                    curve,
+                    n_instances,
+                    reference_time,
+                    temperature,
+                    iso_performance=ntc_perf,
+                    feasible=feasible,
+                )
+            )
+    return points
+
+
+def _evaluate(
+    app: AppProfile,
+    scheme: str,
+    threads: int,
+    frequency: float,
+    node: TechNode,
+    curve: VFCurve,
+    n_instances: int,
+    reference_time: float,
+    temperature: float,
+    iso_performance: float,
+    feasible: bool,
+) -> IsoPerformancePoint:
+    voltage = curve.voltage(frequency)
+    per_core = app.core_power(node, threads, frequency, temperature=temperature)
+    total_power = n_instances * threads * per_core
+    perf = n_instances * app.instance_performance(threads, frequency)
+    # The work unit is reference_time seconds at ISO (= NTC) performance.
+    # A feasible scheme matches ISO performance and finishes in exactly
+    # reference_time; a capped scheme takes proportionally longer.
+    time = reference_time * iso_performance / perf
+    energy_kj = total_power * time / 1e3
+    return IsoPerformancePoint(
+        app=app.name,
+        scheme=scheme,
+        threads=threads,
+        frequency=frequency,
+        voltage=voltage,
+        region=curve.region(voltage),
+        gips=to_gips(perf),
+        total_power=total_power,
+        energy_kj=energy_kj,
+        feasible=feasible,
+    )

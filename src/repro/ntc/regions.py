@@ -1,0 +1,37 @@
+"""Operating-region classification for a technology node (Figure 2).
+
+Thin convenience layer over :class:`repro.power.vf_curve.VFCurve`: given a
+node and a voltage or frequency, report whether the operating point falls
+in the NTC, STC or boosting region, and expose the region boundaries for
+plotting/validation.
+"""
+
+from __future__ import annotations
+
+from repro.power.vf_curve import Region, VFCurve
+from repro.tech.node import TechNode
+
+
+def classify_voltage(node: TechNode, vdd: float) -> Region:
+    """Region of supply voltage ``vdd`` (V) at ``node``."""
+    return VFCurve.for_node(node).region(vdd)
+
+
+def classify_frequency(node: TechNode, frequency: float) -> Region:
+    """Region of ``frequency`` (Hz) at its minimum stable voltage."""
+    return VFCurve.for_node(node).region_of_frequency(frequency)
+
+
+def region_bounds(node: TechNode) -> dict[str, tuple[float, float]]:
+    """Voltage intervals of the three regions at ``node``.
+
+    Returns:
+        ``{"ntc": (vth, ntc_upper), "stc": (ntc_upper, v_nominal),
+        "boost": (v_nominal, v_limit)}`` in volts.
+    """
+    curve = VFCurve.for_node(node)
+    return {
+        "ntc": (curve.vth, curve.ntc_upper),
+        "stc": (curve.ntc_upper, curve.v_nominal),
+        "boost": (curve.v_nominal, curve.v_limit),
+    }

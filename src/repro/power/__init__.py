@@ -1,0 +1,39 @@
+"""Power modelling: Eq. (1), Eq. (2), leakage, TDP budgets, calibration.
+
+The paper's power methodology (Section 2.2):
+
+* Eq. (2) relates frequency and the minimum stable supply voltage,
+  ``f = k (Vdd - Vth)^2 / Vdd`` — implemented by
+  :class:`repro.power.vf_curve.VFCurve` (Figure 2).
+* Eq. (1) is the per-core power,
+  ``P = alpha * Ceff * Vdd^2 * f + Vdd * Ileak(Vdd, T) + Pind`` —
+  implemented by :class:`repro.power.model.CorePowerModel` (Figure 3).
+* Two TDP definitions from Section 3.1 (the "optimistic" 220 W and the
+  "pessimistic" 185 W) — :mod:`repro.power.budget`.
+* Least-squares recovery of Eq. (1) coefficients from sampled (f, P)
+  points — :mod:`repro.power.calibration`.
+"""
+
+from repro.power.vf_curve import VFCurve, Region
+from repro.power.leakage import LeakageModel
+from repro.power.model import CorePowerModel
+from repro.power.budget import (
+    tdp_all_cores_at_threshold,
+    tdp_half_cores_max_vf,
+    PAPER_TDP_OPTIMISTIC,
+    PAPER_TDP_PESSIMISTIC,
+)
+from repro.power.calibration import fit_power_model, CalibrationResult
+
+__all__ = [
+    "VFCurve",
+    "Region",
+    "LeakageModel",
+    "CorePowerModel",
+    "tdp_all_cores_at_threshold",
+    "tdp_half_cores_max_vf",
+    "PAPER_TDP_OPTIMISTIC",
+    "PAPER_TDP_PESSIMISTIC",
+    "fit_power_model",
+    "CalibrationResult",
+]

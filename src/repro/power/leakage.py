@@ -1,0 +1,100 @@
+"""Voltage- and temperature-dependent leakage current, ``Ileak(Vdd, T)``.
+
+Eq. (1) of the paper leaves the leakage functional form open ("the leakage
+current depends on the supply voltage and the core's temperature").  We use
+the standard compact approximation employed by thermal-management work in
+this area (e.g. the TSP paper's evaluation): an exponential sensitivity to
+both voltage and temperature around a reference operating point,
+
+    Ileak(V, T) = I0 * (V / Vref) * exp(kv * (V - Vref)) * exp(kt * (T - Tref))
+
+* ``I0`` is the leakage current at the reference point (per application
+  profile, dominated by the core's device count — see
+  :mod:`repro.apps.parsec`).
+* ``kv`` captures DIBL: leakage grows roughly exponentially with Vdd.
+* ``kt`` captures the subthreshold temperature dependence; the default
+  0.014 / K doubles leakage about every 50 K, a common rule of thumb for
+  planar/FinFET nodes in this regime.
+
+Node scaling (Figure 1): per-core leakage current scales with the
+capacitance factor (device count per core is constant while device
+dimensions shrink together with Ceff), the reference voltage with the
+voltage factor, and the voltage sensitivity inversely with the voltage
+factor so the curve shape is preserved under the rail rescaling.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.tech.node import TechNode
+
+#: Default voltage sensitivity at 22 nm, 1/V.
+KV_22NM = 1.5
+
+#: Default temperature sensitivity, 1/K (doubles every ~50 K).
+KT_DEFAULT = 0.014
+
+#: Reference voltage at 22 nm, V (the nominal 1.0 V rail).
+VREF_22NM = 1.0
+
+#: Reference temperature, degC (the paper's DTM threshold).
+TREF_DEFAULT = 80.0
+
+
+@dataclass(frozen=True)
+class LeakageModel:
+    """Compact ``Ileak(V, T)`` model for one application on one node.
+
+    Attributes:
+        i0: leakage current at (vref, tref), in A.
+        vref: reference voltage, in V.
+        tref: reference temperature, in degC.
+        kv: voltage sensitivity, in 1/V.
+        kt: temperature sensitivity, in 1/K.
+    """
+
+    i0: float
+    vref: float = VREF_22NM
+    tref: float = TREF_DEFAULT
+    kv: float = KV_22NM
+    kt: float = KT_DEFAULT
+
+    def __post_init__(self) -> None:
+        if self.i0 < 0:
+            raise ConfigurationError(f"i0 must be non-negative, got {self.i0}")
+        if self.vref <= 0:
+            raise ConfigurationError(f"vref must be positive, got {self.vref}")
+        if self.kv < 0 or self.kt < 0:
+            raise ConfigurationError(
+                f"sensitivities must be non-negative, got kv={self.kv}, kt={self.kt}"
+            )
+
+    def current(self, vdd: float, temperature: float) -> float:
+        """Leakage current in A at supply ``vdd`` (V), ``temperature`` (degC)."""
+        if vdd <= 0:
+            return 0.0
+        return (
+            self.i0
+            * (vdd / self.vref)
+            * math.exp(self.kv * (vdd - self.vref))
+            * math.exp(self.kt * (temperature - self.tref))
+        )
+
+    def power(self, vdd: float, temperature: float) -> float:
+        """Leakage power ``Vdd * Ileak(Vdd, T)`` in W."""
+        return vdd * self.current(vdd, temperature)
+
+    def scaled_to(self, node: TechNode) -> "LeakageModel":
+        """Return this (22 nm) model scaled to ``node`` per Figure 1."""
+        s_v = node.factors.vdd
+        s_c = node.factors.capacitance
+        return LeakageModel(
+            i0=self.i0 * s_c,
+            vref=self.vref * s_v,
+            tref=self.tref,
+            kv=self.kv / s_v,
+            kt=self.kt,
+        )

@@ -1,0 +1,166 @@
+"""Frequency/voltage relation — Eq. (2) of the paper and Figure 2.
+
+The paper uses the alpha-power-law-style relation
+
+    f = k * (Vdd - Vth)^2 / Vdd                                   (Eq. 2)
+
+with ``k = 3.7`` (GHz * V units) and ``Vth = 178 mV`` at 22 nm, fitted
+from Grenat et al. (ISSCC 2014) and used by Pinckney et al. (DAC 2012)
+for NTC analysis.  For a given voltage it yields the maximum stable
+frequency; conversely, running a target frequency at any voltage above
+the curve's inverse wastes power, so the library always pairs a frequency
+with its *minimum* voltage.
+
+Scaling to another node applies Figure 1's voltage and frequency factors
+``s_v`` / ``s_f`` to the whole curve: ``f_node(V) = s_f * f_22(V / s_v)``,
+which is again an Eq. (2) curve with ``k_node = k_22 * s_f / s_v`` and
+``Vth_node = Vth_22 * s_v``.
+
+Figure 2 splits the voltage axis into three regions: NTC (near the
+threshold voltage), STC (the traditional DVFS range), and the boosting
+region above the nominal maximum.  :meth:`VFCurve.region` reproduces that
+classification.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError, InfeasibleError
+from repro.tech.node import TechNode
+from repro.units import GIGA
+
+#: Eq. (2) fitting factor at 22 nm, in Hz * V (3.7 with f in GHz).
+K_22NM = 3.7 * GIGA
+
+#: Threshold voltage at 22 nm, in volts.
+VTH_22NM = 0.178
+
+#: Upper edge of the near-threshold region at 22 nm (Figure 2), in volts.
+NTC_UPPER_22NM = 0.55
+
+#: Highest plotted/considered voltage at 22 nm (Figure 2 x-axis), in volts.
+V_LIMIT_22NM = 1.5
+
+
+class Region(enum.Enum):
+    """Operating region of a (V, f) point per Figure 2."""
+
+    NTC = "ntc"
+    STC = "stc"
+    BOOST = "boost"
+
+
+@dataclass(frozen=True)
+class VFCurve:
+    """Eq. (2) for one technology node.
+
+    Attributes:
+        k: fitting factor in Hz * V.
+        vth: threshold voltage in V.
+        ntc_upper: upper voltage bound of the NTC region in V.
+        v_limit: maximum modelled supply voltage in V.
+        f_nominal: nominal maximum sustained frequency in Hz; voltages
+            whose curve frequency exceeds it are classified as boosting.
+    """
+
+    k: float = K_22NM
+    vth: float = VTH_22NM
+    ntc_upper: float = NTC_UPPER_22NM
+    v_limit: float = V_LIMIT_22NM
+    f_nominal: float = 2.8 * GIGA
+
+    def __post_init__(self) -> None:
+        if self.k <= 0:
+            raise ConfigurationError(f"k must be positive, got {self.k}")
+        if not 0 < self.vth < self.ntc_upper <= self.v_limit:
+            raise ConfigurationError(
+                "need 0 < vth < ntc_upper <= v_limit, got "
+                f"vth={self.vth}, ntc_upper={self.ntc_upper}, v_limit={self.v_limit}"
+            )
+        if self.f_nominal <= 0:
+            raise ConfigurationError(f"f_nominal must be positive, got {self.f_nominal}")
+
+    @classmethod
+    def for_node(cls, node: TechNode) -> "VFCurve":
+        """Build the node's curve by scaling the 22 nm curve per Figure 1."""
+        s_v = node.factors.vdd
+        s_f = node.factors.frequency
+        return cls(
+            k=K_22NM * s_f / s_v,
+            vth=VTH_22NM * s_v,
+            ntc_upper=NTC_UPPER_22NM * s_v,
+            v_limit=V_LIMIT_22NM * s_v,
+            f_nominal=node.f_max,
+        )
+
+    def frequency(self, vdd: float) -> float:
+        """Maximum stable frequency (Hz) at supply ``vdd`` (V).
+
+        Returns 0 for voltages at or below the threshold voltage.
+        """
+        if vdd <= self.vth:
+            return 0.0
+        return self.k * (vdd - self.vth) ** 2 / vdd
+
+    def voltage(self, frequency: float) -> float:
+        """Minimum supply voltage (V) sustaining ``frequency`` (Hz).
+
+        Inverts Eq. (2): the quadratic ``k V^2 - (2 k Vth + f) V +
+        k Vth^2 = 0`` has two positive roots straddling ``Vth`` whose
+        product is ``Vth^2``; the physical solution is the larger one.
+
+        Raises:
+            InfeasibleError: if the required voltage exceeds ``v_limit``
+                or ``frequency`` is negative.
+        """
+        if frequency < 0:
+            raise InfeasibleError(f"frequency must be non-negative, got {frequency}")
+        if frequency == 0:
+            return self.vth
+        b = 2.0 * self.k * self.vth + frequency
+        disc = b * b - 4.0 * self.k * self.k * self.vth * self.vth
+        vdd = (b + math.sqrt(disc)) / (2.0 * self.k)
+        if vdd > self.v_limit + 1e-12:
+            raise InfeasibleError(
+                f"frequency {frequency / GIGA:.3f} GHz needs {vdd:.3f} V, "
+                f"above the curve's {self.v_limit:.3f} V limit"
+            )
+        return vdd
+
+    @property
+    def f_limit(self) -> float:
+        """Highest frequency reachable within ``v_limit`` (Hz)."""
+        return self.frequency(self.v_limit)
+
+    @property
+    def v_nominal(self) -> float:
+        """Voltage of the nominal maximum frequency (V)."""
+        return self.voltage(self.f_nominal)
+
+    def region(self, vdd: float) -> Region:
+        """Classify a supply voltage per Figure 2's three regions."""
+        if vdd <= self.ntc_upper:
+            return Region.NTC
+        if vdd > self.v_nominal + 1e-12:
+            return Region.BOOST
+        return Region.STC
+
+    def region_of_frequency(self, frequency: float) -> Region:
+        """Classify a frequency via its minimum-voltage operating point."""
+        return self.region(self.voltage(frequency))
+
+    def sample(self, n: int = 100) -> list[tuple[float, float]]:
+        """``n`` evenly spaced (V, f) points from ``vth`` to ``v_limit``.
+
+        Used to regenerate Figure 2.
+        """
+        if n < 2:
+            raise ConfigurationError(f"need at least 2 sample points, got {n}")
+        step = (self.v_limit - self.vth) / (n - 1)
+        return [
+            (self.vth + i * step, self.frequency(self.vth + i * step))
+            for i in range(n)
+        ]

@@ -1,0 +1,74 @@
+"""Job-trace persistence: save and reload runtime job streams.
+
+A trace is a CSV with one job per row (`job_id, app, arrival, work,
+max_threads`), so experiments can pin down the exact stream they ran and
+external tools can author streams for the simulator.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Sequence
+
+from repro.apps.parsec import app_by_name
+from repro.errors import ConfigurationError
+from repro.runtime.jobs import Job
+
+_HEADER = ("job_id", "app", "arrival", "work", "max_threads")
+
+
+def jobs_to_csv(jobs: Sequence[Job], path: str | Path) -> Path:
+    """Write a job stream to CSV.
+
+    Returns:
+        The written path.
+    """
+    path = Path(path)
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(_HEADER)
+        for job in jobs:
+            writer.writerow(
+                (job.job_id, job.app.name, job.arrival, job.work, job.max_threads)
+            )
+    return path
+
+
+def jobs_from_csv(path: str | Path) -> list[Job]:
+    """Read a job stream written by :func:`jobs_to_csv`.
+
+    Application names are resolved against the PARSEC catalogue.
+
+    Raises:
+        ConfigurationError: on a malformed header or row.
+    """
+    path = Path(path)
+    with path.open(newline="") as handle:
+        reader = csv.reader(handle)
+        try:
+            header = tuple(next(reader))
+        except StopIteration:
+            raise ConfigurationError(f"{path} is empty") from None
+        if header != _HEADER:
+            raise ConfigurationError(
+                f"unexpected trace header {header!r}; expected {_HEADER!r}"
+            )
+        jobs: list[Job] = []
+        for line_no, row in enumerate(reader, start=2):
+            if len(row) != len(_HEADER):
+                raise ConfigurationError(
+                    f"{path}:{line_no}: expected {len(_HEADER)} fields, "
+                    f"got {len(row)}"
+                )
+            job_id, app_name, arrival, work, max_threads = row
+            jobs.append(
+                Job(
+                    job_id=int(job_id),
+                    app=app_by_name(app_name),
+                    arrival=float(arrival),
+                    work=float(work),
+                    max_threads=int(max_threads),
+                )
+            )
+    return jobs

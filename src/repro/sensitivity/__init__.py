@@ -1,0 +1,26 @@
+"""Calibration sensitivity: are the headline shapes robust?
+
+The PARSEC coefficient catalogue is calibrated to the paper's published
+anchors (docs/calibration.md), but any reproduction must ask how much of
+its conclusions depend on the exact constants.  This package perturbs
+the per-application Eq. (1) coefficients by a chosen factor and
+re-evaluates the paper's headline *shape* claims, so the statement
+"these conclusions survive +-10 % calibration error" is checkable code
+rather than an assertion.
+"""
+
+from repro.sensitivity.analysis import (
+    HeadlineShapes,
+    evaluate_headline_shapes,
+    perturbed_app,
+    perturbed_catalogue,
+    sensitivity_sweep,
+)
+
+__all__ = [
+    "HeadlineShapes",
+    "evaluate_headline_shapes",
+    "perturbed_app",
+    "perturbed_catalogue",
+    "sensitivity_sweep",
+]

@@ -1,0 +1,185 @@
+"""Perturb the calibration, re-check the paper's headline shapes.
+
+The shapes evaluated here are deliberately the cheap, central ones —
+the Figure 5/6/7/8 claims that drive the paper's Observations 1 and 2 —
+so a whole sensitivity sweep stays in benchmark-friendly time.  Each is
+a boolean; :func:`sensitivity_sweep` reports which survive each
+single-axis perturbation of the dynamic-capacitance, leakage and
+independent-power coefficients.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+from repro.apps.parsec import PARSEC, PARSEC_ORDER
+from repro.apps.profile import AppProfile
+from repro.chip import Chip
+from repro.core.constraints import PowerBudgetConstraint, TemperatureConstraint
+from repro.core.dark_silicon import (
+    best_homogeneous_configuration,
+    estimate_dark_silicon,
+)
+from repro.errors import ConfigurationError
+from repro.mapping.contiguous import ContiguousPlacer
+from repro.mapping.patterns import NeighbourhoodSpreadPlacer
+from repro.power.budget import PAPER_TDP_OPTIMISTIC, PAPER_TDP_PESSIMISTIC
+
+
+def perturbed_app(
+    app: AppProfile,
+    ceff_scale: float = 1.0,
+    pind_scale: float = 1.0,
+    i0_scale: float = 1.0,
+) -> AppProfile:
+    """A copy of ``app`` with scaled 22 nm Eq. (1) coefficients."""
+    for name, scale in (
+        ("ceff_scale", ceff_scale),
+        ("pind_scale", pind_scale),
+        ("i0_scale", i0_scale),
+    ):
+        if scale <= 0:
+            raise ConfigurationError(f"{name} must be positive, got {scale}")
+    return dataclasses.replace(
+        app,
+        ceff_22nm=app.ceff_22nm * ceff_scale,
+        pind_22nm=app.pind_22nm * pind_scale,
+        i0_22nm=app.i0_22nm * i0_scale,
+    )
+
+
+def perturbed_catalogue(
+    ceff_scale: float = 1.0,
+    pind_scale: float = 1.0,
+    i0_scale: float = 1.0,
+) -> dict[str, AppProfile]:
+    """The whole PARSEC catalogue, uniformly perturbed."""
+    return {
+        name: perturbed_app(app, ceff_scale, pind_scale, i0_scale)
+        for name, app in PARSEC.items()
+    }
+
+
+@dataclass(frozen=True)
+class HeadlineShapes:
+    """Truth values of the cheap headline claims under one calibration.
+
+    Attributes:
+        pessimistic_darker_than_optimistic: Figure 5's panel ordering —
+            185 W leaves at least as much silicon dark as 220 W for the
+            hungriest app.
+        some_dark_silicon_at_max_vf: at least one app leaves >20 % dark
+            at maximum v/f under the pessimistic TDP.
+        temperature_never_worse: Figure 6's direction for every app.
+        dvfs_never_loses: Figure 7's direction for every app.
+        patterning_helps: Figure 8's direction — the spread placer
+            activates at least as many cores as the contiguous one under
+            the temperature constraint.
+    """
+
+    pessimistic_darker_than_optimistic: bool
+    some_dark_silicon_at_max_vf: bool
+    temperature_never_worse: bool
+    dvfs_never_loses: bool
+    patterning_helps: bool
+
+    @property
+    def all_hold(self) -> bool:
+        """Every headline shape survived."""
+        return all(
+            (
+                self.pessimistic_darker_than_optimistic,
+                self.some_dark_silicon_at_max_vf,
+                self.temperature_never_worse,
+                self.dvfs_never_loses,
+                self.patterning_helps,
+            )
+        )
+
+
+def evaluate_headline_shapes(
+    chip: Chip,
+    catalogue: Mapping[str, AppProfile],
+    app_names: Sequence[str] = PARSEC_ORDER,
+) -> HeadlineShapes:
+    """Evaluate the headline claims for one (possibly perturbed) catalogue."""
+    spread = NeighbourhoodSpreadPlacer()
+    f_max = chip.node.f_max
+    cap = chip.n_cores // 8
+
+    hungriest = max(
+        (catalogue[n] for n in app_names),
+        key=lambda a: a.core_power(chip.node, 8, f_max, temperature=chip.t_dtm),
+    )
+    opt = estimate_dark_silicon(
+        chip, hungriest, f_max, PowerBudgetConstraint(PAPER_TDP_OPTIMISTIC),
+        placer=spread,
+    )
+    pess = estimate_dark_silicon(
+        chip, hungriest, f_max, PowerBudgetConstraint(PAPER_TDP_PESSIMISTIC),
+        placer=spread,
+    )
+
+    temperature_never_worse = True
+    dvfs_never_loses = True
+    any_deep_dark = pess.dark_fraction > 0.20
+    for name in app_names:
+        app = catalogue[name]
+        under_tdp = estimate_dark_silicon(
+            chip, app, f_max, PowerBudgetConstraint(PAPER_TDP_PESSIMISTIC),
+            placer=spread,
+        )
+        under_temp = estimate_dark_silicon(
+            chip, app, f_max, TemperatureConstraint(), placer=spread
+        )
+        if under_temp.dark_fraction > under_tdp.dark_fraction + 1e-9:
+            temperature_never_worse = False
+        best = best_homogeneous_configuration(
+            chip, app, PAPER_TDP_PESSIMISTIC, max_instances=cap
+        )
+        if best.gips < under_tdp.gips - 1e-9:
+            dvfs_never_loses = False
+
+    contiguous = estimate_dark_silicon(
+        chip, hungriest, f_max, TemperatureConstraint(), placer=ContiguousPlacer()
+    )
+    patterned = estimate_dark_silicon(
+        chip, hungriest, f_max, TemperatureConstraint(), placer=spread
+    )
+
+    return HeadlineShapes(
+        pessimistic_darker_than_optimistic=(
+            pess.dark_fraction >= opt.dark_fraction - 1e-9
+        ),
+        some_dark_silicon_at_max_vf=any_deep_dark,
+        temperature_never_worse=temperature_never_worse,
+        dvfs_never_loses=dvfs_never_loses,
+        patterning_helps=patterned.active_cores >= contiguous.active_cores,
+    )
+
+
+def sensitivity_sweep(
+    chip: Chip,
+    scales: Sequence[float] = (0.9, 1.1),
+    app_names: Sequence[str] = PARSEC_ORDER,
+) -> dict[tuple[str, float], HeadlineShapes]:
+    """Single-axis perturbation sweep.
+
+    Each of the three coefficient axes (``ceff``, ``pind``, ``i0``) is
+    scaled by each factor in ``scales`` while the other axes stay
+    nominal.
+
+    Returns:
+        ``{(axis, scale): HeadlineShapes}``.
+    """
+    out: dict[tuple[str, float], HeadlineShapes] = {}
+    for axis in ("ceff", "pind", "i0"):
+        for scale in scales:
+            kwargs = {f"{axis}_scale": scale}
+            catalogue = perturbed_catalogue(**kwargs)
+            out[(axis, scale)] = evaluate_headline_shapes(
+                chip, catalogue, app_names=app_names
+            )
+    return out

@@ -1,0 +1,45 @@
+"""Technology nodes and ITRS-style scaling (paper Figure 1).
+
+The paper measures everything at 22 nm (gem5 + McPAT) and projects to
+16/11/8 nm using the scaling-factor table reproduced in
+:mod:`repro.tech.itrs`.  :class:`repro.tech.node.TechNode` bundles one
+node's factors together with its nominal operating point, and
+:mod:`repro.tech.library` provides the four canonical nodes plus the chip
+configurations evaluated in the paper (100 / 198 / 361 cores).
+"""
+
+from repro.tech.node import TechNode
+from repro.tech.itrs import (
+    SCALING_FACTORS,
+    ScalingFactors,
+    scale_between,
+    scaling_from_22nm,
+)
+from repro.tech.library import (
+    NODE_22NM,
+    NODE_16NM,
+    NODE_11NM,
+    NODE_8NM,
+    ALL_NODES,
+    EVALUATED_NODES,
+    node_by_name,
+    chip_core_count,
+    chip_grid,
+)
+
+__all__ = [
+    "TechNode",
+    "ScalingFactors",
+    "SCALING_FACTORS",
+    "scale_between",
+    "scaling_from_22nm",
+    "NODE_22NM",
+    "NODE_16NM",
+    "NODE_11NM",
+    "NODE_8NM",
+    "ALL_NODES",
+    "EVALUATED_NODES",
+    "node_by_name",
+    "chip_core_count",
+    "chip_grid",
+]

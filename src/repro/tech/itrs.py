@@ -1,0 +1,95 @@
+"""ITRS / Intel scaling factors from the paper's Figure 1.
+
+The table gives, for each technology node, the multiplicative factor
+*relative to 22 nm* for supply voltage, maximum frequency, switching
+capacitance, and area:
+
+==========  =====  ==========  ============  =====
+technology  Vdd    frequency   capacitance   area
+==========  =====  ==========  ============  =====
+22 nm       1.00   1.00        1.00          1.00
+16 nm       0.89   1.35        0.64          0.53
+11 nm       0.81   1.75        0.39          0.28
+8 nm        0.74   2.30        0.24          0.15
+==========  =====  ==========  ============  =====
+
+The paper derives them from the ITRS roadmap [9] and Intel's "Advancing
+Moore's Law in 2014" [10]; the area column is the per-node 53 % shrink
+compounded.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class ScalingFactors:
+    """Multiplicative factors of one node relative to the 22 nm baseline.
+
+    Attributes:
+        vdd: supply-voltage factor (dimensionless, <= 1 for newer nodes).
+        frequency: maximum-frequency factor (>= 1 for newer nodes).
+        capacitance: effective switching-capacitance factor.
+        area: core-area factor.
+    """
+
+    vdd: float
+    frequency: float
+    capacitance: float
+    area: float
+
+    def __post_init__(self) -> None:
+        for field in ("vdd", "frequency", "capacitance", "area"):
+            value = getattr(self, field)
+            if value <= 0.0:
+                raise ConfigurationError(
+                    f"scaling factor {field!r} must be positive, got {value}"
+                )
+
+    def relative_to(self, base: "ScalingFactors") -> "ScalingFactors":
+        """Return the factors of this node relative to ``base``.
+
+        Both operands must be expressed relative to the same reference
+        (22 nm in this library).  ``SCALING_FACTORS['8nm'].relative_to(
+        SCALING_FACTORS['16nm'])`` gives the 16 nm -> 8 nm step factors.
+        """
+        return ScalingFactors(
+            vdd=self.vdd / base.vdd,
+            frequency=self.frequency / base.frequency,
+            capacitance=self.capacitance / base.capacitance,
+            area=self.area / base.area,
+        )
+
+
+#: The Figure 1 table, keyed by node name.
+SCALING_FACTORS: dict[str, ScalingFactors] = {
+    "22nm": ScalingFactors(vdd=1.00, frequency=1.00, capacitance=1.00, area=1.00),
+    "16nm": ScalingFactors(vdd=0.89, frequency=1.35, capacitance=0.64, area=0.53),
+    "11nm": ScalingFactors(vdd=0.81, frequency=1.75, capacitance=0.39, area=0.28),
+    "8nm": ScalingFactors(vdd=0.74, frequency=2.30, capacitance=0.24, area=0.15),
+}
+
+
+def scaling_from_22nm(node_name: str) -> ScalingFactors:
+    """Look up the Figure 1 factors for ``node_name`` (e.g. ``"16nm"``)."""
+    try:
+        return SCALING_FACTORS[node_name]
+    except KeyError:
+        known = ", ".join(sorted(SCALING_FACTORS))
+        raise ConfigurationError(
+            f"unknown technology node {node_name!r}; known nodes: {known}"
+        ) from None
+
+
+def scale_between(source: str, target: str) -> ScalingFactors:
+    """Factors that take quantities from node ``source`` to node ``target``.
+
+    Example:
+        >>> f = scale_between("22nm", "16nm")
+        >>> round(f.area, 2)
+        0.53
+    """
+    return scaling_from_22nm(target).relative_to(scaling_from_22nm(source))

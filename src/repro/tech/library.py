@@ -1,0 +1,88 @@
+"""The four canonical technology nodes and the paper's chip configurations.
+
+Core areas come from Section 2.1 (9.6 mm^2 at 22 nm, shrunk by the 53 %
+area step to 5.1 / 2.7 / 1.4 mm^2), nominal frequencies from Section 3
+(3.6 / 4.0 / 4.4 GHz).  The chips evaluated in the paper hold 100, 198 and
+361 cores at 16, 11 and 8 nm respectively — roughly constant ~510 mm^2 of
+core silicon per chip.  22 nm is the calibration node only; we give it a
+7x7 = 49-core chip of the same silicon budget for completeness.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+from repro.tech.itrs import SCALING_FACTORS
+from repro.tech.node import TechNode
+from repro.units import GIGA, mm2
+
+NODE_22NM = TechNode(
+    name="22nm",
+    feature_nm=22.0,
+    factors=SCALING_FACTORS["22nm"],
+    core_area=mm2(9.6),
+    f_max=2.8 * GIGA,
+)
+
+NODE_16NM = TechNode(
+    name="16nm",
+    feature_nm=16.0,
+    factors=SCALING_FACTORS["16nm"],
+    core_area=mm2(5.1),
+    f_max=3.6 * GIGA,
+)
+
+NODE_11NM = TechNode(
+    name="11nm",
+    feature_nm=11.0,
+    factors=SCALING_FACTORS["11nm"],
+    core_area=mm2(2.7),
+    f_max=4.0 * GIGA,
+)
+
+NODE_8NM = TechNode(
+    name="8nm",
+    feature_nm=8.0,
+    factors=SCALING_FACTORS["8nm"],
+    core_area=mm2(1.4),
+    f_max=4.4 * GIGA,
+)
+
+#: All four nodes, oldest first.
+ALL_NODES: tuple[TechNode, ...] = (NODE_22NM, NODE_16NM, NODE_11NM, NODE_8NM)
+
+#: The nodes the paper's evaluation actually sweeps (22 nm is calibration).
+EVALUATED_NODES: tuple[TechNode, ...] = (NODE_16NM, NODE_11NM, NODE_8NM)
+
+_BY_NAME = {node.name: node for node in ALL_NODES}
+
+#: Cores per chip at each node (paper Section 2.1: 100 / 198 / 361).
+_CHIP_CORES = {"22nm": 49, "16nm": 100, "11nm": 198, "8nm": 361}
+
+#: Grid layout (rows, cols) realising each chip's core count.
+_CHIP_GRIDS = {
+    "22nm": (7, 7),
+    "16nm": (10, 10),
+    "11nm": (11, 18),
+    "8nm": (19, 19),
+}
+
+
+def node_by_name(name: str) -> TechNode:
+    """Look up a canonical node by name (``"22nm"``/``"16nm"``/...)."""
+    try:
+        return _BY_NAME[name]
+    except KeyError:
+        known = ", ".join(sorted(_BY_NAME))
+        raise ConfigurationError(
+            f"unknown technology node {name!r}; known nodes: {known}"
+        ) from None
+
+
+def chip_core_count(node: TechNode) -> int:
+    """Number of cores on the paper's chip at ``node``."""
+    return _CHIP_CORES[node.name]
+
+
+def chip_grid(node: TechNode) -> tuple[int, int]:
+    """Grid layout ``(rows, cols)`` of the paper's chip at ``node``."""
+    return _CHIP_GRIDS[node.name]

@@ -1,0 +1,81 @@
+"""Technology-node description.
+
+A :class:`TechNode` bundles everything the rest of the library needs to
+know about one fabrication node: its Figure 1 scaling factors relative to
+22 nm, the per-core silicon area, and the nominal (maximum sustained)
+frequency the paper assumes for that node.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.tech.itrs import ScalingFactors
+from repro.units import GIGA
+
+
+@dataclass(frozen=True)
+class TechNode:
+    """One technology node (e.g. 16 nm) and its paper-given parameters.
+
+    Attributes:
+        name: canonical name, e.g. ``"16nm"``.
+        feature_nm: feature size in nanometres (22, 16, 11 or 8).
+        factors: Figure 1 scaling factors relative to 22 nm.
+        core_area: area of one Alpha 21264 core at this node, in m^2.
+            The paper reports 9.6 / 5.1 / 2.7 / 1.4 mm^2 for
+            22 / 16 / 11 / 8 nm.
+        f_max: nominal maximum sustained frequency in Hz (paper Section 3:
+            3.6 GHz at 16 nm, 4.0 GHz at 11 nm, 4.4 GHz at 8 nm).
+        f_min: lowest DVFS frequency offered by this node, in Hz.
+        dvfs_step: frequency granularity of the DVFS ladder and of the
+            boosting controller, in Hz (200 MHz throughout the paper).
+    """
+
+    name: str
+    feature_nm: float
+    factors: ScalingFactors
+    core_area: float
+    f_max: float
+    f_min: float = 0.2 * GIGA
+    dvfs_step: float = 0.2 * GIGA
+
+    def __post_init__(self) -> None:
+        if self.feature_nm <= 0:
+            raise ConfigurationError(f"feature_nm must be positive, got {self.feature_nm}")
+        if self.core_area <= 0:
+            raise ConfigurationError(f"core_area must be positive, got {self.core_area}")
+        if not 0 < self.f_min <= self.f_max:
+            raise ConfigurationError(
+                f"need 0 < f_min <= f_max, got f_min={self.f_min}, f_max={self.f_max}"
+            )
+        if self.dvfs_step <= 0:
+            raise ConfigurationError(f"dvfs_step must be positive, got {self.dvfs_step}")
+
+    @property
+    def vdd_nominal(self) -> float:
+        """Nominal supply voltage: the 22 nm 1.0 V rail scaled by Figure 1."""
+        return 1.0 * self.factors.vdd
+
+    def frequency_ladder(self) -> list[float]:
+        """Available DVFS frequencies, ascending, in Hz.
+
+        The ladder runs from ``f_min`` up to ``f_max`` in ``dvfs_step``
+        increments and always contains ``f_max`` itself even when the span
+        is not an exact multiple of the step.
+        """
+        levels: list[float] = []
+        f = self.f_min
+        # Tolerance avoids float accumulation dropping the top level.
+        while f < self.f_max - 1e-3:
+            levels.append(f)
+            f += self.dvfs_step
+        levels.append(self.f_max)
+        return levels
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"TechNode({self.name}: core {self.core_area * 1e6:.1f} mm^2, "
+            f"f_max {self.f_max / GIGA:.1f} GHz, Vdd {self.vdd_nominal:.2f} V)"
+        )

@@ -1,0 +1,51 @@
+"""Convenience analyses over steady-state thermal solutions.
+
+Small helpers shared by the dark-silicon estimator, the mapping policies
+and the Figure 8 thermal-map reproduction.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.thermal.model import ThermalModel
+
+
+def peak_core_temperature(
+    model: ThermalModel, core_powers: Sequence[float]
+) -> float:
+    """Steady-state peak core temperature (degC) for per-core powers."""
+    return float(np.max(model.core_steady_state(core_powers)))
+
+
+def thermal_headroom(
+    model: ThermalModel, core_powers: Sequence[float], t_dtm: float | None = None
+) -> float:
+    """Kelvin between the hottest core and the DTM threshold.
+
+    Positive values mean the chip is thermally safe; negative values
+    quantify the violation.
+    """
+    threshold = model.config.t_dtm if t_dtm is None else t_dtm
+    return threshold - peak_core_temperature(model, core_powers)
+
+
+def temperature_map(
+    model: ThermalModel, core_powers: Sequence[float], rows: int, cols: int
+) -> np.ndarray:
+    """Core temperatures arranged as the floorplan's ``rows x cols`` grid.
+
+    Assumes the floorplan was produced by
+    :func:`repro.floorplan.generator.grid_floorplan` (row-major core
+    order), which is how all the paper's chips are built.  Used to render
+    Figure 8's thermal-profile comparison.
+    """
+    if rows * cols != model.n_cores:
+        raise ConfigurationError(
+            f"{rows}x{cols} grid does not match {model.n_cores} cores"
+        )
+    temps = model.core_steady_state(core_powers)
+    return temps.reshape(rows, cols)

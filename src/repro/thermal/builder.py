@@ -1,0 +1,284 @@
+"""Floorplan -> RC network construction (HotSpot block-model equivalent).
+
+The package stack is modelled with one RC node per core per layer plus
+peripheral ring nodes for the parts of the spreader and sink that extend
+beyond the die:
+
+* ``si_<i>``   — silicon block of core ``i`` (power input);
+* ``tim_<i>``  — interface material under core ``i``;
+* ``spr_<i>``  — heat-spreader column under core ``i``;
+* ``snk_<i>``  — heat-sink column under core ``i`` (convects to ambient);
+* ``spr_ring_{n,s,e,w}`` — spreader periphery beyond the die;
+* ``snk_ring_in_{n,s,e,w}`` — sink region above the spreader periphery;
+* ``snk_ring_out_{n,s,e,w}`` — sink region beyond the spreader extent.
+
+Conductances follow the standard compact-model formulas: vertical
+resistance between stacked blocks is the series sum of the two half
+thicknesses over the shared area, ``R = t1/(2 k1 A) + t2/(2 k2 A)``;
+lateral resistance between abutting blocks of one layer is the
+centre-to-centre distance over conductivity times the shared cross
+section, ``R = d / (k t L)``.  The convection resistance (0.1 K/W for the
+whole sink) and convection capacitance (140.4 J/K) are distributed over
+the sink nodes in proportion to their area, so their parallel/parallel
+combination recovers the configured totals exactly.
+
+The die is centred on the spreader, the spreader on the sink — the
+paper's (and HotSpot's) default packaging.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.floorplan.floorplan import Floorplan
+from repro.thermal.config import PAPER_THERMAL_CONFIG, ThermalConfig
+from repro.thermal.model import ThermalModel
+from repro.thermal.rc_network import NodeSpec, RCNetwork
+
+#: Geometric tolerance (m) for "block edge lies on the die boundary".
+_EDGE_TOL = 1e-9
+
+_SIDES = ("n", "s", "e", "w")
+
+
+@dataclass(frozen=True)
+class _Ring:
+    """One peripheral ring segment of the spreader or sink.
+
+    Attributes:
+        side: ``"n"``/``"s"``/``"e"``/``"w"``.
+        area: segment area in m^2.
+        width: radial extent (distance from inner to outer edge), in m.
+        inner_length: length of the boundary shared with the inner
+            region, in m.
+    """
+
+    side: str
+    area: float
+    width: float
+    inner_length: float
+
+
+def _ring_segments(
+    inner_w: float, inner_h: float, outer_side: float
+) -> dict[str, _Ring]:
+    """Split the annulus between a centred inner_w x inner_h rectangle and
+    an outer_side x outer_side square into N/S/E/W segments.
+
+    N and S take the full outer width; E and W take the inner height —
+    the same partition HotSpot's package model uses.  Segments with
+    (near-)zero area are omitted.
+    """
+    rings: dict[str, _Ring] = {}
+    ns_width = 0.5 * (outer_side - inner_h)
+    ew_width = 0.5 * (outer_side - inner_w)
+    if ns_width > _EDGE_TOL:
+        for side in ("n", "s"):
+            rings[side] = _Ring(
+                side=side,
+                area=outer_side * ns_width,
+                width=ns_width,
+                inner_length=inner_w,
+            )
+    if ew_width > _EDGE_TOL:
+        for side in ("e", "w"):
+            rings[side] = _Ring(
+                side=side,
+                area=inner_h * ew_width,
+                width=ew_width,
+                inner_length=inner_h,
+            )
+    return rings
+
+
+def _boundary_cores(floorplan: Floorplan) -> dict[str, list[tuple[int, float, float]]]:
+    """Cores whose rectangle touches each die-bounding-box side.
+
+    Returns, per side, tuples ``(core_index, edge_length,
+    centre_to_boundary_distance)``.
+    """
+    x0 = min(b.rect.x for b in floorplan.blocks)
+    y0 = min(b.rect.y for b in floorplan.blocks)
+    x1 = max(b.rect.x2 for b in floorplan.blocks)
+    y1 = max(b.rect.y2 for b in floorplan.blocks)
+    out: dict[str, list[tuple[int, float, float]]] = {s: [] for s in _SIDES}
+    for i, block in enumerate(floorplan.blocks):
+        r = block.rect
+        cx, cy = r.center
+        if abs(r.y2 - y1) <= _EDGE_TOL:
+            out["n"].append((i, r.width, y1 - cy))
+        if abs(r.y - y0) <= _EDGE_TOL:
+            out["s"].append((i, r.width, cy - y0))
+        if abs(r.x2 - x1) <= _EDGE_TOL:
+            out["e"].append((i, r.height, x1 - cx))
+        if abs(r.x - x0) <= _EDGE_TOL:
+            out["w"].append((i, r.height, cx - x0))
+    return out
+
+
+def build_thermal_model(
+    floorplan: Floorplan, config: ThermalConfig = PAPER_THERMAL_CONFIG
+) -> ThermalModel:
+    """Assemble the RC model of ``floorplan`` inside ``config``'s package.
+
+    Raises:
+        ConfigurationError: if the die does not fit on the spreader.
+    """
+    die_w = floorplan.width
+    die_h = floorplan.height
+    if die_w > config.spreader_side + _EDGE_TOL or die_h > config.spreader_side + _EDGE_TOL:
+        raise ConfigurationError(
+            f"die ({die_w * 1e3:.1f} x {die_h * 1e3:.1f} mm) exceeds the "
+            f"heat spreader ({config.spreader_side * 1e3:.1f} mm square)"
+        )
+
+    net = RCNetwork()
+    n_cores = len(floorplan)
+    sink_area_total = config.sink_side**2
+
+    spr_rings = _ring_segments(die_w, die_h, config.spreader_side)
+    snk_in_rings = {
+        side: ring for side, ring in _ring_segments(die_w, die_h, config.spreader_side).items()
+    }
+    snk_out_rings = _ring_segments(
+        config.spreader_side, config.spreader_side, config.sink_side
+    )
+
+    k_si = config.silicon_conductivity
+    k_tim = config.tim_conductivity
+    k_m = config.metal_conductivity
+    t_die = config.die_thickness
+    t_tim = config.tim_thickness
+    t_spr = config.spreader_thickness
+    t_snk = config.sink_thickness
+
+    def sink_ambient_conductance(area: float) -> float:
+        """Conductance from a sink node to ambient: half the sink
+        thickness in series with this node's convection share."""
+        r_half = 0.5 * t_snk / (k_m * area)
+        r_conv = config.convection_resistance * sink_area_total / area
+        return 1.0 / (r_half + r_conv)
+
+    def sink_capacitance(area: float) -> float:
+        """Sink material capacitance plus this node's convection share."""
+        share = area / sink_area_total
+        return (
+            config.metal_specific_heat * area * t_snk
+            + config.convection_capacitance * share
+        )
+
+    # --- nodes: per-core columns ------------------------------------
+    for i, block in enumerate(floorplan.blocks):
+        area = block.rect.area
+        net.add_node(
+            NodeSpec(f"si_{i}", config.silicon_specific_heat * area * t_die)
+        )
+        net.add_node(NodeSpec(f"tim_{i}", config.tim_specific_heat * area * t_tim))
+        net.add_node(NodeSpec(f"spr_{i}", config.metal_specific_heat * area * t_spr))
+        net.add_node(
+            NodeSpec(
+                f"snk_{i}",
+                sink_capacitance(area),
+                ambient_conductance=sink_ambient_conductance(area),
+            )
+        )
+
+    # --- nodes: peripheral rings ------------------------------------
+    for side, ring in spr_rings.items():
+        net.add_node(
+            NodeSpec(
+                f"spr_ring_{side}",
+                config.metal_specific_heat * ring.area * t_spr,
+            )
+        )
+    for side, ring in snk_in_rings.items():
+        net.add_node(
+            NodeSpec(
+                f"snk_ring_in_{side}",
+                sink_capacitance(ring.area),
+                ambient_conductance=sink_ambient_conductance(ring.area),
+            )
+        )
+    for side, ring in snk_out_rings.items():
+        net.add_node(
+            NodeSpec(
+                f"snk_ring_out_{side}",
+                sink_capacitance(ring.area),
+                ambient_conductance=sink_ambient_conductance(ring.area),
+            )
+        )
+
+    # --- vertical conduction within each core column -----------------
+    for i, block in enumerate(floorplan.blocks):
+        area = block.rect.area
+        net.add_resistance(
+            f"si_{i}",
+            f"tim_{i}",
+            0.5 * t_die / (k_si * area) + 0.5 * t_tim / (k_tim * area),
+        )
+        net.add_resistance(
+            f"tim_{i}",
+            f"spr_{i}",
+            0.5 * t_tim / (k_tim * area) + 0.5 * t_spr / (k_m * area),
+        )
+        net.add_resistance(
+            f"spr_{i}",
+            f"snk_{i}",
+            0.5 * t_spr / (k_m * area) + 0.5 * t_snk / (k_m * area),
+        )
+
+    # --- lateral conduction between abutting core columns ------------
+    centers = floorplan.centers()
+    for i, j, shared in floorplan.adjacency():
+        dx = centers[i][0] - centers[j][0]
+        dy = centers[i][1] - centers[j][1]
+        dist = math.hypot(dx, dy)
+        for layer, k, t in (
+            ("si", k_si, t_die),
+            ("tim", k_tim, t_tim),
+            ("spr", k_m, t_spr),
+            ("snk", k_m, t_snk),
+        ):
+            net.add_resistance(
+                f"{layer}_{i}", f"{layer}_{j}", dist / (k * t * shared)
+            )
+
+    # --- boundary cores to spreader / sink rings ---------------------
+    boundary = _boundary_cores(floorplan)
+    for side in _SIDES:
+        spr_ring = spr_rings.get(side)
+        if spr_ring is None:
+            continue
+        for i, edge_len, to_boundary in boundary[side]:
+            dist = to_boundary + 0.5 * spr_ring.width
+            net.add_resistance(
+                f"spr_{i}", f"spr_ring_{side}", dist / (k_m * t_spr * edge_len)
+            )
+            net.add_resistance(
+                f"snk_{i}", f"snk_ring_in_{side}", dist / (k_m * t_snk * edge_len)
+            )
+
+    # --- ring stacking and ring-to-ring conduction -------------------
+    for side, ring in spr_rings.items():
+        net.add_resistance(
+            f"spr_ring_{side}",
+            f"snk_ring_in_{side}",
+            0.5 * t_spr / (k_m * ring.area) + 0.5 * t_snk / (k_m * ring.area),
+        )
+    for side, outer in snk_out_rings.items():
+        inner = snk_in_rings.get(side)
+        if inner is None:
+            continue
+        dist = 0.5 * inner.width + 0.5 * outer.width
+        # The boundary between inner and outer sink rings is the spreader
+        # edge on this side.
+        net.add_resistance(
+            f"snk_ring_in_{side}",
+            f"snk_ring_out_{side}",
+            dist / (k_m * t_snk * config.spreader_side),
+        )
+
+    core_nodes = [net.index_of(f"si_{i}") for i in range(n_cores)]
+    return ThermalModel(net, floorplan, config, core_nodes)

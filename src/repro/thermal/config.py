@@ -1,0 +1,99 @@
+"""Thermal package configuration — the paper's Section 2.1 HotSpot setup.
+
+Every default below is a value the paper states explicitly:
+
+* chip (die) thickness 0.15 mm, silicon conductivity 100 W/(m K),
+  silicon volumetric specific heat 1.75e6 J/(m^3 K);
+* interface material 20 um thick, conductivity 4 W/(m K), specific heat
+  4e6 J/(m^3 K);
+* heat spreader 3x3 cm, 1 mm thick; heat sink 6x6 cm, 6.9 mm thick;
+  both with conductivity 400 W/(m K) and specific heat 3.55e6 J/(m^3 K);
+* sink-to-air convection resistance 0.1 K/W and capacitance 140.4 J/K.
+
+The ambient temperature (45 degC) and the DTM threshold (80 degC, from
+the Intel Xeon 5100 datasheet the paper cites) are HotSpot's default and
+the paper's Section 3.1 choice respectively.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.units import MICRO, MILLI
+
+
+@dataclass(frozen=True)
+class ThermalConfig:
+    """Package stack geometry, materials and boundary conditions.
+
+    All lengths in m, conductivities in W/(m K), volumetric specific
+    heats in J/(m^3 K), resistances in K/W, capacitances in J/K,
+    temperatures in degC.
+    """
+
+    # Die (silicon) layer.
+    die_thickness: float = 0.15 * MILLI
+    silicon_conductivity: float = 100.0
+    silicon_specific_heat: float = 1.75e6
+
+    # Thermal interface material between die and spreader.
+    tim_thickness: float = 20.0 * MICRO
+    tim_conductivity: float = 4.0
+    tim_specific_heat: float = 4.0e6
+
+    # Copper heat spreader.
+    spreader_side: float = 30.0 * MILLI
+    spreader_thickness: float = 1.0 * MILLI
+
+    # Copper heat sink.
+    sink_side: float = 60.0 * MILLI
+    sink_thickness: float = 6.9 * MILLI
+
+    # Spreader and sink share material properties (paper Section 2.1).
+    metal_conductivity: float = 400.0
+    metal_specific_heat: float = 3.55e6
+
+    # Sink-to-ambient convection.
+    convection_resistance: float = 0.1
+    convection_capacitance: float = 140.4
+
+    # Boundary conditions.
+    ambient: float = 45.0
+    t_dtm: float = 80.0
+
+    def __post_init__(self) -> None:
+        positive = (
+            "die_thickness",
+            "silicon_conductivity",
+            "silicon_specific_heat",
+            "tim_thickness",
+            "tim_conductivity",
+            "tim_specific_heat",
+            "spreader_side",
+            "spreader_thickness",
+            "sink_side",
+            "sink_thickness",
+            "metal_conductivity",
+            "metal_specific_heat",
+            "convection_resistance",
+            "convection_capacitance",
+        )
+        for field in positive:
+            value = getattr(self, field)
+            if value <= 0:
+                raise ConfigurationError(f"{field} must be positive, got {value}")
+        if self.sink_side < self.spreader_side:
+            raise ConfigurationError(
+                f"heat sink ({self.sink_side} m) must be at least as wide as "
+                f"the spreader ({self.spreader_side} m)"
+            )
+        if self.t_dtm <= self.ambient:
+            raise ConfigurationError(
+                f"T_DTM ({self.t_dtm} degC) must exceed ambient "
+                f"({self.ambient} degC)"
+            )
+
+
+#: The exact configuration listed in the paper's Section 2.1.
+PAPER_THERMAL_CONFIG = ThermalConfig()

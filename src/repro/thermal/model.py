@@ -1,0 +1,162 @@
+"""The assembled thermal model of one chip/package.
+
+:class:`ThermalModel` freezes an :class:`repro.thermal.rc_network.RCNetwork`
+together with the floorplan it was built from and caches the two expensive
+artefacts every experiment reuses:
+
+* the sparse LU factorisation of the conductance matrix ``A`` (used by
+  both the steady-state solver and, indirectly, TSP);
+* the core-to-core **influence matrix** ``B``: row ``i``, column ``j`` is
+  the steady-state temperature rise of core ``i`` per watt injected at
+  core ``j``.  ``T_core = T_amb + B @ P_core`` for temperature-independent
+  power.  ``B`` is the object at the heart of the TSP computation
+  (Pagani et al., CODES+ISSS 2014).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+from scipy import sparse
+from scipy.sparse.linalg import splu
+
+from repro.errors import ConfigurationError
+from repro.floorplan.floorplan import Floorplan
+from repro.thermal.config import ThermalConfig
+from repro.thermal.rc_network import RCNetwork
+
+
+class ThermalModel:
+    """Frozen RC model of one chip, with cached factorisation.
+
+    Args:
+        network: the assembled, validated RC network.
+        floorplan: the die floorplan the silicon layer mirrors.
+        config: the package configuration used during assembly.
+        core_node_indices: network indices of the silicon (power-input)
+            nodes, in floorplan block order.
+    """
+
+    def __init__(
+        self,
+        network: RCNetwork,
+        floorplan: Floorplan,
+        config: ThermalConfig,
+        core_node_indices: Sequence[int],
+    ) -> None:
+        network.validate()
+        if len(core_node_indices) != len(floorplan):
+            raise ConfigurationError(
+                f"{len(core_node_indices)} core nodes for "
+                f"{len(floorplan)} floorplan blocks"
+            )
+        self._network = network
+        self._floorplan = floorplan
+        self._config = config
+        self._core_indices = np.asarray(core_node_indices, dtype=int)
+        self._matrix: sparse.csr_matrix = network.conductance_matrix()
+        self._capacitances = network.capacitances()
+        self._lu = None
+        self._influence: Optional[np.ndarray] = None
+
+    @property
+    def network(self) -> RCNetwork:
+        """The underlying RC network."""
+        return self._network
+
+    @property
+    def floorplan(self) -> Floorplan:
+        """The die floorplan."""
+        return self._floorplan
+
+    @property
+    def config(self) -> ThermalConfig:
+        """The package configuration."""
+        return self._config
+
+    @property
+    def n_cores(self) -> int:
+        """Number of cores (silicon power-input nodes)."""
+        return len(self._core_indices)
+
+    @property
+    def n_nodes(self) -> int:
+        """Total RC node count (all layers plus package)."""
+        return self._network.size
+
+    @property
+    def core_indices(self) -> np.ndarray:
+        """Network indices of the core silicon nodes."""
+        return self._core_indices
+
+    @property
+    def ambient(self) -> float:
+        """Ambient temperature, degC."""
+        return self._config.ambient
+
+    @property
+    def conductance_matrix(self) -> sparse.csr_matrix:
+        """``A = L + diag(g_amb)``, in W/K."""
+        return self._matrix
+
+    @property
+    def capacitances(self) -> np.ndarray:
+        """Per-node heat capacitances, in J/K."""
+        return self._capacitances
+
+    def _factorisation(self):
+        if self._lu is None:
+            self._lu = splu(sparse.csc_matrix(self._matrix))
+        return self._lu
+
+    def expand_core_powers(self, core_powers: Sequence[float]) -> np.ndarray:
+        """Per-core powers -> full network power vector (W)."""
+        p = np.asarray(core_powers, dtype=float)
+        if p.shape != (self.n_cores,):
+            raise ConfigurationError(
+                f"expected {self.n_cores} core powers, got shape {p.shape}"
+            )
+        full = np.zeros(self.n_nodes)
+        full[self._core_indices] = p
+        return full
+
+    def steady_state(self, power: Sequence[float]) -> np.ndarray:
+        """Steady-state temperatures (degC) of every node.
+
+        Args:
+            power: full-length per-node injected power vector, in W.
+        """
+        p = np.asarray(power, dtype=float)
+        if p.shape != (self.n_nodes,):
+            raise ConfigurationError(
+                f"expected {self.n_nodes} node powers, got shape {p.shape}"
+            )
+        delta = self._factorisation().solve(p)
+        return self.ambient + delta
+
+    def core_steady_state(self, core_powers: Sequence[float]) -> np.ndarray:
+        """Steady-state core temperatures (degC) for per-core powers (W)."""
+        full = self.steady_state(self.expand_core_powers(core_powers))
+        return full[self._core_indices]
+
+    def influence_matrix(self) -> np.ndarray:
+        """Core-to-core steady-state influence matrix ``B``, in K/W.
+
+        ``B[i, j]`` is core ``i``'s temperature rise per watt at core
+        ``j``; computed column-by-column from the cached LU factorisation
+        and cached.  ``B`` is symmetric (reciprocity) and entrywise
+        positive.
+        """
+        if self._influence is None:
+            lu = self._factorisation()
+            n = self.n_cores
+            b = np.empty((n, n))
+            unit = np.zeros(self.n_nodes)
+            for j, node in enumerate(self._core_indices):
+                unit[node] = 1.0
+                delta = lu.solve(unit)
+                b[:, j] = delta[self._core_indices]
+                unit[node] = 0.0
+            self._influence = b
+        return self._influence

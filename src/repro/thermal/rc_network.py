@@ -1,0 +1,175 @@
+"""Generic thermal RC network: nodes, conductances, matrix assembly.
+
+The network is the electrical-analogy graph HotSpot builds: nodes are
+isothermal blocks with a heat capacitance, edges are thermal conductances
+(W/K), and some nodes additionally conduct to the ambient.  With
+
+* ``L`` the graph Laplacian of the edge conductances,
+* ``g_amb`` the per-node ambient conductances,
+* ``dT`` the vector of node temperatures above ambient,
+* ``P`` the injected power vector,
+
+steady state satisfies ``A dT = P`` with ``A = L + diag(g_amb)`` and the
+transient obeys ``C d(dT)/dt = P - A dT``.  ``A`` is symmetric positive
+definite as soon as every node has a conduction path to the ambient,
+which :meth:`RCNetwork.validate` checks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy import sparse
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class NodeSpec:
+    """One RC node.
+
+    Attributes:
+        name: unique node name (e.g. ``"si_12"``, ``"spr_ring_n"``).
+        capacitance: heat capacitance in J/K (positive).
+        ambient_conductance: direct conductance to ambient in W/K
+            (zero for interior nodes).
+    """
+
+    name: str
+    capacitance: float
+    ambient_conductance: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.capacitance <= 0:
+            raise ConfigurationError(
+                f"node {self.name!r}: capacitance must be positive, "
+                f"got {self.capacitance}"
+            )
+        if self.ambient_conductance < 0:
+            raise ConfigurationError(
+                f"node {self.name!r}: ambient_conductance must be "
+                f"non-negative, got {self.ambient_conductance}"
+            )
+
+
+class RCNetwork:
+    """A mutable RC network being assembled, then frozen into matrices."""
+
+    def __init__(self) -> None:
+        self._nodes: list[NodeSpec] = []
+        self._index: dict[str, int] = {}
+        self._edges: list[tuple[int, int, float]] = []
+
+    def add_node(self, node: NodeSpec) -> int:
+        """Add a node; returns its index.
+
+        Raises:
+            ConfigurationError: on duplicate names.
+        """
+        if node.name in self._index:
+            raise ConfigurationError(f"duplicate node name {node.name!r}")
+        self._nodes.append(node)
+        self._index[node.name] = len(self._nodes) - 1
+        return len(self._nodes) - 1
+
+    def add_conductance(self, a: str, b: str, conductance: float) -> None:
+        """Connect nodes ``a`` and ``b`` with ``conductance`` W/K."""
+        if conductance <= 0:
+            raise ConfigurationError(
+                f"conductance between {a!r} and {b!r} must be positive, "
+                f"got {conductance}"
+            )
+        i, j = self.index_of(a), self.index_of(b)
+        if i == j:
+            raise ConfigurationError(f"self-loop on node {a!r}")
+        self._edges.append((i, j, conductance))
+
+    def add_resistance(self, a: str, b: str, resistance: float) -> None:
+        """Connect ``a`` and ``b`` with a thermal resistance in K/W."""
+        if resistance <= 0:
+            raise ConfigurationError(
+                f"resistance between {a!r} and {b!r} must be positive, "
+                f"got {resistance}"
+            )
+        self.add_conductance(a, b, 1.0 / resistance)
+
+    def index_of(self, name: str) -> int:
+        """Index of the named node."""
+        try:
+            return self._index[name]
+        except KeyError:
+            raise ConfigurationError(f"no node named {name!r}") from None
+
+    @property
+    def size(self) -> int:
+        """Number of nodes."""
+        return len(self._nodes)
+
+    @property
+    def node_names(self) -> list[str]:
+        """Node names in index order."""
+        return [n.name for n in self._nodes]
+
+    def capacitances(self) -> np.ndarray:
+        """Per-node heat capacitances (J/K), index order."""
+        return np.array([n.capacitance for n in self._nodes])
+
+    def ambient_conductances(self) -> np.ndarray:
+        """Per-node ambient conductances (W/K), index order."""
+        return np.array([n.ambient_conductance for n in self._nodes])
+
+    def conductance_matrix(self) -> sparse.csr_matrix:
+        """The steady-state system matrix ``A = L + diag(g_amb)`` (W/K)."""
+        n = self.size
+        if n == 0:
+            raise ConfigurationError("network has no nodes")
+        rows: list[int] = []
+        cols: list[int] = []
+        vals: list[float] = []
+        diag = self.ambient_conductances().copy()
+        for i, j, g in self._edges:
+            rows.extend((i, j))
+            cols.extend((j, i))
+            vals.extend((-g, -g))
+            diag[i] += g
+            diag[j] += g
+        rows.extend(range(n))
+        cols.extend(range(n))
+        vals.extend(diag.tolist())
+        return sparse.csr_matrix(
+            (vals, (rows, cols)), shape=(n, n)
+        )
+
+    def validate(self) -> None:
+        """Check the network is well-posed for steady-state solving.
+
+        Every node must reach the ambient through some conduction path,
+        otherwise ``A`` is singular and the steady state undefined.
+
+        Raises:
+            ConfigurationError: listing unreachable nodes.
+        """
+        n = self.size
+        adjacency: list[list[int]] = [[] for _ in range(n)]
+        for i, j, _ in self._edges:
+            adjacency[i].append(j)
+            adjacency[j].append(i)
+        reached = [False] * n
+        frontier = [i for i in range(n) if self._nodes[i].ambient_conductance > 0]
+        if not frontier:
+            raise ConfigurationError("no node conducts to the ambient")
+        for i in frontier:
+            reached[i] = True
+        while frontier:
+            i = frontier.pop()
+            for j in adjacency[i]:
+                if not reached[j]:
+                    reached[j] = True
+                    frontier.append(j)
+        orphans = [self._nodes[i].name for i in range(n) if not reached[i]]
+        if orphans:
+            raise ConfigurationError(
+                f"nodes with no path to ambient: {orphans[:10]}"
+                + ("..." if len(orphans) > 10 else "")
+            )

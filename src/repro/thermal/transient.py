@@ -1,0 +1,179 @@
+"""Transient thermal simulation (backward Euler).
+
+The boosting experiments (Figures 11-13) need temperature *trajectories*:
+Turbo-Boost-style control reacts every millisecond to the instantaneous
+peak temperature.  The RC system ``C dT/dt = P - A dT`` is stiff (the
+silicon blocks' time constants are sub-millisecond while the sink's is
+tens of seconds), so the integrator is the unconditionally stable
+backward-Euler scheme:
+
+    (C/dt + A) dT_{k+1} = (C/dt) dT_k + P_k
+
+The left-hand matrix is constant for a fixed step, so it is factorised
+once (sparse LU) and each step is a pair of triangular solves.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional, Sequence
+
+import numpy as np
+from scipy import sparse
+from scipy.sparse.linalg import splu
+
+from repro.errors import ConfigurationError
+from repro.thermal.model import ThermalModel
+
+
+@dataclass(frozen=True)
+class TransientResult:
+    """Recorded trajectory of a transient simulation.
+
+    Attributes:
+        times: sample instants, in s.
+        core_temperatures: array of shape (len(times), n_cores), degC.
+        core_powers: array of shape (len(times), n_cores), W — the power
+            vector in effect during the step *ending* at each instant.
+    """
+
+    times: np.ndarray
+    core_temperatures: np.ndarray
+    core_powers: np.ndarray
+
+    @property
+    def peak_temperatures(self) -> np.ndarray:
+        """Per-instant maximum core temperature, degC."""
+        return self.core_temperatures.max(axis=1)
+
+    @property
+    def total_powers(self) -> np.ndarray:
+        """Per-instant total chip power, W."""
+        return self.core_powers.sum(axis=1)
+
+
+class TransientSimulator:
+    """Backward-Euler integrator bound to one :class:`ThermalModel`.
+
+    Args:
+        model: the thermal model.
+        dt: integration step, in s (the paper's control period, 1 ms,
+            is the natural choice).
+    """
+
+    def __init__(self, model: ThermalModel, dt: float = 1e-3) -> None:
+        if dt <= 0:
+            raise ConfigurationError(f"dt must be positive, got {dt}")
+        self._model = model
+        self._dt = dt
+        c_over_dt = sparse.diags(model.capacitances / dt)
+        self._c_over_dt = model.capacitances / dt
+        self._lu = splu(sparse.csc_matrix(c_over_dt + model.conductance_matrix))
+        self._state = np.zeros(model.n_nodes)  # temperature above ambient
+
+    @property
+    def model(self) -> ThermalModel:
+        """The underlying thermal model."""
+        return self._model
+
+    @property
+    def dt(self) -> float:
+        """Integration step, s."""
+        return self._dt
+
+    @property
+    def core_temperatures(self) -> np.ndarray:
+        """Current core temperatures, degC."""
+        return self._model.ambient + self._state[self._model.core_indices]
+
+    @property
+    def peak_temperature(self) -> float:
+        """Current hottest-core temperature, degC."""
+        return float(np.max(self.core_temperatures))
+
+    def reset(self, core_temperatures: Optional[Sequence[float]] = None) -> None:
+        """Reset to ambient, or to the steady state of a power vector.
+
+        Args:
+            core_temperatures: if given, the simulator instead starts
+                from the *steady state* whose core temperatures these
+                would be is not reconstructible; so this argument must be
+                ``None`` (reset to ambient).  Use :meth:`warm_start` to
+                begin from a steady state.
+        """
+        if core_temperatures is not None:
+            raise ConfigurationError(
+                "reset() only supports returning to ambient; use "
+                "warm_start(core_powers) to begin from a steady state"
+            )
+        self._state = np.zeros(self._model.n_nodes)
+
+    def warm_start(self, core_powers: Sequence[float]) -> None:
+        """Set the state to the steady state of ``core_powers``."""
+        full = self._model.expand_core_powers(core_powers)
+        self._state = self._model.steady_state(full) - self._model.ambient
+
+    def step(self, core_powers: Sequence[float]) -> np.ndarray:
+        """Advance one ``dt`` with the given per-core powers (W).
+
+        Returns:
+            The core temperatures (degC) after the step.
+        """
+        p = self._model.expand_core_powers(core_powers)
+        rhs = self._c_over_dt * self._state + p
+        self._state = self._lu.solve(rhs)
+        return self.core_temperatures
+
+    def simulate(
+        self,
+        power_schedule: Callable[[float, np.ndarray], Sequence[float]],
+        duration: float,
+        record_interval: Optional[float] = None,
+    ) -> TransientResult:
+        """Run ``duration`` seconds under a closed-loop power schedule.
+
+        Args:
+            power_schedule: called before every step as
+                ``schedule(t, core_temperatures)`` and must return the
+                per-core power vector (W) to apply during [t, t + dt).
+            duration: simulated time, s.
+            record_interval: spacing of recorded samples, s; defaults to
+                every step.
+
+        Returns:
+            A :class:`TransientResult` with the recorded trajectory.
+        """
+        if duration <= 0:
+            raise ConfigurationError(f"duration must be positive, got {duration}")
+        n_steps = int(round(duration / self._dt))
+        if n_steps < 1:
+            raise ConfigurationError(
+                f"duration {duration} s is shorter than one step ({self._dt} s)"
+            )
+        every = 1
+        if record_interval is not None:
+            if record_interval < self._dt:
+                raise ConfigurationError(
+                    f"record_interval ({record_interval} s) must be >= dt "
+                    f"({self._dt} s)"
+                )
+            every = max(1, int(round(record_interval / self._dt)))
+
+        times: list[float] = []
+        temps: list[np.ndarray] = []
+        powers: list[np.ndarray] = []
+        for k in range(n_steps):
+            t = k * self._dt
+            p = np.asarray(
+                power_schedule(t, self.core_temperatures), dtype=float
+            )
+            core_t = self.step(p)
+            if (k + 1) % every == 0 or k == n_steps - 1:
+                times.append(t + self._dt)
+                temps.append(core_t.copy())
+                powers.append(p)
+        return TransientResult(
+            times=np.array(times),
+            core_temperatures=np.array(temps),
+            core_powers=np.array(powers),
+        )

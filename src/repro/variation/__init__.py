@@ -1,0 +1,26 @@
+"""Process variation: per-core leakage spread and variability-aware mapping.
+
+The paper's dark-silicon-management section builds on DaSim (Shafique et
+al., DATE 2015), which is *variability-aware*: at deep-nanometre nodes
+cores of one die differ substantially in leakage, so which cores are
+left dark should depend on the variation map, not only on geometry.
+
+* :class:`repro.variation.map.VariationMap` — a deterministic per-core
+  leakage-multiplier field (log-normal with optional spatial
+  correlation);
+* :mod:`repro.variation.power` — Eq. (1) evaluation under a variation
+  map, pluggable into the estimation engine;
+* :class:`repro.variation.placer.VariationAwarePlacer` — DaSim-style
+  placement that prefers cool, low-leakage cores.
+"""
+
+from repro.variation.map import VariationMap
+from repro.variation.power import varied_power_evaluator, mapping_power_with_variation
+from repro.variation.placer import VariationAwarePlacer
+
+__all__ = [
+    "VariationMap",
+    "varied_power_evaluator",
+    "mapping_power_with_variation",
+    "VariationAwarePlacer",
+]

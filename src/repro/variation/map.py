@@ -1,0 +1,113 @@
+"""Per-core process-variation maps.
+
+Leakage is the variation-dominated Eq. (1) term (threshold-voltage
+spread enters it exponentially), so the map stores a per-core
+multiplicative factor on the leakage current.  Maps are generated from
+an explicit seed — experiments and tests stay bit-reproducible — as
+log-normal fields, optionally smoothed over the core grid to model the
+spatial correlation real within-die variation exhibits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.chip import Chip
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class VariationMap:
+    """Per-core leakage multipliers (mean ~1).
+
+    Attributes:
+        leakage_multipliers: array of per-core factors, all positive.
+    """
+
+    leakage_multipliers: np.ndarray
+
+    def __post_init__(self) -> None:
+        m = np.asarray(self.leakage_multipliers, dtype=float)
+        if m.ndim != 1 or m.size == 0:
+            raise ConfigurationError(
+                "leakage_multipliers must be a non-empty 1-D array"
+            )
+        if np.any(m <= 0):
+            raise ConfigurationError("leakage multipliers must be positive")
+        object.__setattr__(self, "leakage_multipliers", m)
+
+    @property
+    def n_cores(self) -> int:
+        """Number of cores the map covers."""
+        return self.leakage_multipliers.size
+
+    @property
+    def spread(self) -> float:
+        """max/min multiplier ratio — the die's leakage spread."""
+        m = self.leakage_multipliers
+        return float(m.max() / m.min())
+
+    def multiplier(self, core: int) -> float:
+        """The named core's leakage factor."""
+        if not 0 <= core < self.n_cores:
+            raise ConfigurationError(
+                f"core index {core} out of range [0, {self.n_cores})"
+            )
+        return float(self.leakage_multipliers[core])
+
+    @classmethod
+    def generate(
+        cls,
+        chip: Chip,
+        sigma: float = 0.25,
+        seed: int = 1,
+        correlation_passes: int = 1,
+    ) -> "VariationMap":
+        """Draw a log-normal variation map for ``chip``.
+
+        Args:
+            chip: the chip (provides core count and, for grid chips, the
+                layout used by the spatial smoothing).
+            sigma: standard deviation of the underlying normal (0.25
+                gives roughly a 2.5-3x max/min leakage spread at 100
+                cores, the magnitude variability studies report for
+                deep-nanometre nodes).
+            seed: RNG seed; identical inputs give identical maps.
+            correlation_passes: 4-neighbour smoothing passes over the
+                grid (0 = spatially white).  Smoothing preserves the
+                field's mean.
+
+        Raises:
+            ConfigurationError: on a negative sigma, or smoothing
+                requested for a chip without a grid layout.
+        """
+        if sigma < 0:
+            raise ConfigurationError(f"sigma must be non-negative, got {sigma}")
+        if correlation_passes < 0:
+            raise ConfigurationError(
+                f"correlation_passes must be non-negative, got {correlation_passes}"
+            )
+        rng = np.random.default_rng(seed)
+        field = rng.normal(0.0, sigma, size=chip.n_cores)
+        if correlation_passes > 0:
+            if chip.grid is None:
+                raise ConfigurationError(
+                    "spatial correlation needs a grid chip"
+                )
+            rows, cols = chip.grid
+            grid = field.reshape(rows, cols)
+            for _ in range(correlation_passes):
+                padded = np.pad(grid, 1, mode="edge")
+                grid = (
+                    padded[1:-1, 1:-1]
+                    + padded[:-2, 1:-1]
+                    + padded[2:, 1:-1]
+                    + padded[1:-1, :-2]
+                    + padded[1:-1, 2:]
+                ) / 5.0
+            field = grid.ravel()
+        # Centre the log-field so the *median* multiplier is exactly 1.
+        field = field - field.mean()
+        return cls(leakage_multipliers=np.exp(field))

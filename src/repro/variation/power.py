@@ -1,0 +1,85 @@
+"""Eq. (1) evaluation under a process-variation map.
+
+The variation map multiplies the leakage term only; dynamic and
+independent power are kept nominal (their variation is second-order
+compared to the exponential leakage sensitivity to threshold-voltage
+spread).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.apps.workload import ApplicationInstance
+from repro.chip import Chip
+from repro.core.estimator import MappingResult
+from repro.errors import ConfigurationError
+from repro.variation.map import VariationMap
+
+
+def varied_power_evaluator(
+    chip: Chip, variation: VariationMap
+) -> Callable[[ApplicationInstance, Sequence[int], float], np.ndarray]:
+    """Build the ``power_evaluator`` hook for
+    :func:`repro.core.estimator.map_workload`.
+
+    The returned callable computes, per core the instance occupies,
+    ``dynamic + independent + multiplier * leakage``.
+    """
+    if variation.n_cores != chip.n_cores:
+        raise ConfigurationError(
+            f"variation map covers {variation.n_cores} cores, chip has "
+            f"{chip.n_cores}"
+        )
+
+    def evaluate(
+        instance: ApplicationInstance,
+        cores: Sequence[int],
+        temperature: float,
+    ) -> np.ndarray:
+        model = instance.app.power_model(chip.node)
+        v = model.voltage_for(instance.frequency)
+        base = (
+            model.dynamic_power(instance.frequency, alpha=instance.utilisation, vdd=v)
+            + model.pind
+        )
+        leak = model.leakage.power(v, temperature)
+        mults = variation.leakage_multipliers[np.asarray(cores, dtype=int)]
+        return base + mults * leak
+
+    return evaluate
+
+
+def mapping_power_with_variation(
+    result: MappingResult, variation: VariationMap, temperature: float | None = None
+) -> np.ndarray:
+    """Re-evaluate a nominal mapping's per-core powers under variation.
+
+    Useful to quantify what a variation-oblivious mapping *actually*
+    dissipates on a varied die (and whether it still respects T_DTM).
+
+    Args:
+        result: a mapping produced without (or with) variation.
+        variation: the die's variation map.
+        temperature: leakage-evaluation temperature, degC (default:
+            the chip's T_DTM).
+
+    Returns:
+        The per-core power vector, W.
+    """
+    chip = result.chip
+    if variation.n_cores != chip.n_cores:
+        raise ConfigurationError(
+            f"variation map covers {variation.n_cores} cores, chip has "
+            f"{chip.n_cores}"
+        )
+    t = chip.t_dtm if temperature is None else temperature
+    evaluator = varied_power_evaluator(chip, variation)
+    powers = np.zeros(chip.n_cores)
+    for placed in result.placed:
+        powers[list(placed.cores)] += evaluator(
+            placed.instance, placed.cores, t
+        )
+    return powers

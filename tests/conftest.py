@@ -1,0 +1,60 @@
+"""Shared fixtures for the test suite.
+
+Two chip sizes are used throughout:
+
+* ``small_chip`` — a 4x4 grid at 16 nm core area: every thermal/mapping
+  property holds on it and solves are sub-millisecond, so unit tests and
+  hypothesis properties stay fast;
+* ``chip16`` / ``chip11`` — the paper's full chips, session-scoped, used
+  by the integration tests that assert the published shapes.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps.parsec import PARSEC, app_by_name
+from repro.chip import Chip
+from repro.tech.library import NODE_11NM, NODE_16NM
+
+
+@pytest.fixture(scope="session")
+def small_chip() -> Chip:
+    """A fast 16-core chip (4x4 grid of 16 nm cores)."""
+    return Chip.grid_chip(NODE_16NM, 4, 4)
+
+
+@pytest.fixture(scope="session")
+def chip16() -> Chip:
+    """The paper's 100-core 16 nm chip."""
+    return Chip.for_node(NODE_16NM)
+
+
+@pytest.fixture(scope="session")
+def chip11() -> Chip:
+    """The paper's 198-core 11 nm chip."""
+    return Chip.for_node(NODE_11NM)
+
+
+@pytest.fixture(scope="session")
+def x264():
+    """The calibrated x264 profile."""
+    return app_by_name("x264")
+
+
+@pytest.fixture(scope="session")
+def swaptions():
+    """The calibrated swaptions profile (the power-hungriest app)."""
+    return app_by_name("swaptions")
+
+
+@pytest.fixture(scope="session")
+def canneal():
+    """The calibrated canneal profile (the worst thread scaler)."""
+    return app_by_name("canneal")
+
+
+@pytest.fixture(scope="session")
+def all_apps():
+    """Every PARSEC profile."""
+    return dict(PARSEC)

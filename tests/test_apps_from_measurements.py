@@ -1,0 +1,98 @@
+"""Characterising a new application from raw measurements."""
+
+import pytest
+
+from repro.apps.parsec import PARSEC
+from repro.apps.profile import AppProfile
+from repro.errors import ConfigurationError
+from repro.tech.library import NODE_16NM, NODE_22NM
+from repro.units import GIGA
+
+
+def measurements_of(app, n_samples=8):
+    """Synthesise 'measurements' from an existing catalogue profile."""
+    scaling = [(8, app.speedup(8)), (64, app.speedup(64))]
+    # Stay below the 22 nm curve's ~4.3 GHz ceiling.
+    fs = [
+        (0.4 + i * (3.9 - 0.4) / (n_samples - 1)) * GIGA for i in range(n_samples)
+    ]
+    powers = [app.core_power(NODE_22NM, 1, f, temperature=80.0) for f in fs]
+    return scaling, list(zip(fs, powers))
+
+
+class TestRoundTrip:
+    """Characterising from a catalogue app's own curves recovers it."""
+
+    @pytest.fixture(scope="class")
+    def recovered(self):
+        app = PARSEC["x264"]
+        scaling, samples = measurements_of(app)
+        return app, AppProfile.from_measurements(
+            "x264-clone", app.ipc, scaling, samples
+        )
+
+    def test_scaling_recovered(self, recovered):
+        original, clone = recovered
+        for n in (2, 8, 32, 64):
+            assert clone.speedup(n) == pytest.approx(original.speedup(n), rel=1e-6)
+
+    def test_power_recovered(self, recovered):
+        original, clone = recovered
+        for f_ghz in (1.0, 2.5, 3.8):
+            assert clone.core_power(
+                NODE_22NM, 1, f_ghz * GIGA
+            ) == pytest.approx(
+                original.core_power(NODE_22NM, 1, f_ghz * GIGA), rel=1e-3
+            )
+
+    def test_scaled_node_power_recovered(self, recovered):
+        """Coefficients carry through the Figure 1 scaling rules."""
+        original, clone = recovered
+        assert clone.core_power(NODE_16NM, 8, 3.0 * GIGA) == pytest.approx(
+            original.core_power(NODE_16NM, 8, 3.0 * GIGA), rel=1e-3
+        )
+
+    def test_usable_in_estimation(self, recovered, small_chip):
+        from repro.core.constraints import PowerBudgetConstraint
+        from repro.core.dark_silicon import estimate_dark_silicon
+
+        _, clone = recovered
+        result = estimate_dark_silicon(
+            small_chip, clone, 3.0 * GIGA, PowerBudgetConstraint(30.0), threads=4
+        )
+        assert result.gips > 0
+
+
+class TestValidation:
+    def test_wrong_scaling_point_count(self):
+        app = PARSEC["dedup"]
+        _, samples = measurements_of(app)
+        with pytest.raises(ConfigurationError, match="two scaling points"):
+            AppProfile.from_measurements("bad", 1.0, [(8, 4.0)], samples)
+
+    def test_unphysical_scaling_rejected(self):
+        app = PARSEC["dedup"]
+        _, samples = measurements_of(app)
+        with pytest.raises(ConfigurationError):
+            AppProfile.from_measurements(
+                "bad", 1.0, [(8, 4.0), (64, 63.9)], samples
+            )
+
+    def test_too_few_power_samples(self):
+        app = PARSEC["dedup"]
+        scaling, _ = measurements_of(app)
+        with pytest.raises(ConfigurationError, match="at least 3"):
+            AppProfile.from_measurements(
+                "bad", 1.0, scaling, [(1e9, 2.0), (2e9, 5.0)]
+            )
+
+    def test_noisy_measurements_still_fit(self):
+        app = PARSEC["ferret"]
+        scaling, samples = measurements_of(app, n_samples=10)
+        noisy = [
+            (f, p * (1.0 + 0.02 * (-1) ** i)) for i, (f, p) in enumerate(samples)
+        ]
+        clone = AppProfile.from_measurements("ferret-noisy", app.ipc, scaling, noisy)
+        assert clone.core_power(NODE_22NM, 1, 3.0 * GIGA) == pytest.approx(
+            app.core_power(NODE_22NM, 1, 3.0 * GIGA), rel=0.1
+        )

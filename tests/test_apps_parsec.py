@@ -1,0 +1,100 @@
+"""The PARSEC catalogue and its paper-anchored calibration."""
+
+import pytest
+
+from repro.apps.parsec import PARSEC, PARSEC_ORDER, app_by_name, most_power_hungry
+from repro.errors import ConfigurationError
+from repro.tech.library import NODE_16NM, NODE_22NM
+from repro.units import GIGA
+
+
+class TestCatalogue:
+    def test_seven_applications(self):
+        assert len(PARSEC) == 7
+        assert set(PARSEC_ORDER) == set(PARSEC)
+
+    def test_paper_label_order(self):
+        # Figure 5 labels (a)..(g).
+        assert PARSEC_ORDER == (
+            "x264",
+            "blackscholes",
+            "bodytrack",
+            "ferret",
+            "canneal",
+            "dedup",
+            "swaptions",
+        )
+
+    def test_lookup(self):
+        assert app_by_name("dedup").name == "dedup"
+
+    def test_unknown_lookup_raises(self):
+        with pytest.raises(ConfigurationError, match="unknown application"):
+            app_by_name("vips")
+
+    def test_names_consistent(self):
+        for key, app in PARSEC.items():
+            assert app.name == key
+
+
+class TestFigure4Anchors:
+    """Speed-ups at 64 threads: x264 ~3x, bodytrack ~2.4x, canneal ~1.7x."""
+
+    @pytest.mark.parametrize(
+        "name, s64", [("x264", 3.0), ("bodytrack", 2.4), ("canneal", 1.7)]
+    )
+    def test_64_thread_speedup(self, name, s64):
+        assert PARSEC[name].speedup(64) == pytest.approx(s64, rel=0.08)
+
+    def test_ordering_at_64_threads(self):
+        s = {n: PARSEC[n].speedup(64) for n in ("x264", "bodytrack", "canneal")}
+        assert s["x264"] > s["bodytrack"] > s["canneal"]
+
+    def test_swaptions_scales_best_at_8(self):
+        s8 = {n: a.speedup(8) for n, a in PARSEC.items()}
+        assert max(s8, key=s8.get) == "swaptions"
+
+    def test_canneal_scales_worst_at_8(self):
+        s8 = {n: a.speedup(8) for n, a in PARSEC.items()}
+        assert min(s8, key=s8.get) == "canneal"
+
+
+class TestFigure3Anchor:
+    def test_x264_single_thread_power_at_4ghz(self):
+        """Paper Figure 3: ~18 W at 4 GHz, 22 nm, one thread."""
+        p = PARSEC["x264"].core_power(NODE_22NM, 1, 4.0 * GIGA)
+        assert 16.0 <= p <= 21.0
+
+    def test_x264_power_cubic_shape(self):
+        app = PARSEC["x264"]
+        p1 = app.core_power(NODE_22NM, 1, 1.0 * GIGA)
+        p2 = app.core_power(NODE_22NM, 1, 2.0 * GIGA)
+        p4 = app.core_power(NODE_22NM, 1, 4.0 * GIGA)
+        # Super-linear growth (cubic dynamic term dominates at the top).
+        assert p4 / p2 > p2 / p1
+
+
+class TestPowerHungriness:
+    def test_swaptions_is_hungriest_at_16nm(self):
+        assert most_power_hungry(NODE_16NM).name == "swaptions"
+
+    def test_per_core_power_range(self):
+        """8-thread per-core powers span ~2-3.8 W at 16 nm / 3.6 GHz."""
+        powers = [
+            a.core_power(NODE_16NM, 8, 3.6 * GIGA) for a in PARSEC.values()
+        ]
+        assert 1.8 <= min(powers) <= 2.5
+        assert 3.4 <= max(powers) <= 4.1
+
+    def test_pessimistic_tdp_scale(self):
+        """50 x swaptions ~ 185 W (paper Section 3.1)."""
+        sw = PARSEC["swaptions"].core_power(NODE_16NM, 8, 3.6 * GIGA)
+        assert 50 * sw == pytest.approx(185.0, rel=0.05)
+
+
+class TestIpcOrdering:
+    def test_canneal_lowest_ipc(self):
+        assert min(PARSEC.values(), key=lambda a: a.ipc).name == "canneal"
+
+    def test_swaptions_highest_ipc(self):
+        assert max(PARSEC.values(), key=lambda a: a.ipc).name == "swaptions"

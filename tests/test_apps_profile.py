@@ -1,0 +1,96 @@
+"""AppProfile behaviour."""
+
+import pytest
+
+from repro.apps.profile import AppProfile
+from repro.errors import ConfigurationError
+from repro.tech.library import NODE_16NM, NODE_22NM
+from repro.units import GIGA, NANO
+
+
+def make_app(**overrides):
+    defaults = dict(
+        name="toy",
+        ipc=1.5,
+        parallel_fraction=0.9,
+        ceff_22nm=2.0 * NANO,
+        pind_22nm=0.5,
+        i0_22nm=0.3,
+        sync_overhead=0.004,
+    )
+    defaults.update(overrides)
+    return AppProfile(**defaults)
+
+
+class TestPerformance:
+    def test_single_thread_ips(self):
+        app = make_app()
+        assert app.instance_performance(1, 2.0 * GIGA) == pytest.approx(3.0e9)
+
+    def test_scales_with_speedup(self):
+        app = make_app()
+        expected = app.speedup(4) * app.ipc * 2.0 * GIGA
+        assert app.instance_performance(4, 2.0 * GIGA) == pytest.approx(expected)
+
+    def test_zero_frequency_zero_performance(self):
+        assert make_app().instance_performance(4, 0.0) == 0.0
+
+    def test_negative_frequency_rejected(self):
+        with pytest.raises(ConfigurationError):
+            make_app().instance_performance(4, -1.0)
+
+    def test_more_threads_more_instance_performance(self):
+        app = make_app(sync_overhead=0.0)
+        f = 2.0 * GIGA
+        perfs = [app.instance_performance(n, f) for n in range(1, 9)]
+        assert perfs == sorted(perfs)
+
+
+class TestPower:
+    def test_core_power_positive(self):
+        assert make_app().core_power(NODE_16NM, 8, 3.0 * GIGA) > 0.0
+
+    def test_utilisation_lowers_per_core_power(self):
+        app = make_app()
+        p1 = app.core_power(NODE_22NM, 1, 2.0 * GIGA)
+        p8 = app.core_power(NODE_22NM, 8, 2.0 * GIGA)
+        assert p8 < p1
+
+    def test_power_model_uses_node_curve(self):
+        model = make_app().power_model(NODE_16NM)
+        assert model.curve.f_nominal == pytest.approx(NODE_16NM.f_max)
+
+    def test_inactive_power_passthrough(self):
+        model = make_app().power_model(NODE_16NM, inactive_power=0.15)
+        assert model.power(0.0) == pytest.approx(0.15)
+
+
+class TestValidation:
+    def test_zero_ipc_rejected(self):
+        with pytest.raises(ConfigurationError, match="ipc"):
+            make_app(ipc=0.0)
+
+    def test_bad_fraction_rejected(self):
+        with pytest.raises(ConfigurationError, match="parallel_fraction"):
+            make_app(parallel_fraction=1.2)
+
+    def test_zero_ceff_rejected(self):
+        with pytest.raises(ConfigurationError, match="ceff_22nm"):
+            make_app(ceff_22nm=0.0)
+
+    def test_negative_pind_rejected(self):
+        with pytest.raises(ConfigurationError):
+            make_app(pind_22nm=-0.1)
+
+    def test_negative_overhead_rejected(self):
+        with pytest.raises(ConfigurationError, match="sync_overhead"):
+            make_app(sync_overhead=-0.01)
+
+    def test_zero_max_threads_rejected(self):
+        with pytest.raises(ConfigurationError, match="max_threads"):
+            make_app(max_threads=0)
+
+    def test_frozen(self):
+        app = make_app()
+        with pytest.raises(AttributeError):
+            app.ipc = 2.0

@@ -1,0 +1,142 @@
+"""Extended-Amdahl thread scaling (paper Figure 4)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps.speedup import (
+    amdahl_speedup,
+    amdahl_utilisation,
+    fit_parallel_fraction,
+    fit_scaling,
+    saturation_threads,
+)
+from repro.errors import ConfigurationError
+
+
+class TestClassicAmdahl:
+    def test_one_thread_is_unity(self):
+        assert amdahl_speedup(0.9, 1) == pytest.approx(1.0)
+
+    def test_fully_serial_never_speeds_up(self):
+        assert amdahl_speedup(0.0, 64) == pytest.approx(1.0)
+
+    def test_fully_parallel_is_linear(self):
+        assert amdahl_speedup(1.0, 16) == pytest.approx(16.0)
+
+    def test_known_value(self):
+        # p = 0.5, n = 2 -> 1 / (0.5 + 0.25) = 4/3.
+        assert amdahl_speedup(0.5, 2) == pytest.approx(4.0 / 3.0)
+
+    @given(st.floats(min_value=0.0, max_value=1.0), st.integers(min_value=1, max_value=256))
+    @settings(max_examples=80)
+    def test_bounded_by_one_and_n(self, p, n):
+        s = amdahl_speedup(p, n)
+        assert 1.0 - 1e-12 <= s <= n + 1e-9
+
+    @given(st.floats(min_value=0.0, max_value=1.0), st.integers(min_value=1, max_value=128))
+    @settings(max_examples=80)
+    def test_monotone_in_threads(self, p, n):
+        assert amdahl_speedup(p, n + 1) >= amdahl_speedup(p, n) - 1e-12
+
+
+class TestSyncOverhead:
+    def test_overhead_reduces_speedup(self):
+        assert amdahl_speedup(0.9, 8, 0.01) < amdahl_speedup(0.9, 8, 0.0)
+
+    def test_no_overhead_at_one_thread(self):
+        assert amdahl_speedup(0.9, 1, 0.05) == pytest.approx(1.0)
+
+    def test_curve_peaks_then_declines(self):
+        p, gamma = 0.96, 0.00458
+        peak = saturation_threads(p, gamma)
+        assert amdahl_speedup(p, peak, gamma) >= amdahl_speedup(p, peak + 4, gamma)
+        assert amdahl_speedup(p, peak, gamma) >= amdahl_speedup(p, max(1, peak - 4), gamma)
+
+    def test_saturation_requires_overhead(self):
+        with pytest.raises(ConfigurationError, match="monotone"):
+            saturation_threads(0.9, 0.0)
+
+    @given(
+        st.floats(min_value=0.0, max_value=1.0),
+        st.integers(min_value=1, max_value=128),
+        st.floats(min_value=0.0, max_value=0.05),
+    )
+    @settings(max_examples=80)
+    def test_speedup_positive(self, p, n, gamma):
+        assert amdahl_speedup(p, n, gamma) > 0.0
+
+
+class TestUtilisation:
+    def test_single_thread_fully_utilised(self):
+        assert amdahl_utilisation(0.7, 1) == pytest.approx(1.0)
+
+    @given(
+        st.floats(min_value=0.0, max_value=1.0),
+        st.integers(min_value=1, max_value=64),
+        st.floats(min_value=0.0, max_value=0.02),
+    )
+    @settings(max_examples=80)
+    def test_utilisation_in_unit_interval(self, p, n, gamma):
+        u = amdahl_utilisation(p, n, gamma)
+        assert 0.0 < u <= 1.0 + 1e-12
+
+    @given(st.floats(min_value=0.0, max_value=1.0), st.integers(min_value=1, max_value=64))
+    @settings(max_examples=50)
+    def test_utilisation_decreases_with_threads(self, p, n):
+        assert amdahl_utilisation(p, n + 1) <= amdahl_utilisation(p, n) + 1e-12
+
+
+class TestFitting:
+    def test_fit_parallel_fraction_roundtrip(self):
+        p = 0.85
+        s = amdahl_speedup(p, 16)
+        assert fit_parallel_fraction(16, s) == pytest.approx(p)
+
+    def test_fit_rejects_impossible_speedup(self):
+        with pytest.raises(ConfigurationError):
+            fit_parallel_fraction(8, 9.0)
+
+    def test_fit_rejects_sub_unity(self):
+        with pytest.raises(ConfigurationError):
+            fit_parallel_fraction(8, 0.5)
+
+    def test_fit_rejects_single_thread(self):
+        with pytest.raises(ConfigurationError):
+            fit_parallel_fraction(1, 1.0)
+
+    def test_fit_scaling_roundtrip(self):
+        p, gamma = 0.93, 0.005
+        s8 = amdahl_speedup(p, 8, gamma)
+        s64 = amdahl_speedup(p, 64, gamma)
+        p_fit, g_fit = fit_scaling(8, s8, 64, s64)
+        assert p_fit == pytest.approx(p, rel=1e-6)
+        assert g_fit == pytest.approx(gamma, rel=1e-6)
+
+    def test_fit_scaling_rejects_same_thread_count(self):
+        with pytest.raises(ConfigurationError, match="distinct"):
+            fit_scaling(8, 4.0, 8, 4.0)
+
+    def test_fit_scaling_rejects_unphysical(self):
+        # A speed-up *rising* steeply from 32 to 64 threads beyond linear
+        # behaviour cannot be produced by this law.
+        with pytest.raises(ConfigurationError):
+            fit_scaling(2, 1.01, 64, 60.0)
+
+
+class TestValidation:
+    def test_negative_fraction_rejected(self):
+        with pytest.raises(ConfigurationError):
+            amdahl_speedup(-0.1, 4)
+
+    def test_fraction_above_one_rejected(self):
+        with pytest.raises(ConfigurationError):
+            amdahl_speedup(1.1, 4)
+
+    def test_zero_threads_rejected(self):
+        with pytest.raises(ConfigurationError):
+            amdahl_speedup(0.5, 0)
+
+    def test_negative_overhead_rejected(self):
+        with pytest.raises(ConfigurationError):
+            amdahl_speedup(0.5, 4, -0.01)

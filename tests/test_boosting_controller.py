@@ -1,0 +1,97 @@
+"""The closed-loop boosting controller (paper Section 6)."""
+
+import pytest
+
+from repro.boosting.controller import BoostingController
+from repro.errors import ConfigurationError
+from repro.units import GIGA
+
+
+def make(initial=3.0 * GIGA):
+    return BoostingController(
+        f_min=1.0 * GIGA,
+        f_max=4.0 * GIGA,
+        step=0.2 * GIGA,
+        threshold=80.0,
+        initial_frequency=initial,
+    )
+
+
+class TestControlLaw:
+    def test_boosts_when_cool(self):
+        c = make()
+        assert c.update(70.0) == pytest.approx(3.2 * GIGA)
+
+    def test_throttles_when_hot(self):
+        c = make()
+        assert c.update(81.0) == pytest.approx(2.8 * GIGA)
+
+    def test_throttles_exactly_at_threshold(self):
+        # Paper: increase when below, decrease otherwise.
+        c = make()
+        assert c.update(80.0) == pytest.approx(2.8 * GIGA)
+
+    def test_saturates_at_f_max(self):
+        c = make(initial=4.0 * GIGA)
+        assert c.update(50.0) == pytest.approx(4.0 * GIGA)
+
+    def test_saturates_at_f_min(self):
+        c = make(initial=1.0 * GIGA)
+        assert c.update(95.0) == pytest.approx(1.0 * GIGA)
+
+    def test_oscillates_around_threshold(self):
+        """Alternating hot/cool readings step the frequency up and down."""
+        c = make()
+        f0 = c.frequency
+        c.update(75.0)
+        c.update(85.0)
+        assert c.frequency == pytest.approx(f0)
+
+    def test_step_size_respected(self):
+        c = make()
+        before = c.frequency
+        c.update(60.0)
+        assert c.frequency - before == pytest.approx(0.2 * GIGA)
+
+
+class TestState:
+    def test_initial_default_is_f_min(self):
+        c = BoostingController(1.0 * GIGA, 4.0 * GIGA, 0.2 * GIGA, 80.0)
+        assert c.frequency == pytest.approx(1.0 * GIGA)
+
+    def test_reset(self):
+        c = make()
+        c.update(50.0)
+        c.reset(2.0 * GIGA)
+        assert c.frequency == pytest.approx(2.0 * GIGA)
+
+    def test_reset_default(self):
+        c = make()
+        c.reset()
+        assert c.frequency == pytest.approx(1.0 * GIGA)
+
+    def test_properties(self):
+        c = make()
+        assert c.f_min == pytest.approx(1.0 * GIGA)
+        assert c.f_max == pytest.approx(4.0 * GIGA)
+        assert c.step == pytest.approx(0.2 * GIGA)
+        assert c.threshold == 80.0
+
+
+class TestValidation:
+    def test_inverted_range_rejected(self):
+        with pytest.raises(ConfigurationError):
+            BoostingController(4.0 * GIGA, 1.0 * GIGA, 0.2 * GIGA, 80.0)
+
+    def test_zero_step_rejected(self):
+        with pytest.raises(ConfigurationError, match="step"):
+            BoostingController(1.0 * GIGA, 4.0 * GIGA, 0.0, 80.0)
+
+    def test_initial_out_of_range_rejected(self):
+        with pytest.raises(ConfigurationError, match="initial_frequency"):
+            make(initial=5.0 * GIGA)
+
+    def test_reset_out_of_range_rejected(self):
+        c = make()
+        with pytest.raises(ConfigurationError):
+            c.reset(0.5 * GIGA)

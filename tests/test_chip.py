@@ -1,0 +1,60 @@
+"""The Chip platform bundle."""
+
+import pytest
+
+from repro.chip import Chip
+from repro.errors import ConfigurationError
+from repro.floorplan.generator import grid_floorplan
+from repro.tech.library import NODE_16NM
+from repro.thermal.config import ThermalConfig
+
+
+class TestConstruction:
+    def test_for_node_uses_paper_chip(self, chip16):
+        assert chip16.n_cores == 100
+        assert chip16.grid == (10, 10)
+
+    def test_grid_chip(self, small_chip):
+        assert small_chip.n_cores == 16
+        assert small_chip.grid == (4, 4)
+
+    def test_custom_floorplan_without_grid(self):
+        fp = grid_floorplan(2, 2, NODE_16NM.core_area)
+        chip = Chip(NODE_16NM, floorplan=fp)
+        assert chip.grid is None
+        assert chip.n_cores == 4
+
+    def test_custom_thermal_config(self):
+        chip = Chip.grid_chip(
+            NODE_16NM, 2, 2, thermal_config=ThermalConfig(ambient=40.0)
+        )
+        assert chip.ambient == 40.0
+
+    def test_defaults(self, chip16):
+        assert chip16.t_dtm == 80.0
+        assert chip16.ambient == 45.0
+
+
+class TestGridCoordinates:
+    def test_row_major(self, small_chip):
+        assert small_chip.grid_coordinates(0) == (0, 0)
+        assert small_chip.grid_coordinates(5) == (1, 1)
+        assert small_chip.grid_coordinates(15) == (3, 3)
+
+    def test_out_of_range_rejected(self, small_chip):
+        with pytest.raises(ConfigurationError, match="out of range"):
+            small_chip.grid_coordinates(16)
+
+    def test_no_grid_rejected(self):
+        fp = grid_floorplan(2, 2, NODE_16NM.core_area)
+        chip = Chip(NODE_16NM, floorplan=fp)
+        with pytest.raises(ConfigurationError, match="grid"):
+            chip.grid_coordinates(0)
+
+
+class TestSharedState:
+    def test_solver_bound_to_thermal_model(self, small_chip):
+        assert small_chip.solver.model is small_chip.thermal
+
+    def test_thermal_matches_floorplan(self, small_chip):
+        assert small_chip.thermal.n_cores == len(small_chip.floorplan)

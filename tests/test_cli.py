@@ -1,0 +1,83 @@
+"""The darksilicon CLI."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestDispatch:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in ("fig1", "fig5", "fig14", "runtime", "projection", "sensitivity"):
+            assert name in out
+
+    def test_unknown_experiment(self, capsys):
+        assert main(["fig99"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_fig1_runs(self, capsys):
+        assert main(["fig1"]) == 0
+        out = capsys.readouterr().out
+        assert "16nm" in out
+        assert "0.53" in out
+
+    def test_fig4_runs(self, capsys):
+        assert main(["fig4"]) == 0
+        out = capsys.readouterr().out
+        assert "x264" in out
+        assert "canneal" in out
+
+    def test_fig2_runs(self, capsys):
+        assert main(["fig2"]) == 0
+        out = capsys.readouterr().out
+        assert "ntc" in out
+        assert "boost" in out
+
+
+class TestExperimentsTableApi:
+    """Every experiment result must expose rows() and table()."""
+
+    @pytest.mark.parametrize("module_name", [
+        "fig01_scaling", "fig02_vf_curve", "fig03_power_fit", "fig04_speedup",
+    ])
+    def test_light_experiments(self, module_name):
+        import importlib
+
+        module = importlib.import_module(f"repro.experiments.{module_name}")
+        result = module.run()
+        rows = result.rows()
+        assert len(rows) > 0
+        text = result.table()
+        assert isinstance(text, str)
+        assert "\n" in text
+
+
+class TestExtensionCommands:
+    def test_sensitivity_runs(self, capsys):
+        assert main(["sensitivity"]) == 0
+        out = capsys.readouterr().out
+        assert "all hold" in out
+        assert "ceff" in out
+
+    def test_projection_runs(self, capsys):
+        assert main(["projection"]) == 0
+        out = capsys.readouterr().out
+        assert "dark@TDP" in out
+        assert "8nm" in out
+
+    def test_csv_export_of_extension(self, tmp_path, capsys):
+        assert main(["projection", "--csv", str(tmp_path)]) == 0
+        assert (tmp_path / "projection.csv").exists()
+
+
+class TestSummary:
+    def test_summary_module_runs_quick(self):
+        from repro.experiments import summary
+
+        result = summary.run(transient_duration=0.5)
+        rows = {r[0]: r for r in result.rows()}
+        # Every figure with a quantitative headline appears once.
+        for fig in ("fig3", "fig5", "fig9", "fig10", "fig11", "fig14"):
+            assert fig in rows
+        assert "x264" in result.table() or "fig3" in result.table()

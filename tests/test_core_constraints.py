@@ -1,0 +1,78 @@
+"""Dark-silicon constraints (TDP vs temperature)."""
+
+import numpy as np
+import pytest
+
+from repro.core.constraints import (
+    CompositeConstraint,
+    PowerBudgetConstraint,
+    TemperatureConstraint,
+)
+from repro.errors import ConfigurationError
+
+
+class TestPowerBudget:
+    def test_admits_below_budget(self, small_chip):
+        c = PowerBudgetConstraint(50.0)
+        assert c.admits(small_chip, [2.0] * 16)
+
+    def test_rejects_above_budget(self, small_chip):
+        c = PowerBudgetConstraint(10.0)
+        assert not c.admits(small_chip, [2.0] * 16)
+
+    def test_admits_exactly_at_budget(self, small_chip):
+        c = PowerBudgetConstraint(32.0)
+        assert c.admits(small_chip, [2.0] * 16)
+
+    def test_invalid_budget_rejected(self):
+        with pytest.raises(ConfigurationError, match="budget"):
+            PowerBudgetConstraint(0.0)
+
+
+class TestTemperature:
+    def test_admits_cool_chip(self, small_chip):
+        c = TemperatureConstraint()
+        assert c.admits(small_chip, [0.5] * 16)
+
+    def test_rejects_hot_chip(self, small_chip):
+        c = TemperatureConstraint()
+        assert not c.admits(small_chip, [50.0] * 16)
+
+    def test_custom_threshold(self, small_chip):
+        powers = [3.0] * 16
+        peak = small_chip.solver.peak_temperature(powers)
+        assert TemperatureConstraint(t_dtm=peak + 1.0).admits(small_chip, powers)
+        assert not TemperatureConstraint(t_dtm=peak - 1.0).admits(small_chip, powers)
+
+    def test_default_uses_chip_t_dtm(self, small_chip):
+        # Find powers right between 80 and 90 degC.
+        c80 = TemperatureConstraint()
+        c90 = TemperatureConstraint(t_dtm=90.0)
+        powers = [6.8] * 16
+        peak = small_chip.solver.peak_temperature(powers)
+        assert 80.0 < peak < 90.0
+        assert not c80.admits(small_chip, powers)
+        assert c90.admits(small_chip, powers)
+
+
+class TestComposite:
+    def test_requires_all(self, small_chip):
+        both = CompositeConstraint(
+            [PowerBudgetConstraint(100.0), TemperatureConstraint()]
+        )
+        assert both.admits(small_chip, [0.5] * 16)
+        # Cool chip (8 W total) that still violates a 4 W power budget:
+        # only the power constraint trips, and the composite must reject.
+        tight = CompositeConstraint(
+            [PowerBudgetConstraint(4.0), TemperatureConstraint()]
+        )
+        assert not tight.admits(small_chip, [0.5] * 16)
+
+    def test_and_operator(self, small_chip):
+        combined = PowerBudgetConstraint(100.0) & TemperatureConstraint()
+        assert isinstance(combined, CompositeConstraint)
+        assert combined.admits(small_chip, [0.5] * 16)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CompositeConstraint([])

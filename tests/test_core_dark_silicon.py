@@ -1,0 +1,130 @@
+"""Dark-silicon sweep APIs (Figures 5-7 backends)."""
+
+import pytest
+
+from repro.apps.parsec import PARSEC
+from repro.core.constraints import PowerBudgetConstraint, TemperatureConstraint
+from repro.core.dark_silicon import (
+    best_homogeneous_configuration,
+    compare_tdp_vs_temperature,
+    estimate_dark_silicon,
+    sweep_frequencies,
+)
+from repro.errors import ConfigurationError, InfeasibleError
+from repro.units import GIGA
+
+
+class TestEstimate:
+    def test_offers_saturating_workload(self, small_chip):
+        r = estimate_dark_silicon(
+            small_chip, PARSEC["canneal"], 1.0 * GIGA, PowerBudgetConstraint(500.0),
+            threads=4,
+        )
+        # Light app, huge budget: the whole chip fills (16 // 4 = 4 instances).
+        assert r.active_cores == 16
+
+    def test_budget_produces_dark_silicon(self, small_chip):
+        r = estimate_dark_silicon(
+            small_chip, PARSEC["swaptions"], 3.6 * GIGA, PowerBudgetConstraint(15.0),
+            threads=4,
+        )
+        assert r.dark_cores > 0
+        assert r.total_power <= 15.0
+
+
+class TestSweep:
+    def test_one_point_per_frequency(self, small_chip):
+        points = sweep_frequencies(
+            small_chip,
+            PARSEC["x264"],
+            [2.0 * GIGA, 3.0 * GIGA],
+            PowerBudgetConstraint(30.0),
+            threads=4,
+        )
+        assert [p.frequency for p in points] == [2.0 * GIGA, 3.0 * GIGA]
+
+    def test_dark_silicon_non_decreasing_with_frequency(self, small_chip):
+        points = sweep_frequencies(
+            small_chip,
+            PARSEC["swaptions"],
+            [2.0 * GIGA, 2.8 * GIGA, 3.6 * GIGA],
+            PowerBudgetConstraint(20.0),
+            threads=4,
+        )
+        darks = [p.dark_fraction for p in points]
+        assert darks == sorted(darks)
+
+    def test_point_fields_consistent(self, small_chip):
+        (point,) = sweep_frequencies(
+            small_chip, PARSEC["x264"], [2.0 * GIGA], PowerBudgetConstraint(30.0),
+            threads=4,
+        )
+        assert point.active_fraction + point.dark_fraction == pytest.approx(1.0)
+        assert point.gips >= 0.0
+
+
+class TestCompare:
+    def test_returns_both_results(self, small_chip):
+        under_tdp, under_temp = compare_tdp_vs_temperature(
+            small_chip, PARSEC["x264"], 3.0 * GIGA, tdp=20.0, threads=4
+        )
+        assert under_tdp.total_power <= 20.0
+        assert under_temp.peak_temperature <= small_chip.t_dtm + 1e-6
+
+
+class TestBestConfiguration:
+    def test_respects_budget(self, small_chip):
+        best = best_homogeneous_configuration(small_chip, PARSEC["x264"], 20.0)
+        assert best.total_power <= 20.0
+
+    def test_respects_capacity(self, small_chip):
+        best = best_homogeneous_configuration(small_chip, PARSEC["canneal"], 500.0)
+        assert best.active_cores <= small_chip.n_cores
+
+    def test_beats_or_matches_nominal_8_threads(self, small_chip):
+        app = PARSEC["x264"]
+        budget = 20.0
+        best = best_homogeneous_configuration(small_chip, app, budget)
+        nominal = estimate_dark_silicon(
+            small_chip, app, small_chip.node.f_max, PowerBudgetConstraint(budget),
+            threads=8,
+        )
+        assert best.gips >= nominal.gips - 1e-9
+
+    def test_max_instances_cap(self, small_chip):
+        best = best_homogeneous_configuration(
+            small_chip, PARSEC["canneal"], 500.0, max_instances=2
+        )
+        assert best.n_instances <= 2
+
+    def test_restricted_threads(self, small_chip):
+        best = best_homogeneous_configuration(
+            small_chip, PARSEC["x264"], 20.0, threads_options=[8]
+        )
+        assert best.threads == 8
+
+    def test_infeasible_budget_raises(self, small_chip):
+        with pytest.raises(InfeasibleError):
+            best_homogeneous_configuration(small_chip, PARSEC["swaptions"], 0.01)
+
+    def test_invalid_budget_rejected(self, small_chip):
+        with pytest.raises(ConfigurationError, match="power_budget"):
+            best_homogeneous_configuration(small_chip, PARSEC["x264"], -5.0)
+
+    def test_invalid_max_instances_rejected(self, small_chip):
+        with pytest.raises(ConfigurationError, match="max_instances"):
+            best_homogeneous_configuration(
+                small_chip, PARSEC["x264"], 20.0, max_instances=0
+            )
+
+    def test_high_tlp_app_prefers_more_threads_than_high_ilp(self, chip16):
+        """The paper's TLP/ILP claim: swaptions (TLP) runs wider than
+        canneal-style workloads when the instance count is capped."""
+        cap = chip16.n_cores // 8
+        swaptions = best_homogeneous_configuration(
+            chip16, PARSEC["swaptions"], 185.0, max_instances=cap
+        )
+        canneal = best_homogeneous_configuration(
+            chip16, PARSEC["canneal"], 185.0, max_instances=cap
+        )
+        assert swaptions.threads >= canneal.threads

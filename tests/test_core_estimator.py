@@ -1,0 +1,128 @@
+"""The dark-silicon estimation engine."""
+
+import numpy as np
+import pytest
+
+from repro.apps.parsec import PARSEC
+from repro.apps.workload import ApplicationInstance, Workload
+from repro.core.constraints import PowerBudgetConstraint, TemperatureConstraint
+from repro.core.estimator import map_workload
+from repro.mapping.contiguous import ContiguousPlacer
+from repro.units import GIGA
+
+
+def workload_of(app_name, n, threads=4, f=2.0 * GIGA):
+    return Workload.replicate(PARSEC[app_name], n, threads, f)
+
+
+class TestBasicMapping:
+    def test_everything_fits_generous_budget(self, small_chip):
+        w = workload_of("x264", 2)
+        r = map_workload(small_chip, w, PowerBudgetConstraint(1000.0))
+        assert len(r.placed) == 2
+        assert r.rejected == ()
+        assert r.active_cores == 8
+        assert r.dark_cores == 8
+
+    def test_capacity_limits_mapping(self, small_chip):
+        w = workload_of("x264", 10)  # 40 cores > 16
+        r = map_workload(small_chip, w, PowerBudgetConstraint(1000.0))
+        assert r.active_cores == 16
+        assert len(r.rejected) >= 1
+
+    def test_power_budget_limits_mapping(self, small_chip):
+        per_instance = 4 * PARSEC["x264"].core_power(
+            small_chip.node, 4, 2.0 * GIGA, temperature=80.0
+        )
+        budget = 2.5 * per_instance
+        r = map_workload(small_chip, workload_of("x264", 4), PowerBudgetConstraint(budget))
+        assert len(r.placed) == 2
+        assert r.total_power <= budget
+
+    def test_temperature_limits_mapping(self, small_chip):
+        w = Workload.replicate(PARSEC["swaptions"], 4, 4, 3.6 * GIGA)
+        r = map_workload(small_chip, w, TemperatureConstraint())
+        assert r.peak_temperature <= small_chip.t_dtm + 1e-6
+
+    def test_stop_at_first_rejection(self, small_chip):
+        # First instance huge, second small: strict stop rejects both.
+        w = Workload(
+            [
+                ApplicationInstance(PARSEC["swaptions"], 8, 3.6 * GIGA),
+                ApplicationInstance(PARSEC["swaptions"], 8, 3.6 * GIGA),
+                ApplicationInstance(PARSEC["canneal"], 1, 1.0 * GIGA),
+            ]
+        )
+        per8 = 8 * PARSEC["swaptions"].core_power(small_chip.node, 8, 3.6 * GIGA)
+        budget = per8 * 1.5  # one 8-thread instance fits, two do not
+        strict = map_workload(
+            small_chip, w, PowerBudgetConstraint(budget), stop_at_first_rejection=True
+        )
+        lenient = map_workload(
+            small_chip, w, PowerBudgetConstraint(budget), stop_at_first_rejection=False
+        )
+        assert len(strict.placed) == 1
+        assert len(lenient.placed) == 2  # the 1-thread canneal squeezes in
+
+
+class TestAccounting:
+    def test_fractions_sum_to_one(self, small_chip):
+        r = map_workload(small_chip, workload_of("dedup", 2), PowerBudgetConstraint(100.0))
+        assert r.active_fraction + r.dark_fraction == pytest.approx(1.0)
+
+    def test_core_powers_nonzero_exactly_on_occupied(self, small_chip):
+        r = map_workload(small_chip, workload_of("dedup", 2), PowerBudgetConstraint(100.0))
+        occupied = r.occupied
+        for i in range(small_chip.n_cores):
+            if i in occupied:
+                assert r.core_powers[i] > 0
+            else:
+                assert r.core_powers[i] == 0
+
+    def test_gips_matches_instances(self, small_chip):
+        r = map_workload(small_chip, workload_of("x264", 2), PowerBudgetConstraint(100.0))
+        expected = 2 * PARSEC["x264"].instance_performance(4, 2.0 * GIGA) / 1e9
+        assert r.gips == pytest.approx(expected)
+
+    def test_peak_temperature_consistent_with_solver(self, small_chip):
+        r = map_workload(small_chip, workload_of("x264", 2), PowerBudgetConstraint(100.0))
+        assert r.peak_temperature == pytest.approx(
+            small_chip.solver.peak_temperature(r.core_powers)
+        )
+
+    def test_power_temperature_affects_leakage(self, small_chip):
+        w = workload_of("x264", 2)
+        hot = map_workload(
+            small_chip, w, PowerBudgetConstraint(100.0), power_temperature=80.0
+        )
+        cool = map_workload(
+            small_chip, w, PowerBudgetConstraint(100.0), power_temperature=50.0
+        )
+        assert hot.total_power > cool.total_power
+
+
+class TestPlacers:
+    def test_default_is_contiguous(self, small_chip):
+        r = map_workload(small_chip, workload_of("x264", 1), PowerBudgetConstraint(100.0))
+        assert r.placed[0].cores == (0, 1, 2, 3)
+
+    def test_explicit_placer_used(self, small_chip):
+        from repro.mapping.patterns import CheckerboardPlacer
+
+        r = map_workload(
+            small_chip,
+            workload_of("x264", 1),
+            PowerBudgetConstraint(100.0),
+            placer=CheckerboardPlacer(),
+        )
+        rows_cols = [small_chip.grid_coordinates(c) for c in r.placed[0].cores]
+        assert all((r + c) % 2 == 0 for r, c in rows_cols)
+
+
+class TestEmptyWorkload:
+    def test_empty_workload_all_dark(self, small_chip):
+        r = map_workload(small_chip, Workload(), PowerBudgetConstraint(100.0))
+        assert r.active_cores == 0
+        assert r.dark_fraction == 1.0
+        assert r.gips == 0.0
+        assert r.peak_temperature == pytest.approx(small_chip.ambient)

@@ -1,0 +1,145 @@
+"""Dynamic Thermal Management policies and enforcement."""
+
+import pytest
+
+from repro.apps.parsec import PARSEC
+from repro.core.constraints import PowerBudgetConstraint
+from repro.core.dark_silicon import estimate_dark_silicon
+from repro.dtm import GateHottest, ThrottleHottest, enforce
+from repro.dtm.policies import DtmPolicy
+from repro.errors import ConfigurationError
+from repro.units import GIGA
+
+
+@pytest.fixture(scope="module")
+def violating(small_chip):
+    """A swaptions mapping admitted by a generous power budget that
+    exceeds T_DTM (boost-region frequency, fully utilised cores)."""
+    result = estimate_dark_silicon(
+        small_chip, PARSEC["swaptions"], 4.6 * GIGA,
+        PowerBudgetConstraint(500.0), threads=1,
+    )
+    assert result.peak_temperature > small_chip.t_dtm
+    return result
+
+
+@pytest.fixture(scope="module")
+def safe(small_chip):
+    result = estimate_dark_silicon(
+        small_chip, PARSEC["canneal"], 2.0 * GIGA,
+        PowerBudgetConstraint(20.0), threads=4,
+    )
+    assert result.peak_temperature < small_chip.t_dtm
+    return result
+
+
+class TestGateHottest:
+    def test_reaches_safe_state(self, violating):
+        outcome = enforce(violating, GateHottest())
+        assert outcome.after.peak_temperature <= violating.chip.t_dtm + 1e-6
+
+    def test_powers_down_cores(self, violating):
+        outcome = enforce(violating, GateHottest())
+        assert outcome.cores_lost > 0
+        assert outcome.triggered
+
+    def test_increases_dark_silicon(self, violating):
+        """The paper's Section 3.1 point: DTM on an optimistic-TDP
+        mapping produces *more* dark silicon than admitted."""
+        outcome = enforce(violating, GateHottest())
+        assert outcome.effective_dark_fraction > violating.dark_fraction
+
+    def test_loses_performance(self, violating):
+        outcome = enforce(violating, GateHottest())
+        assert outcome.gips_lost > 0
+
+
+class TestThrottleHottest:
+    def test_reaches_safe_state(self, violating):
+        outcome = enforce(violating, ThrottleHottest())
+        assert outcome.after.peak_temperature <= violating.chip.t_dtm + 1e-6
+
+    def test_keeps_more_cores_than_gating(self, violating):
+        throttled = enforce(violating, ThrottleHottest())
+        gated = enforce(violating, GateHottest())
+        assert throttled.after.active_cores >= gated.after.active_cores
+
+    def test_loses_less_performance_than_gating(self, violating):
+        throttled = enforce(violating, ThrottleHottest())
+        gated = enforce(violating, GateHottest())
+        assert throttled.gips_lost <= gated.gips_lost
+
+    def test_reduces_frequencies(self, violating):
+        outcome = enforce(violating, ThrottleHottest())
+        before = {p.instance.frequency for p in violating.placed}
+        after = {p.instance.frequency for p in outcome.after.placed}
+        assert min(after) < min(before)
+
+    def test_escalates_to_gating_at_ladder_bottom(self, small_chip, violating):
+        # A ladder whose only level is the current frequency leaves
+        # throttling nowhere to go but gating.
+        policy = ThrottleHottest(frequencies=[4.6 * GIGA])
+        outcome = enforce(violating, policy)
+        assert outcome.after.active_cores < violating.active_cores
+
+    def test_empty_ladder_rejected(self):
+        with pytest.raises(ConfigurationError, match="ladder"):
+            ThrottleHottest(frequencies=[])
+
+
+class TestEnforce:
+    def test_safe_mapping_untouched(self, safe):
+        outcome = enforce(safe)
+        assert not outcome.triggered
+        assert outcome.steps == 0
+        assert outcome.after.active_cores == safe.active_cores
+        assert outcome.gips_lost == 0.0
+
+    def test_default_policy_is_throttle(self, violating):
+        outcome = enforce(violating)
+        # Throttling keeps all cores for this workload.
+        assert outcome.after.peak_temperature <= violating.chip.t_dtm + 1e-6
+
+    def test_rejected_instances_carried_over(self, violating):
+        outcome = enforce(violating)
+        assert outcome.after.rejected == violating.rejected
+
+    def test_stuck_policy_detected(self, small_chip, violating):
+        class DoNothing(DtmPolicy):
+            def step(self, chip, placed):
+                return list(placed)  # never changes anything
+
+        with pytest.raises(ConfigurationError, match="safe state"):
+            enforce(violating, DoNothing(), max_steps=5)
+
+    def test_policy_exhaustion_stops_cleanly(self, violating):
+        class GiveUp(DtmPolicy):
+            def step(self, chip, placed):
+                return None
+
+        outcome = enforce(violating, GiveUp())
+        # Policy surrendered: mapping unchanged, still violating.
+        assert outcome.steps == 0
+        assert outcome.after.peak_temperature > violating.chip.t_dtm
+
+
+class TestHottestInstanceIndex:
+    def test_empty_list(self, small_chip):
+        assert DtmPolicy.hottest_instance_index(small_chip, []) is None
+
+    def test_identifies_hot_instance(self, small_chip):
+        from repro.apps.workload import ApplicationInstance
+        from repro.core.estimator import PlacedInstance
+
+        cool = PlacedInstance(
+            instance=ApplicationInstance(PARSEC["canneal"], 2, 1.0 * GIGA),
+            cores=(0, 1),
+            core_power=0.2,
+        )
+        hot = PlacedInstance(
+            instance=ApplicationInstance(PARSEC["swaptions"], 2, 3.6 * GIGA),
+            cores=(14, 15),
+            core_power=8.0,
+        )
+        idx = DtmPolicy.hottest_instance_index(small_chip, [cool, hot])
+        assert idx == 1

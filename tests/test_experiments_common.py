@@ -1,0 +1,48 @@
+"""Experiment infrastructure: chip cache and table rendering."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments.common import FIG5_FREQUENCIES, format_table, get_chip
+from repro.units import GIGA
+
+
+class TestChipCache:
+    def test_cached_instance(self):
+        assert get_chip("16nm") is get_chip("16nm")
+
+    def test_correct_node(self):
+        assert get_chip("11nm").node.name == "11nm"
+
+    def test_unknown_node_raises(self):
+        with pytest.raises(ConfigurationError):
+            get_chip("3nm")
+
+
+class TestFig5Frequencies:
+    def test_values(self):
+        assert [f / GIGA for f in FIG5_FREQUENCIES] == [2.8, 3.0, 3.2, 3.4, 3.6]
+
+
+class TestFormatTable:
+    def test_basic(self):
+        text = format_table(("a", "b"), [[1, 2.5], ["x", 3.0]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert "2.50" in text
+        assert lines[0].startswith("a")
+
+    def test_empty_rows(self):
+        text = format_table(("only",), [])
+        assert "only" in text
+
+    def test_no_headers_rejected(self):
+        with pytest.raises(ConfigurationError):
+            format_table((), [])
+
+    def test_column_alignment(self):
+        text = format_table(("col",), [["longvalue"], ["x"]])
+        lines = text.splitlines()
+        widths = {len(line) for line in lines}
+        # All lines padded to the same width.
+        assert len(widths) == 1

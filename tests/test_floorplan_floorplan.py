@@ -1,0 +1,97 @@
+"""Floorplan validation and adjacency."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.floorplan.floorplan import Block, Floorplan
+from repro.floorplan.geometry import Rect
+
+
+def two_by_two(side=1.0):
+    blocks = [
+        Block(f"core_{r * 2 + c}", Rect(c * side, r * side, side, side))
+        for r in range(2)
+        for c in range(2)
+    ]
+    return Floorplan(blocks)
+
+
+class TestValidation:
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError, match="at least one"):
+            Floorplan([])
+
+    def test_duplicate_names_rejected(self):
+        blocks = [
+            Block("a", Rect(0, 0, 1, 1)),
+            Block("a", Rect(2, 0, 1, 1)),
+        ]
+        with pytest.raises(ConfigurationError, match="duplicate"):
+            Floorplan(blocks)
+
+    def test_overlapping_blocks_rejected(self):
+        blocks = [
+            Block("a", Rect(0, 0, 2, 2)),
+            Block("b", Rect(1, 1, 2, 2)),
+        ]
+        with pytest.raises(ConfigurationError, match="overlap"):
+            Floorplan(blocks)
+
+    def test_touching_blocks_allowed(self):
+        fp = two_by_two()
+        assert len(fp) == 4
+
+
+class TestGeometry:
+    def test_extents(self):
+        fp = two_by_two(side=1.5)
+        assert fp.width == pytest.approx(3.0)
+        assert fp.height == pytest.approx(3.0)
+
+    def test_area(self):
+        assert two_by_two().area == pytest.approx(4.0)
+
+    def test_centers_order(self):
+        centers = two_by_two().centers()
+        assert centers[0] == (0.5, 0.5)
+        assert centers[3] == (1.5, 1.5)
+
+
+class TestIndex:
+    def test_index_of(self):
+        fp = two_by_two()
+        assert fp.index_of("core_2") == 2
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(ConfigurationError, match="no block"):
+            two_by_two().index_of("nope")
+
+
+class TestAdjacency:
+    def test_grid_adjacency_count(self):
+        # 2x2 grid: 4 shared edges.
+        assert len(two_by_two().adjacency()) == 4
+
+    def test_pairs_ordered(self):
+        for i, j, _ in two_by_two().adjacency():
+            assert i < j
+
+    def test_shared_lengths(self):
+        for _, _, length in two_by_two(side=2.0).adjacency():
+            assert length == pytest.approx(2.0)
+
+    def test_neighbours_of_corner(self):
+        fp = two_by_two()
+        assert sorted(fp.neighbours(0)) == [1, 2]
+
+    def test_neighbours_out_of_range(self):
+        with pytest.raises(ConfigurationError, match="out of range"):
+            two_by_two().neighbours(10)
+
+    def test_diagonal_not_adjacent(self):
+        fp = two_by_two()
+        assert 3 not in fp.neighbours(0)
+
+    def test_adjacency_cached(self):
+        fp = two_by_two()
+        assert fp.adjacency() is fp.adjacency()

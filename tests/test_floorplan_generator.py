@@ -1,0 +1,76 @@
+"""Grid floorplan generation (paper Figure 1's 'Generate Floorplan')."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.floorplan.generator import floorplan_for_node, grid_floorplan
+from repro.tech.library import ALL_NODES, NODE_16NM, chip_core_count, chip_grid
+from repro.units import mm2
+
+
+class TestGridFloorplan:
+    def test_block_count(self):
+        assert len(grid_floorplan(3, 4, mm2(5.1))) == 12
+
+    def test_row_major_naming(self):
+        fp = grid_floorplan(2, 3, mm2(1.0))
+        assert fp.blocks[0].name == "core_0"
+        assert fp.blocks[5].name == "core_5"
+        # core_4 is row 1, col 1.
+        side = math.sqrt(mm2(1.0))
+        assert fp.blocks[4].rect.x == pytest.approx(side)
+        assert fp.blocks[4].rect.y == pytest.approx(side)
+
+    def test_cores_are_square_with_requested_area(self):
+        fp = grid_floorplan(2, 2, mm2(5.1))
+        for block in fp.blocks:
+            assert block.rect.width == pytest.approx(block.rect.height)
+            assert block.rect.area == pytest.approx(mm2(5.1))
+
+    def test_interior_core_has_four_neighbours(self):
+        fp = grid_floorplan(3, 3, mm2(1.0))
+        assert len(fp.neighbours(4)) == 4
+
+    def test_corner_core_has_two_neighbours(self):
+        fp = grid_floorplan(3, 3, mm2(1.0))
+        assert len(fp.neighbours(0)) == 2
+
+    @given(st.integers(min_value=1, max_value=6), st.integers(min_value=1, max_value=6))
+    @settings(max_examples=30, deadline=None)
+    def test_adjacency_count_formula(self, rows, cols):
+        # A rows x cols grid has rows*(cols-1) + cols*(rows-1) shared edges.
+        fp = grid_floorplan(rows, cols, mm2(1.0))
+        expected = rows * (cols - 1) + cols * (rows - 1)
+        assert len(fp.adjacency()) == expected
+
+    def test_invalid_grid_rejected(self):
+        with pytest.raises(ConfigurationError):
+            grid_floorplan(0, 3, mm2(1.0))
+
+    def test_invalid_area_rejected(self):
+        with pytest.raises(ConfigurationError, match="core_area"):
+            grid_floorplan(2, 2, -1.0)
+
+
+class TestNodeFloorplans:
+    @pytest.mark.parametrize("node", ALL_NODES)
+    def test_core_count_matches_chip(self, node):
+        assert len(floorplan_for_node(node)) == chip_core_count(node)
+
+    def test_16nm_die_fits_spreader(self):
+        fp = floorplan_for_node(NODE_16NM)
+        # 10 cores x sqrt(5.1 mm^2) ~ 22.6 mm < 30 mm spreader.
+        assert fp.width < 30e-3
+        assert fp.height < 30e-3
+
+    @pytest.mark.parametrize("node", ALL_NODES)
+    def test_grid_shape(self, node):
+        rows, cols = chip_grid(node)
+        fp = floorplan_for_node(node)
+        side = math.sqrt(node.core_area)
+        assert fp.width == pytest.approx(cols * side)
+        assert fp.height == pytest.approx(rows * side)

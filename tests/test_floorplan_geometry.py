@@ -1,0 +1,103 @@
+"""Rectangle geometry."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.floorplan.geometry import Rect, shared_edge_length
+
+coords = st.floats(min_value=-10.0, max_value=10.0)
+extents = st.floats(min_value=0.1, max_value=5.0)
+rects = st.builds(Rect, x=coords, y=coords, width=extents, height=extents)
+
+
+class TestRect:
+    def test_area(self):
+        assert Rect(0, 0, 2, 3).area == pytest.approx(6.0)
+
+    def test_corners(self):
+        r = Rect(1, 2, 3, 4)
+        assert (r.x2, r.y2) == (4, 6)
+
+    def test_center(self):
+        assert Rect(0, 0, 2, 4).center == (1.0, 2.0)
+
+    def test_zero_width_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Rect(0, 0, 0, 1)
+
+    def test_negative_height_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Rect(0, 0, 1, -1)
+
+
+class TestOverlap:
+    def test_disjoint(self):
+        assert not Rect(0, 0, 1, 1).overlaps(Rect(5, 5, 1, 1))
+
+    def test_overlapping(self):
+        assert Rect(0, 0, 2, 2).overlaps(Rect(1, 1, 2, 2))
+
+    def test_touching_edges_do_not_overlap(self):
+        assert not Rect(0, 0, 1, 1).overlaps(Rect(1, 0, 1, 1))
+
+    def test_contained(self):
+        assert Rect(0, 0, 4, 4).overlaps(Rect(1, 1, 1, 1))
+
+    @given(rects, rects)
+    @settings(max_examples=80)
+    def test_symmetric(self, a, b):
+        assert a.overlaps(b) == b.overlaps(a)
+
+    @given(rects)
+    @settings(max_examples=40)
+    def test_self_overlap(self, r):
+        assert r.overlaps(r)
+
+
+class TestContains:
+    def test_contains_inner(self):
+        assert Rect(0, 0, 4, 4).contains(Rect(1, 1, 2, 2))
+
+    def test_contains_self(self):
+        r = Rect(0, 0, 2, 2)
+        assert r.contains(r)
+
+    def test_does_not_contain_outside(self):
+        assert not Rect(0, 0, 2, 2).contains(Rect(1, 1, 2, 2))
+
+
+class TestSharedEdge:
+    def test_vertical_abutment(self):
+        a = Rect(0, 0, 1, 2)
+        b = Rect(1, 0, 1, 2)
+        assert shared_edge_length(a, b) == pytest.approx(2.0)
+
+    def test_horizontal_abutment(self):
+        a = Rect(0, 0, 3, 1)
+        b = Rect(0, 1, 3, 1)
+        assert shared_edge_length(a, b) == pytest.approx(3.0)
+
+    def test_partial_overlap_edge(self):
+        a = Rect(0, 0, 1, 2)
+        b = Rect(1, 1, 1, 2)
+        assert shared_edge_length(a, b) == pytest.approx(1.0)
+
+    def test_corner_contact_is_zero(self):
+        a = Rect(0, 0, 1, 1)
+        b = Rect(1, 1, 1, 1)
+        assert shared_edge_length(a, b) == pytest.approx(0.0)
+
+    def test_disjoint_is_zero(self):
+        assert shared_edge_length(Rect(0, 0, 1, 1), Rect(5, 5, 1, 1)) == 0.0
+
+    @given(rects, rects)
+    @settings(max_examples=80)
+    def test_symmetric(self, a, b):
+        assert shared_edge_length(a, b) == pytest.approx(shared_edge_length(b, a))
+
+    @given(rects, rects)
+    @settings(max_examples=80)
+    def test_non_negative(self, a, b):
+        assert shared_edge_length(a, b) >= 0.0

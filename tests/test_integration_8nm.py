@@ -1,0 +1,104 @@
+"""Integration coverage of the 361-core 8 nm chip.
+
+Most tests run on the 16 nm chip; this module exercises the largest
+evaluated platform end to end — RC model scale, TSP tables, estimation,
+and the §3.2 observation that 8 nm power densities are "very high".
+"""
+
+import numpy as np
+import pytest
+
+from repro.apps.parsec import PARSEC
+from repro.chip import Chip
+from repro.core.constraints import PowerBudgetConstraint, TemperatureConstraint
+from repro.core.dark_silicon import estimate_dark_silicon
+from repro.core.tsp import ThermalSafePower
+from repro.mapping.patterns import NeighbourhoodSpreadPlacer
+from repro.tech.library import NODE_8NM
+from repro.units import GIGA, to_mm2
+
+
+@pytest.fixture(scope="module")
+def chip8():
+    return Chip.for_node(NODE_8NM)
+
+
+class TestPlatform:
+    def test_dimensions(self, chip8):
+        assert chip8.n_cores == 361
+        assert chip8.grid == (19, 19)
+        # ~505 mm^2 of core silicon.
+        assert to_mm2(chip8.floorplan.area) == pytest.approx(361 * 1.4, rel=0.01)
+
+    def test_rc_model_scale(self, chip8):
+        # 4 layers x 361 cores + 12 ring nodes.
+        assert chip8.thermal.n_nodes == 4 * 361 + 12
+
+    def test_die_fits_spreader(self, chip8):
+        assert chip8.floorplan.width < 30e-3
+
+
+class TestThermal:
+    def test_idle_at_ambient(self, chip8):
+        temps = chip8.solver.temperatures(np.zeros(361))
+        assert np.allclose(temps, chip8.ambient)
+
+    def test_uniform_capacity_similar_to_16nm(self, chip8, chip16):
+        """Same package, same die budget -> similar all-on capacity."""
+        from repro.power.budget import tdp_all_cores_at_threshold
+
+        cap8 = tdp_all_cores_at_threshold(chip8.solver, 361)
+        cap16 = tdp_all_cores_at_threshold(chip16.solver, 100)
+        assert cap8 == pytest.approx(cap16, rel=0.1)
+
+
+class TestTsp:
+    def test_table_endpoints(self, chip8):
+        tsp = ThermalSafePower(chip8)
+        assert tsp.worst_case(1) > tsp.worst_case(361)
+        # Full-chip per-core budget is well below 1 W: the §3.2 "very
+        # high power densities" observation in budget form.
+        assert tsp.worst_case(361) < 1.0
+
+    def test_nominal_frequency_fits_large_active_counts(self, chip8):
+        """At 8 nm, the frugal scaled cores run at 4.4 GHz even with
+        60 % of the chip active (the Figure 10 operating point)."""
+        tsp = ThermalSafePower(chip8)
+        f = tsp.safe_frequency(PARSEC["x264"], 216)
+        assert f == pytest.approx(4.4 * GIGA)
+
+
+class TestDarkSilicon:
+    def test_tdp_binds_at_nominal_frequency(self, chip8):
+        result = estimate_dark_silicon(
+            chip8, PARSEC["swaptions"], chip8.node.f_max,
+            PowerBudgetConstraint(185.0), placer=NeighbourhoodSpreadPlacer(),
+        )
+        assert result.dark_cores > 0
+        assert result.total_power <= 185.0
+
+    def test_temperature_constraint_admits_more(self, chip8):
+        placer = NeighbourhoodSpreadPlacer()
+        tdp = estimate_dark_silicon(
+            chip8, PARSEC["swaptions"], chip8.node.f_max,
+            PowerBudgetConstraint(185.0), placer=placer,
+        )
+        temp = estimate_dark_silicon(
+            chip8, PARSEC["swaptions"], chip8.node.f_max,
+            TemperatureConstraint(), placer=placer,
+        )
+        assert temp.active_cores >= tdp.active_cores
+        assert temp.peak_temperature <= chip8.t_dtm + 1e-6
+
+    def test_8nm_outperforms_16nm_at_equal_budget(self, chip8, chip16):
+        """The scaling dividend: the same 185 W buys more GIPS at 8 nm."""
+        placer = NeighbourhoodSpreadPlacer()
+        r8 = estimate_dark_silicon(
+            chip8, PARSEC["x264"], chip8.node.f_max,
+            PowerBudgetConstraint(185.0), placer=placer,
+        )
+        r16 = estimate_dark_silicon(
+            chip16, PARSEC["x264"], chip16.node.f_max,
+            PowerBudgetConstraint(185.0), placer=placer,
+        )
+        assert r8.gips > r16.gips

@@ -1,0 +1,81 @@
+"""TDPmap and DsRem mapping policies (paper Section 4, Figure 9)."""
+
+import pytest
+
+from repro.apps.parsec import PARSEC
+from repro.errors import ConfigurationError
+from repro.mapping.dsrem import DsRemConfig, ds_rem
+from repro.mapping.tdpmap import tdp_map
+from repro.units import GIGA
+
+
+class TestTdpMap:
+    def test_respects_tdp(self, small_chip):
+        r = tdp_map(small_chip, [PARSEC["swaptions"]], tdp=20.0, threads=4)
+        assert r.total_power <= 20.0
+
+    def test_runs_at_max_frequency(self, small_chip):
+        r = tdp_map(small_chip, [PARSEC["x264"]], tdp=100.0, threads=4)
+        for placed in r.placed:
+            assert placed.instance.frequency == pytest.approx(small_chip.node.f_max)
+
+    def test_round_robin_mix(self, small_chip):
+        r = tdp_map(
+            small_chip, [PARSEC["x264"], PARSEC["canneal"]], tdp=1000.0, threads=4
+        )
+        names = [p.instance.app.name for p in r.placed]
+        assert names == ["x264", "canneal", "x264", "canneal"]
+
+    def test_fixed_thread_count(self, small_chip):
+        r = tdp_map(small_chip, [PARSEC["ferret"]], tdp=1000.0, threads=8)
+        assert all(p.instance.threads == 8 for p in r.placed)
+
+    def test_empty_mix_rejected(self, small_chip):
+        with pytest.raises(ConfigurationError, match="at least one"):
+            tdp_map(small_chip, [], tdp=100.0)
+
+
+class TestDsRem:
+    @pytest.fixture(scope="class")
+    def quick_cfg(self):
+        # Coarse ladder keeps the heuristic fast on the small chip.
+        return DsRemConfig(frequencies=[2.0 * GIGA, 2.8 * GIGA, 3.6 * GIGA])
+
+    def test_thermally_safe(self, small_chip, quick_cfg):
+        r = ds_rem(small_chip, [PARSEC["swaptions"]], tdp=30.0, config=quick_cfg)
+        assert r.peak_temperature <= small_chip.t_dtm + 1e-6
+
+    def test_beats_tdpmap(self, small_chip, quick_cfg):
+        apps = [PARSEC["x264"], PARSEC["canneal"]]
+        base = tdp_map(small_chip, apps, tdp=25.0)
+        improved = ds_rem(small_chip, apps, tdp=25.0, config=quick_cfg)
+        assert improved.gips > base.gips
+
+    def test_no_core_oversubscription(self, small_chip, quick_cfg):
+        r = ds_rem(small_chip, [PARSEC["dedup"]], tdp=50.0, config=quick_cfg)
+        cores = [c for p in r.placed for c in p.cores]
+        assert len(cores) == len(set(cores))
+        assert r.active_cores <= small_chip.n_cores
+
+    def test_exploit_phase_fills_headroom(self, small_chip, quick_cfg):
+        # A tiny TDP starves the budget phase; the exploit phase must
+        # still push performance up to what the temperature allows.
+        r = ds_rem(small_chip, [PARSEC["blackscholes"]], tdp=3.0, config=quick_cfg)
+        assert r.total_power > 3.0  # grew past the TDP seed
+        assert r.peak_temperature <= small_chip.t_dtm + 1e-6
+
+    def test_invalid_tdp_rejected(self, small_chip):
+        with pytest.raises(ConfigurationError, match="tdp"):
+            ds_rem(small_chip, [PARSEC["x264"]], tdp=0.0)
+
+    def test_empty_mix_rejected(self, small_chip):
+        with pytest.raises(ConfigurationError, match="at least one"):
+            ds_rem(small_chip, [], tdp=100.0)
+
+    def test_mix_can_be_unbalanced(self, small_chip, quick_cfg):
+        # DsRem may give zero instances to an app that hurts the optimum.
+        r = ds_rem(
+            small_chip, [PARSEC["swaptions"], PARSEC["canneal"]], tdp=30.0,
+            config=quick_cfg,
+        )
+        assert len(r.placed) >= 1

@@ -1,0 +1,101 @@
+"""Spatio-temporal patterning (active-set rotation)."""
+
+import numpy as np
+import pytest
+
+from repro.apps.parsec import PARSEC
+from repro.apps.workload import Workload
+from repro.errors import ConfigurationError
+from repro.mapping.temporal import (
+    TemporalPatternResult,
+    evaluate_rotation,
+    rotation_phases,
+)
+from repro.units import GIGA
+
+
+class TestRotationPhases:
+    def test_phase_count(self, small_chip):
+        base = np.zeros(16)
+        base[:4] = 2.0
+        phases = rotation_phases(small_chip, base, 4)
+        assert len(phases) == 4
+
+    def test_power_conserved_per_phase(self, small_chip):
+        base = np.arange(16, dtype=float)
+        for phase in rotation_phases(small_chip, base, 3):
+            assert phase.sum() == pytest.approx(base.sum())
+
+    def test_first_phase_is_base(self, small_chip):
+        base = np.arange(16, dtype=float)
+        phases = rotation_phases(small_chip, base, 2)
+        assert np.array_equal(phases[0], base)
+
+    def test_two_phases_are_complementary_halves(self, small_chip):
+        base = np.zeros(16)
+        base[:8] = 1.0
+        phases = rotation_phases(small_chip, base, 2)
+        assert np.array_equal(phases[1], np.roll(base, 8))
+        assert phases[0] @ phases[1] == 0.0  # disjoint active sets
+
+    def test_invalid_phase_count(self, small_chip):
+        with pytest.raises(ConfigurationError, match="n_phases"):
+            rotation_phases(small_chip, np.zeros(16), 0)
+
+
+class TestEvaluateRotation:
+    @pytest.fixture(scope="class")
+    def workload(self):
+        # Half the small chip, contiguously hot.
+        return Workload.replicate(PARSEC["x264"], 2, 4, 3.6 * GIGA)
+
+    def test_rotation_reduces_peak(self, small_chip, workload):
+        result = evaluate_rotation(
+            small_chip, workload, n_phases=2, period=0.05, cycles=10
+        )
+        assert result.reduction > 0.0
+
+    def test_rotating_peak_bounded_both_ways(self, small_chip, workload):
+        result = evaluate_rotation(
+            small_chip, workload, n_phases=2, period=0.05, cycles=10
+        )
+        # Cooler than the static mapping, but no cooler than the fully
+        # time-averaged power field (the theoretical rotation limit).
+        assert result.rotating_peak < result.static_peak
+        from repro.core.constraints import PowerBudgetConstraint
+        from repro.core.estimator import map_workload
+
+        base = map_workload(small_chip, workload, PowerBudgetConstraint(1e12))
+        averaged = np.mean(
+            rotation_phases(small_chip, base.core_powers, 2), axis=0
+        )
+        limit = small_chip.solver.peak_temperature(averaged)
+        assert result.rotating_peak >= limit - 1e-6
+
+    def test_faster_rotation_cools_more(self, small_chip, workload):
+        slow = evaluate_rotation(
+            small_chip, workload, n_phases=2, period=0.5, cycles=10
+        )
+        fast = evaluate_rotation(
+            small_chip, workload, n_phases=2, period=0.02, cycles=10
+        )
+        assert fast.rotating_peak <= slow.rotating_peak + 1e-6
+
+    def test_trace_recorded(self, small_chip, workload):
+        result = evaluate_rotation(
+            small_chip, workload, n_phases=2, period=0.05, cycles=4, dt=1e-2
+        )
+        assert len(result.peak_trace) == 4 * 2 * 5
+
+    def test_overfull_workload_rejected(self, small_chip):
+        too_big = Workload.replicate(PARSEC["x264"], 5, 4, 2.0 * GIGA)
+        with pytest.raises(ConfigurationError, match="fit"):
+            evaluate_rotation(small_chip, too_big)
+
+    def test_period_below_dt_rejected(self, small_chip, workload):
+        with pytest.raises(ConfigurationError, match="period"):
+            evaluate_rotation(small_chip, workload, period=1e-4, dt=1e-3)
+
+    def test_too_few_cycles_rejected(self, small_chip, workload):
+        with pytest.raises(ConfigurationError, match="cycles"):
+            evaluate_rotation(small_chip, workload, cycles=1)

@@ -1,0 +1,73 @@
+"""Performance and energy metrics."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.metrics.energy import (
+    average_power_from_trace,
+    energy_from_trace,
+    energy_joules,
+)
+from repro.metrics.performance import average_gips, performance_gain, total_gips
+
+
+class TestPerformance:
+    def test_total_gips(self):
+        assert total_gips([1e9, 2e9, 0.5e9]) == pytest.approx(3.5)
+
+    def test_total_gips_empty(self):
+        assert total_gips([]) == 0.0
+
+    def test_average_gips(self):
+        assert average_gips([100.0, 200.0, 300.0]) == pytest.approx(200.0)
+
+    def test_average_gips_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            average_gips([])
+
+    def test_performance_gain(self):
+        assert performance_gain(100.0, 132.0) == pytest.approx(0.32)
+
+    def test_performance_loss_is_negative(self):
+        assert performance_gain(100.0, 90.0) == pytest.approx(-0.1)
+
+    def test_zero_baseline_rejected(self):
+        with pytest.raises(ConfigurationError):
+            performance_gain(0.0, 10.0)
+
+
+class TestEnergy:
+    def test_energy_joules(self):
+        assert energy_joules(50.0, 10.0) == pytest.approx(500.0)
+
+    def test_negative_duration_rejected(self):
+        with pytest.raises(ConfigurationError):
+            energy_joules(50.0, -1.0)
+
+    def test_constant_power_trace(self):
+        t = np.linspace(0.0, 10.0, 11)
+        p = np.full(11, 5.0)
+        assert energy_from_trace(t, p) == pytest.approx(50.0)
+
+    def test_ramp_trace(self):
+        t = np.array([0.0, 1.0])
+        p = np.array([0.0, 10.0])
+        assert energy_from_trace(t, p) == pytest.approx(5.0)
+
+    def test_average_power(self):
+        t = np.array([0.0, 1.0, 2.0])
+        p = np.array([10.0, 10.0, 10.0])
+        assert average_power_from_trace(t, p) == pytest.approx(10.0)
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ConfigurationError):
+            energy_from_trace([0.0, 1.0], [1.0])
+
+    def test_single_sample_rejected(self):
+        with pytest.raises(ConfigurationError, match="two samples"):
+            energy_from_trace([0.0], [1.0])
+
+    def test_non_increasing_times_rejected(self):
+        with pytest.raises(ConfigurationError, match="increasing"):
+            energy_from_trace([0.0, 0.0, 1.0], [1.0, 1.0, 1.0])

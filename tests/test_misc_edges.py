@@ -1,0 +1,97 @@
+"""Edge-path coverage: lazy imports, error branches, odd geometries."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.units import GIGA
+
+
+class TestMappingLazyImports:
+    def test_lazy_names_resolve(self):
+        import repro.mapping as mapping
+
+        assert callable(mapping.tdp_map)
+        assert callable(mapping.ds_rem)
+        assert mapping.DsRemConfig is not None
+
+    def test_unknown_attribute_raises(self):
+        import repro.mapping as mapping
+
+        with pytest.raises(AttributeError, match="no attribute"):
+            mapping.does_not_exist
+
+
+class TestNonSquareChips:
+    """The 11 nm chip is 11x18 — periphery rings are asymmetric."""
+
+    def test_11nm_rings_present(self, chip11):
+        names = chip11.thermal.network.node_names
+        for ring in ("spr_ring_n", "spr_ring_e", "snk_ring_out_w"):
+            assert ring in names
+
+    def test_11nm_symmetry_along_long_axis(self, chip11):
+        """Uniform power: mirror cores across the vertical centre line
+        have equal temperatures."""
+        temps = chip11.solver.temperatures(np.full(198, 1.0))
+        rows, cols = chip11.grid
+        grid = temps.reshape(rows, cols)
+        assert np.allclose(grid, grid[:, ::-1], atol=1e-9)
+
+    def test_11nm_symmetry_along_short_axis(self, chip11):
+        temps = chip11.solver.temperatures(np.full(198, 1.0))
+        rows, cols = chip11.grid
+        grid = temps.reshape(rows, cols)
+        assert np.allclose(grid, grid[::-1, :], atol=1e-9)
+
+
+class TestVfCurveAt8nm:
+    def test_ladder_reaches_4_4_ghz(self):
+        from repro.tech.library import NODE_8NM
+
+        ladder = NODE_8NM.frequency_ladder()
+        assert ladder[-1] == pytest.approx(4.4 * GIGA)
+
+    def test_boost_region_extends_far(self):
+        """The 8 nm curve's reachable limit is well above nominal —
+        the space the boosting controller plays in."""
+        from repro.power.vf_curve import VFCurve
+        from repro.tech.library import NODE_8NM
+
+        curve = VFCurve.for_node(NODE_8NM)
+        assert curve.f_limit > 1.3 * NODE_8NM.f_max
+
+
+class TestWorkloadEdge:
+    def test_single_core_instance_everywhere(self, small_chip):
+        """1-thread instances exercise the alpha=1 fast path through the
+        whole estimation stack."""
+        from repro.apps.parsec import PARSEC
+        from repro.apps.workload import Workload
+        from repro.core.constraints import TemperatureConstraint
+        from repro.core.estimator import map_workload
+
+        w = Workload.replicate(PARSEC["blackscholes"], 16, 1, 2.0 * GIGA)
+        result = map_workload(small_chip, w, TemperatureConstraint())
+        assert result.active_cores == 16
+        assert all(p.instance.utilisation == pytest.approx(1.0) for p in result.placed)
+
+
+class TestExperimentErrorPaths:
+    def test_fig10_zero_dark_share(self):
+        """The extreme 0 %-dark point: every 8-thread slot is active and
+        the chosen DVFS levels still respect the (tight) TSP budget."""
+        from repro.experiments import fig10_tsp
+
+        result = fig10_tsp.run(dark_shares={"16nm": 0.0})
+        node = result.node("16nm")
+        assert node.active_cores == 96
+        for app in node.apps:
+            assert app.per_core_power <= node.tsp_per_core + 1e-9
+
+    def test_cli_quick_flag_shortens(self, capsys):
+        from repro.cli import main
+
+        assert main(["fig11", "--quick"]) == 0
+        out = capsys.readouterr().out
+        assert "boosting" in out

@@ -1,0 +1,123 @@
+"""NTC regions and the ISO-performance comparison (Figure 14)."""
+
+import pytest
+
+from repro.apps.parsec import PARSEC
+from repro.errors import ConfigurationError
+from repro.ntc.iso_performance import (
+    iso_performance_comparison,
+    stc_frequency_for_iso,
+)
+from repro.ntc.regions import classify_frequency, classify_voltage, region_bounds
+from repro.power.vf_curve import Region
+from repro.tech.library import NODE_11NM, NODE_22NM
+from repro.units import GIGA
+
+
+class TestRegions:
+    def test_low_voltage_is_ntc(self):
+        assert classify_voltage(NODE_22NM, 0.3) is Region.NTC
+
+    def test_mid_voltage_is_stc(self):
+        assert classify_voltage(NODE_22NM, 0.8) is Region.STC
+
+    def test_low_frequency_is_ntc(self):
+        assert classify_frequency(NODE_11NM, 0.5 * GIGA) is Region.NTC
+
+    def test_nominal_frequency_is_stc(self):
+        assert classify_frequency(NODE_11NM, NODE_11NM.f_max) is Region.STC
+
+    def test_bounds_contiguous(self):
+        bounds = region_bounds(NODE_11NM)
+        assert bounds["ntc"][1] == pytest.approx(bounds["stc"][0])
+        assert bounds["stc"][1] == pytest.approx(bounds["boost"][0])
+
+    def test_bounds_ordered(self):
+        bounds = region_bounds(NODE_11NM)
+        assert bounds["ntc"][0] < bounds["ntc"][1] < bounds["stc"][1] < bounds["boost"][1]
+
+
+class TestIsoFrequency:
+    def test_single_thread_needs_speedup_times_frequency(self):
+        app = PARSEC["swaptions"]
+        f = stc_frequency_for_iso(app, 1, 8, 1.0 * GIGA)
+        assert f == pytest.approx(app.speedup(8) * GIGA)
+
+    def test_two_threads_need_less(self):
+        app = PARSEC["x264"]
+        f1 = stc_frequency_for_iso(app, 1, 8, 1.0 * GIGA)
+        f2 = stc_frequency_for_iso(app, 2, 8, 1.0 * GIGA)
+        assert f2 < f1
+
+    def test_same_threads_same_frequency(self):
+        app = PARSEC["x264"]
+        assert stc_frequency_for_iso(app, 8, 8, 1.0 * GIGA) == pytest.approx(GIGA)
+
+
+class TestComparison:
+    @pytest.fixture(scope="class")
+    def points(self):
+        return iso_performance_comparison(NODE_11NM, list(PARSEC.values()))
+
+    def test_three_schemes_per_app(self, points):
+        assert len(points) == 3 * len(PARSEC)
+
+    def test_iso_performance_holds_for_feasible_schemes(self, points):
+        by_app = {}
+        for p in points:
+            by_app.setdefault(p.app, []).append(p)
+        for app, group in by_app.items():
+            feasible = [p for p in group if p.feasible]
+            gips = [p.gips for p in feasible]
+            assert max(gips) == pytest.approx(min(gips), rel=1e-9)
+
+    def test_ntc_points_in_ntc_region(self, points):
+        for p in points:
+            if p.scheme == "ntc":
+                assert p.region is Region.NTC
+
+    def test_equal_time_energy_power_proportionality(self, points):
+        # For feasible schemes, energy ratio == power ratio (same time).
+        for app in PARSEC:
+            group = {p.scheme: p for p in points if p.app == app}
+            ntc, stc2 = group["ntc"], group["stc-2t"]
+            if stc2.feasible:
+                assert ntc.energy_kj / stc2.energy_kj == pytest.approx(
+                    ntc.total_power / stc2.total_power, rel=1e-9
+                )
+
+    def test_ntc_beats_single_thread_stc_for_scalable_apps(self, points):
+        """The paper's headline: NTC is energy-efficient when thread
+        scaling is good (every app except canneal vs 1-thread STC)."""
+        for app in PARSEC:
+            if app == "canneal":
+                continue
+            group = {p.scheme: p for p in points if p.app == app}
+            if group["stc-1t"].feasible:
+                assert group["ntc"].energy_kj < group["stc-1t"].energy_kj
+
+    def test_canneal_ntc_loses(self, points):
+        """Observation 4: canneal does not scale, NTC wastes energy."""
+        group = {p.scheme: p for p in points if p.app == "canneal"}
+        assert group["ntc"].energy_kj > group["stc-1t"].energy_kj
+        assert group["ntc"].energy_kj > group["stc-2t"].energy_kj
+
+    def test_capped_scheme_takes_longer_and_reports_it(self):
+        # Force infeasibility with an absurd NTC frequency.
+        points = iso_performance_comparison(
+            NODE_11NM, [PARSEC["swaptions"]], ntc_frequency=2.0 * GIGA
+        )
+        stc1 = next(p for p in points if p.scheme == "stc-1t")
+        assert not stc1.feasible
+        ntc = next(p for p in points if p.scheme == "ntc")
+        assert stc1.gips < ntc.gips
+
+    def test_invalid_instances_rejected(self):
+        with pytest.raises(ConfigurationError, match="n_instances"):
+            iso_performance_comparison(NODE_11NM, [PARSEC["x264"]], n_instances=0)
+
+    def test_invalid_reference_time_rejected(self):
+        with pytest.raises(ConfigurationError, match="reference_time"):
+            iso_performance_comparison(
+                NODE_11NM, [PARSEC["x264"]], reference_time=0.0
+            )

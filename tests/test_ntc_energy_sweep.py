@@ -1,0 +1,92 @@
+"""The NTC energy/voltage U-curve."""
+
+import numpy as np
+import pytest
+
+from repro.apps.parsec import PARSEC
+from repro.errors import ConfigurationError
+from repro.ntc.energy_sweep import (
+    energy_voltage_sweep,
+    minimum_energy_point,
+)
+from repro.power.vf_curve import Region, VFCurve
+from repro.tech.library import NODE_11NM, NODE_16NM
+
+
+class TestSweep:
+    @pytest.fixture(scope="class")
+    def points(self):
+        return energy_voltage_sweep(PARSEC["x264"], NODE_11NM)
+
+    def test_voltage_ascending(self, points):
+        vs = [p.vdd for p in points]
+        assert vs == sorted(vs)
+
+    def test_spans_ntc_to_boost(self, points):
+        regions = {p.region for p in points}
+        assert Region.NTC in regions
+        assert Region.BOOST in regions
+
+    def test_all_quantities_positive(self, points):
+        for p in points:
+            assert p.frequency > 0
+            assert p.power > 0
+            assert p.gips > 0
+            assert p.energy_per_instruction > 0
+
+    def test_u_curve_shape(self, points):
+        """Energy per instruction dips then rises: both sweep ends are
+        above the interior minimum."""
+        energies = [p.energy_per_instruction for p in points]
+        i_min = int(np.argmin(energies))
+        assert 0 < i_min < len(energies) - 1
+        assert energies[0] > energies[i_min]
+        assert energies[-1] > energies[i_min]
+
+    def test_resolution_respected(self):
+        points = energy_voltage_sweep(PARSEC["x264"], NODE_11NM, n_points=7)
+        assert len(points) == 7
+
+    def test_too_few_points_rejected(self):
+        with pytest.raises(ConfigurationError):
+            energy_voltage_sweep(PARSEC["x264"], NODE_11NM, n_points=1)
+
+    def test_v_min_validated(self):
+        with pytest.raises(ConfigurationError, match="v_min"):
+            energy_voltage_sweep(PARSEC["x264"], NODE_11NM, v_min=0.01)
+
+
+class TestMinimumEnergyPoint:
+    def test_scalable_apps_optimum_is_near_threshold(self):
+        """The NTC headline: the minimum-energy voltage of
+        thread-scalable applications sits in the near-threshold region,
+        far below nominal."""
+        curve = VFCurve.for_node(NODE_11NM)
+        for name in ("x264", "swaptions", "blackscholes"):
+            p = minimum_energy_point(PARSEC[name], NODE_11NM)
+            assert p.region is Region.NTC, name
+            assert p.vdd < 0.6 * curve.v_nominal, name
+
+    def test_poor_scaler_optimum_is_higher(self):
+        """canneal's large P_ind share pushes its optimum to a higher
+        voltage than the scalable kernels'."""
+        canneal = minimum_energy_point(PARSEC["canneal"], NODE_11NM)
+        swaptions = minimum_energy_point(PARSEC["swaptions"], NODE_11NM)
+        assert canneal.vdd > swaptions.vdd
+
+    def test_optimum_far_cheaper_than_nominal(self):
+        app = PARSEC["x264"]
+        curve = VFCurve.for_node(NODE_16NM)
+        optimum = minimum_energy_point(app, NODE_16NM)
+        sweep = energy_voltage_sweep(app, NODE_16NM, n_points=200)
+        nominal = min(
+            sweep, key=lambda p: abs(p.vdd - curve.v_nominal)
+        )
+        assert optimum.energy_per_instruction < 0.6 * nominal.energy_per_instruction
+
+    def test_hotter_die_raises_energy_and_optimum(self):
+        cool = minimum_energy_point(PARSEC["x264"], NODE_11NM, temperature=50.0)
+        hot = minimum_energy_point(PARSEC["x264"], NODE_11NM, temperature=90.0)
+        assert hot.energy_per_instruction > cool.energy_per_instruction
+        # More leakage to amortise -> run a bit faster (higher V).
+        assert hot.vdd >= cool.vdd

@@ -1,0 +1,99 @@
+"""TDP derivations (paper Section 3.1)."""
+
+import pytest
+
+from repro.apps.parsec import PARSEC
+from repro.errors import ConfigurationError
+from repro.power.budget import (
+    PAPER_TDP_OPTIMISTIC,
+    PAPER_TDP_PESSIMISTIC,
+    tdp_all_cores_at_threshold,
+    tdp_half_cores_max_vf,
+)
+from repro.tech.library import NODE_16NM
+
+
+class TestPaperConstants:
+    def test_optimistic(self):
+        assert PAPER_TDP_OPTIMISTIC == 220.0
+
+    def test_pessimistic(self):
+        assert PAPER_TDP_PESSIMISTIC == 185.0
+
+
+class TestOptimisticTdp:
+    def test_peak_at_threshold(self, chip16):
+        tdp = tdp_all_cores_at_threshold(chip16.solver, chip16.n_cores)
+        per_core = tdp / chip16.n_cores
+        peak = chip16.solver.peak_temperature([per_core] * chip16.n_cores)
+        assert peak == pytest.approx(80.0, abs=0.05)
+
+    def test_close_to_paper_value(self, chip16):
+        tdp = tdp_all_cores_at_threshold(chip16.solver, chip16.n_cores)
+        # Paper: 220 W.  Our RC model lands within ~10 %.
+        assert 190.0 <= tdp <= 240.0
+
+    def test_higher_threshold_gives_higher_budget(self, chip16):
+        t80 = tdp_all_cores_at_threshold(chip16.solver, chip16.n_cores, t_dtm=80.0)
+        t90 = tdp_all_cores_at_threshold(chip16.solver, chip16.n_cores, t_dtm=90.0)
+        assert t90 > t80
+
+    def test_invalid_core_count(self, chip16):
+        with pytest.raises(ConfigurationError, match="n_cores"):
+            tdp_all_cores_at_threshold(chip16.solver, 0)
+
+    def test_threshold_below_ambient_rejected(self, chip16):
+        with pytest.raises(ConfigurationError, match="ambient"):
+            tdp_all_cores_at_threshold(chip16.solver, chip16.n_cores, t_dtm=40.0)
+
+
+class TestPessimisticTdp:
+    def _inputs(self):
+        models = [a.power_model(NODE_16NM) for a in PARSEC.values()]
+        alphas = [a.utilisation(8) for a in PARSEC.values()]
+        return models, alphas
+
+    def test_close_to_paper_value(self):
+        models, alphas = self._inputs()
+        tdp = tdp_half_cores_max_vf(models, alphas, 100)
+        # Paper: 185 W; calibrated swaptions gives ~188 W.
+        assert 170.0 <= tdp <= 200.0
+
+    def test_uses_hungriest_app(self):
+        models, alphas = self._inputs()
+        tdp = tdp_half_cores_max_vf(models, alphas, 100)
+        per_core = max(
+            m.power(m.curve.f_nominal, alpha=a, temperature=80.0)
+            for m, a in zip(models, alphas)
+        )
+        assert tdp == pytest.approx(50 * per_core)
+
+    def test_odd_core_count_rounds_up(self):
+        models, alphas = self._inputs()
+        tdp_101 = tdp_half_cores_max_vf(models, alphas, 101)
+        tdp_100 = tdp_half_cores_max_vf(models, alphas, 100)
+        assert tdp_101 == pytest.approx(tdp_100 * 51 / 50)
+
+    def test_mismatched_lengths_rejected(self):
+        models, alphas = self._inputs()
+        with pytest.raises(ConfigurationError, match="align"):
+            tdp_half_cores_max_vf(models, alphas[:-1], 100)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            tdp_half_cores_max_vf([], [], 100)
+
+    def test_invalid_core_count_rejected(self):
+        models, alphas = self._inputs()
+        with pytest.raises(ConfigurationError, match="n_cores"):
+            tdp_half_cores_max_vf(models, alphas, -5)
+
+
+class TestConsistency:
+    def test_pessimistic_below_optimistic(self, chip16):
+        """The paper's ordering: 185 W < 220 W."""
+        models = [a.power_model(NODE_16NM) for a in PARSEC.values()]
+        alphas = [a.utilisation(8) for a in PARSEC.values()]
+        pess = tdp_half_cores_max_vf(models, alphas, chip16.n_cores)
+        opt = tdp_all_cores_at_threshold(chip16.solver, chip16.n_cores)
+        assert pess < opt

@@ -1,0 +1,106 @@
+"""Eq. (1) coefficient recovery (paper Figure 3)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.power.calibration import fit_power_model
+from repro.power.leakage import LeakageModel
+from repro.power.model import CorePowerModel
+from repro.power.vf_curve import VFCurve
+from repro.tech.library import NODE_22NM
+from repro.units import GIGA, NANO
+
+
+def make_truth(ceff_nf=2.0, pind=0.5, i0=0.3):
+    return CorePowerModel(
+        ceff=ceff_nf * NANO,
+        pind=pind,
+        leakage=LeakageModel(i0=i0),
+        curve=VFCurve.for_node(NODE_22NM),
+    )
+
+
+def samples(truth, n=12, alpha=1.0, temperature=80.0):
+    # Stay below the 22 nm curve's ~4.3 GHz voltage-limit ceiling.
+    fs = [0.3 * GIGA + i * (3.9 - 0.3) * GIGA / (n - 1) for i in range(n)]
+    ps = [truth.power(f, alpha=alpha, temperature=temperature) for f in fs]
+    return fs, ps
+
+
+class TestExactRecovery:
+    def test_recovers_ceff(self):
+        truth = make_truth()
+        fs, ps = samples(truth)
+        fit = fit_power_model(fs, ps, truth.curve, LeakageModel(i0=1.0))
+        assert fit.model.ceff == pytest.approx(truth.ceff, rel=1e-4)
+
+    def test_recovers_pind(self):
+        truth = make_truth()
+        fs, ps = samples(truth)
+        fit = fit_power_model(fs, ps, truth.curve, LeakageModel(i0=1.0))
+        assert fit.model.pind == pytest.approx(truth.pind, rel=1e-3)
+
+    def test_recovers_i0(self):
+        truth = make_truth()
+        fs, ps = samples(truth)
+        fit = fit_power_model(fs, ps, truth.curve, LeakageModel(i0=1.0))
+        assert fit.model.leakage.i0 == pytest.approx(0.3, rel=1e-3)
+
+    def test_zero_residual_on_clean_data(self):
+        truth = make_truth()
+        fs, ps = samples(truth)
+        fit = fit_power_model(fs, ps, truth.curve, LeakageModel(i0=1.0))
+        assert fit.rms_error < 1e-8
+
+    @given(
+        st.floats(min_value=0.5, max_value=4.0),
+        st.floats(min_value=0.0, max_value=2.0),
+        st.floats(min_value=0.0, max_value=1.0),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_roundtrip_any_coefficients(self, ceff_nf, pind, i0):
+        truth = make_truth(ceff_nf=ceff_nf, pind=pind, i0=i0)
+        fs, ps = samples(truth)
+        fit = fit_power_model(fs, ps, truth.curve, LeakageModel(i0=1.0))
+        for f in (1.0 * GIGA, 2.5 * GIGA):
+            assert fit.model.power(f) == pytest.approx(truth.power(f), rel=1e-3, abs=1e-6)
+
+
+class TestNoisyRecovery:
+    def test_small_noise_small_error(self):
+        truth = make_truth()
+        fs, ps = samples(truth, n=16)
+        noisy = [p * (1.0 + 0.02 * (-1) ** i) for i, p in enumerate(ps)]
+        fit = fit_power_model(fs, noisy, truth.curve, LeakageModel(i0=1.0))
+        assert fit.rms_error < 0.05 * max(ps)
+        assert fit.model.ceff == pytest.approx(truth.ceff, rel=0.1)
+
+    def test_alpha_respected(self):
+        truth = make_truth()
+        fs = [0.5 * GIGA, 1.5 * GIGA, 2.5 * GIGA, 3.5 * GIGA]
+        ps = [truth.power(f, alpha=0.5) for f in fs]
+        fit = fit_power_model(fs, ps, truth.curve, LeakageModel(i0=1.0), alpha=0.5)
+        assert fit.model.ceff == pytest.approx(truth.ceff, rel=1e-3)
+
+
+class TestValidation:
+    def test_too_few_points_rejected(self):
+        truth = make_truth()
+        with pytest.raises(ConfigurationError, match="at least 3"):
+            fit_power_model(
+                [1e9, 2e9], [1.0, 2.0], truth.curve, LeakageModel(i0=1.0)
+            )
+
+    def test_mismatched_lengths_rejected(self):
+        truth = make_truth()
+        with pytest.raises(ConfigurationError, match="equal-length"):
+            fit_power_model([1e9, 2e9, 3e9], [1.0, 2.0], truth.curve, LeakageModel(i0=1.0))
+
+    def test_non_positive_frequency_rejected(self):
+        truth = make_truth()
+        with pytest.raises(ConfigurationError, match="positive"):
+            fit_power_model(
+                [0.0, 2e9, 3e9], [1.0, 2.0, 3.0], truth.curve, LeakageModel(i0=1.0)
+            )

@@ -1,0 +1,87 @@
+"""Leakage model Ileak(V, T)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.power.leakage import LeakageModel
+from repro.tech.library import NODE_11NM, NODE_16NM
+
+
+@pytest.fixture
+def model():
+    return LeakageModel(i0=0.3)
+
+
+class TestReferencePoint:
+    def test_current_at_reference(self, model):
+        assert model.current(1.0, 80.0) == pytest.approx(0.3)
+
+    def test_power_at_reference(self, model):
+        assert model.power(1.0, 80.0) == pytest.approx(0.3)
+
+
+class TestDependencies:
+    def test_current_zero_at_zero_voltage(self, model):
+        assert model.current(0.0, 80.0) == 0.0
+
+    def test_current_grows_with_voltage(self, model):
+        assert model.current(1.2, 80.0) > model.current(1.0, 80.0)
+
+    def test_current_grows_with_temperature(self, model):
+        assert model.current(1.0, 100.0) > model.current(1.0, 80.0)
+
+    def test_temperature_doubling_scale(self, model):
+        # kt = 0.014 / K doubles leakage roughly every 50 K.
+        ratio = model.current(1.0, 130.0) / model.current(1.0, 80.0)
+        assert ratio == pytest.approx(2.0, rel=0.05)
+
+    @given(
+        st.floats(min_value=0.2, max_value=1.5),
+        st.floats(min_value=20.0, max_value=120.0),
+    )
+    @settings(max_examples=50)
+    def test_current_always_non_negative(self, v, t):
+        assert LeakageModel(i0=0.3).current(v, t) >= 0.0
+
+
+class TestNodeScaling:
+    def test_i0_scales_with_capacitance(self):
+        scaled = LeakageModel(i0=0.3).scaled_to(NODE_16NM)
+        assert scaled.i0 == pytest.approx(0.3 * 0.64)
+
+    def test_vref_scales_with_vdd(self):
+        scaled = LeakageModel(i0=0.3).scaled_to(NODE_11NM)
+        assert scaled.vref == pytest.approx(0.81)
+
+    def test_kv_scales_inverse_vdd(self):
+        scaled = LeakageModel(i0=0.3).scaled_to(NODE_11NM)
+        assert scaled.kv == pytest.approx(1.5 / 0.81)
+
+    def test_kt_unchanged(self):
+        scaled = LeakageModel(i0=0.3).scaled_to(NODE_16NM)
+        assert scaled.kt == pytest.approx(0.014)
+
+    def test_self_similarity_at_reference(self):
+        base = LeakageModel(i0=0.3)
+        scaled = base.scaled_to(NODE_16NM)
+        # At the scaled reference point the current is i0 * cap factor.
+        assert scaled.current(scaled.vref, 80.0) == pytest.approx(0.3 * 0.64)
+
+
+class TestValidation:
+    def test_negative_i0_rejected(self):
+        with pytest.raises(ConfigurationError, match="i0"):
+            LeakageModel(i0=-0.1)
+
+    def test_zero_vref_rejected(self):
+        with pytest.raises(ConfigurationError, match="vref"):
+            LeakageModel(i0=0.1, vref=0.0)
+
+    def test_negative_sensitivity_rejected(self):
+        with pytest.raises(ConfigurationError):
+            LeakageModel(i0=0.1, kv=-1.0)
+
+    def test_zero_i0_allowed(self):
+        assert LeakageModel(i0=0.0).power(1.0, 80.0) == 0.0

@@ -1,0 +1,154 @@
+"""Eq. (2) voltage/frequency curve (paper Figure 2)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError, InfeasibleError
+from repro.power.vf_curve import K_22NM, NTC_UPPER_22NM, VTH_22NM, Region, VFCurve
+from repro.tech.library import NODE_8NM, NODE_11NM, NODE_16NM, NODE_22NM
+from repro.units import GIGA
+
+
+@pytest.fixture(scope="module")
+def curve22():
+    return VFCurve.for_node(NODE_22NM)
+
+
+class TestPaperConstants:
+    def test_k_is_3_7_ghz_volt(self):
+        assert K_22NM == pytest.approx(3.7 * GIGA)
+
+    def test_vth_is_178_mv(self):
+        assert VTH_22NM == pytest.approx(0.178)
+
+
+class TestFrequency:
+    def test_zero_below_threshold(self, curve22):
+        assert curve22.frequency(0.1) == 0.0
+
+    def test_zero_at_threshold(self, curve22):
+        assert curve22.frequency(curve22.vth) == 0.0
+
+    def test_known_point(self, curve22):
+        # f(1.0 V) = 3.7 * (1 - 0.178)^2 / 1 GHz.
+        expected = 3.7 * (1.0 - 0.178) ** 2 * GIGA
+        assert curve22.frequency(1.0) == pytest.approx(expected)
+
+    def test_monotone_increasing_above_vth(self, curve22):
+        vs = [0.3 + 0.1 * i for i in range(12)]
+        fs = [curve22.frequency(v) for v in vs]
+        assert fs == sorted(fs)
+
+
+class TestVoltage:
+    def test_zero_frequency_gives_vth(self, curve22):
+        assert curve22.voltage(0.0) == pytest.approx(curve22.vth)
+
+    def test_negative_frequency_rejected(self, curve22):
+        with pytest.raises(InfeasibleError):
+            curve22.voltage(-1.0)
+
+    def test_above_limit_rejected(self, curve22):
+        with pytest.raises(InfeasibleError, match="GHz"):
+            curve22.voltage(curve22.f_limit * 1.1)
+
+    def test_at_limit_accepted(self, curve22):
+        assert curve22.voltage(curve22.f_limit) == pytest.approx(
+            curve22.v_limit, rel=1e-9
+        )
+
+    @given(st.floats(min_value=0.01, max_value=3.9))
+    @settings(max_examples=60)
+    def test_roundtrip_voltage_frequency(self, f_ghz):
+        curve = VFCurve.for_node(NODE_22NM)
+        v = curve.voltage(f_ghz * GIGA)
+        assert curve.frequency(v) == pytest.approx(f_ghz * GIGA, rel=1e-9)
+
+    @given(st.floats(min_value=0.01, max_value=3.9), st.floats(min_value=0.01, max_value=3.9))
+    @settings(max_examples=40)
+    def test_voltage_monotone_in_frequency(self, fa, fb):
+        curve = VFCurve.for_node(NODE_22NM)
+        va, vb = curve.voltage(fa * GIGA), curve.voltage(fb * GIGA)
+        if fa < fb:
+            assert va < vb
+        elif fa > fb:
+            assert va > vb
+
+
+class TestNodeScaling:
+    @pytest.mark.parametrize("node", [NODE_16NM, NODE_11NM, NODE_8NM])
+    def test_scaled_curve_matches_transformed_22nm(self, node):
+        base = VFCurve.for_node(NODE_22NM)
+        scaled = VFCurve.for_node(node)
+        s_v, s_f = node.factors.vdd, node.factors.frequency
+        for v22 in (0.4, 0.7, 1.0, 1.3):
+            assert scaled.frequency(v22 * s_v) == pytest.approx(
+                base.frequency(v22) * s_f, rel=1e-9
+            )
+
+    def test_vth_scales_with_vdd_factor(self):
+        curve = VFCurve.for_node(NODE_11NM)
+        assert curve.vth == pytest.approx(VTH_22NM * 0.81)
+
+    def test_nominal_frequency_reachable(self):
+        for node in (NODE_16NM, NODE_11NM, NODE_8NM):
+            curve = VFCurve.for_node(node)
+            assert curve.voltage(node.f_max) <= curve.v_limit
+
+
+class TestRegions:
+    def test_ntc_at_low_voltage(self, curve22):
+        assert curve22.region(0.3) is Region.NTC
+
+    def test_ntc_boundary(self, curve22):
+        assert curve22.region(NTC_UPPER_22NM) is Region.NTC
+
+    def test_stc_in_middle(self, curve22):
+        assert curve22.region(0.8) is Region.STC
+
+    def test_boost_above_nominal(self, curve22):
+        assert curve22.region(curve22.v_limit) is Region.BOOST
+
+    def test_region_of_frequency_consistent(self, curve22):
+        f = 1.0 * GIGA
+        assert curve22.region_of_frequency(f) == curve22.region(curve22.voltage(f))
+
+    def test_regions_partition_voltage_axis(self, curve22):
+        # Walking up the axis must see NTC, then STC, then BOOST.
+        seen = []
+        v = curve22.vth + 1e-3
+        while v <= curve22.v_limit:
+            r = curve22.region(v)
+            if not seen or seen[-1] != r:
+                seen.append(r)
+            v += 0.01
+        assert seen == [Region.NTC, Region.STC, Region.BOOST]
+
+
+class TestSampling:
+    def test_sample_count(self, curve22):
+        assert len(curve22.sample(50)) == 50
+
+    def test_sample_spans_vth_to_limit(self, curve22):
+        samples = curve22.sample(10)
+        assert samples[0][0] == pytest.approx(curve22.vth)
+        assert samples[-1][0] == pytest.approx(curve22.v_limit)
+
+    def test_sample_too_few_points_rejected(self, curve22):
+        with pytest.raises(ConfigurationError):
+            curve22.sample(1)
+
+
+class TestValidation:
+    def test_negative_k_rejected(self):
+        with pytest.raises(ConfigurationError, match="k must be positive"):
+            VFCurve(k=-1.0)
+
+    def test_vth_above_ntc_rejected(self):
+        with pytest.raises(ConfigurationError):
+            VFCurve(vth=0.6, ntc_upper=0.55)
+
+    def test_zero_nominal_rejected(self):
+        with pytest.raises(ConfigurationError, match="f_nominal"):
+            VFCurve(f_nominal=0.0)

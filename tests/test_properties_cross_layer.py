@@ -1,0 +1,180 @@
+"""Hypothesis property tests over cross-layer invariants.
+
+These complement the per-module property tests with invariants that tie
+layers together: the thermal model's maximum principle under the
+estimator's outputs, TSP's worst-case dominance over arbitrary mappings,
+and budget monotonicity of the estimation engine.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps.parsec import PARSEC, PARSEC_ORDER
+from repro.apps.workload import ApplicationInstance, Workload
+from repro.core.constraints import PowerBudgetConstraint
+from repro.core.estimator import map_workload
+from repro.core.tsp import ThermalSafePower
+from repro.units import GIGA
+
+app_names = st.sampled_from(PARSEC_ORDER)
+
+
+def random_workload(draw, max_instances=4):
+    n = draw(st.integers(min_value=0, max_value=max_instances))
+    instances = []
+    for _ in range(n):
+        app = PARSEC[draw(app_names)]
+        threads = draw(st.integers(min_value=1, max_value=4))
+        f_ghz = draw(st.floats(min_value=0.6, max_value=3.6))
+        instances.append(
+            ApplicationInstance(app=app, threads=threads, frequency=f_ghz * GIGA)
+        )
+    return Workload(instances)
+
+
+class TestThermalMaximumPrinciple:
+    @given(st.data())
+    @settings(max_examples=25, deadline=None)
+    def test_no_core_below_ambient(self, small_chip, data):
+        """Non-negative power never cools any node below ambient."""
+        powers = np.array(
+            data.draw(
+                st.lists(
+                    st.floats(min_value=0.0, max_value=8.0),
+                    min_size=16,
+                    max_size=16,
+                )
+            )
+        )
+        temps = small_chip.solver.temperatures(powers)
+        assert np.all(temps >= small_chip.ambient - 1e-9)
+
+    @given(st.data())
+    @settings(max_examples=25, deadline=None)
+    def test_adding_power_never_cools_anyone(self, small_chip, data):
+        """Entrywise monotonicity: extra power anywhere heats everywhere."""
+        base = np.array(
+            data.draw(
+                st.lists(
+                    st.floats(min_value=0.0, max_value=5.0),
+                    min_size=16,
+                    max_size=16,
+                )
+            )
+        )
+        core = data.draw(st.integers(min_value=0, max_value=15))
+        extra = base.copy()
+        extra[core] += 2.0
+        t_base = small_chip.solver.temperatures(base)
+        t_extra = small_chip.solver.temperatures(extra)
+        assert np.all(t_extra >= t_base - 1e-12)
+
+
+class TestTspDominance:
+    @given(st.data())
+    @settings(max_examples=20, deadline=None)
+    def test_worst_case_below_any_mapping(self, small_chip, data):
+        tsp = ThermalSafePower(small_chip)
+        m = data.draw(st.integers(min_value=1, max_value=16))
+        mapping = data.draw(
+            st.lists(
+                st.integers(min_value=0, max_value=15),
+                min_size=m,
+                max_size=m,
+                unique=True,
+            )
+        )
+        assert tsp.worst_case(len(mapping)) <= tsp.for_mapping(mapping) + 1e-9
+
+    @given(st.data())
+    @settings(max_examples=20, deadline=None)
+    def test_mapping_budget_is_exactly_safe(self, small_chip, data):
+        tsp = ThermalSafePower(small_chip)
+        mapping = data.draw(
+            st.lists(
+                st.integers(min_value=0, max_value=15),
+                min_size=1,
+                max_size=16,
+                unique=True,
+            )
+        )
+        budget = tsp.for_mapping(mapping)
+        powers = np.zeros(16)
+        powers[mapping] = budget
+        peak = small_chip.solver.peak_temperature(powers)
+        assert peak == pytest.approx(small_chip.t_dtm, abs=1e-6)
+
+
+class TestEstimatorInvariants:
+    @given(st.data())
+    @settings(max_examples=20, deadline=None)
+    def test_accounting_consistent(self, small_chip, data):
+        workload = random_workload(data.draw)
+        budget = data.draw(st.floats(min_value=1.0, max_value=200.0))
+        result = map_workload(small_chip, workload, PowerBudgetConstraint(budget))
+        assert result.active_cores + result.dark_cores == 16
+        assert len(result.placed) + len(result.rejected) <= len(workload)
+        assert result.total_power <= budget * (1 + 1e-9)
+        assert result.total_power == pytest.approx(result.core_powers.sum())
+        assert result.active_cores == len(result.occupied)
+
+    @given(st.data())
+    @settings(max_examples=15, deadline=None)
+    def test_larger_budget_never_hurts(self, small_chip, data):
+        workload = random_workload(data.draw)
+        lo = data.draw(st.floats(min_value=1.0, max_value=50.0))
+        hi = lo * data.draw(st.floats(min_value=1.0, max_value=4.0))
+        r_lo = map_workload(small_chip, workload, PowerBudgetConstraint(lo))
+        r_hi = map_workload(small_chip, workload, PowerBudgetConstraint(hi))
+        assert len(r_hi.placed) >= len(r_lo.placed)
+        assert r_hi.gips >= r_lo.gips - 1e-9
+
+    @given(st.data())
+    @settings(max_examples=15, deadline=None)
+    def test_peak_temperature_reflects_core_powers(self, small_chip, data):
+        workload = random_workload(data.draw)
+        result = map_workload(
+            small_chip, workload, PowerBudgetConstraint(500.0)
+        )
+        assert result.peak_temperature == pytest.approx(
+            small_chip.solver.peak_temperature(result.core_powers)
+        )
+
+
+class TestPowerModelAcrossNodes:
+    @given(
+        st.sampled_from(PARSEC_ORDER),
+        st.integers(min_value=1, max_value=8),
+        st.floats(min_value=0.4, max_value=2.7),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_newer_nodes_cheaper_at_iso_frequency(self, name, threads, f_ghz):
+        """Scaling wins: the same (app, threads, f) costs less power on
+        each newer node."""
+        from repro.tech.library import NODE_8NM, NODE_11NM, NODE_16NM, NODE_22NM
+
+        app = PARSEC[name]
+        f = f_ghz * GIGA
+        powers = [
+            app.core_power(node, threads, f)
+            for node in (NODE_22NM, NODE_16NM, NODE_11NM, NODE_8NM)
+        ]
+        assert powers == sorted(powers, reverse=True)
+
+    @given(
+        st.sampled_from(PARSEC_ORDER),
+        st.integers(min_value=1, max_value=7),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_instance_power_grows_with_threads(self, name, threads):
+        """More threads -> more total instance power (each extra core
+        adds its own Pind/leakage even as per-core alpha drops)."""
+        from repro.tech.library import NODE_16NM
+
+        app = PARSEC[name]
+        f = 2.0 * GIGA
+        p_n = threads * app.core_power(NODE_16NM, threads, f)
+        p_n1 = (threads + 1) * app.core_power(NODE_16NM, threads + 1, f)
+        assert p_n1 > p_n

@@ -1,0 +1,85 @@
+"""Property tests for the online runtime simulator."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps.parsec import PARSEC, PARSEC_ORDER
+from repro.core.tsp import ThermalSafePower
+from repro.runtime import (
+    Job,
+    OnlineSimulator,
+    TdpFifoPolicy,
+    TspAdaptivePolicy,
+)
+
+
+def job_stream_strategy():
+    """Small random job streams over the catalogue."""
+    job = st.tuples(
+        st.sampled_from(PARSEC_ORDER),
+        st.floats(min_value=0.0, max_value=5.0),   # arrival
+        st.floats(min_value=5e9, max_value=80e9),  # work
+    )
+    return st.lists(job, min_size=1, max_size=8)
+
+
+def build_jobs(raw):
+    return [
+        Job(job_id=i, app=PARSEC[name], arrival=arrival, work=work)
+        for i, (name, arrival, work) in enumerate(raw)
+    ]
+
+
+class TestSimulatorInvariants:
+    @given(job_stream_strategy())
+    @settings(max_examples=15, deadline=None)
+    def test_no_core_double_booked(self, small_chip, raw):
+        """At no instant do two jobs share a core."""
+        jobs = build_jobs(raw)
+        result = OnlineSimulator(
+            small_chip, TdpFifoPolicy(tdp=60.0, threads=4)
+        ).run(jobs)
+        # Overlap check: for every pair of records with intersecting
+        # core sets, their time intervals must be disjoint.
+        for i, a in enumerate(result.records):
+            for b in result.records[i + 1 :]:
+                if set(a.cores) & set(b.cores):
+                    assert a.finish <= b.start + 1e-9 or b.finish <= a.start + 1e-9
+
+    @given(job_stream_strategy())
+    @settings(max_examples=15, deadline=None)
+    def test_work_conservation(self, small_chip, raw):
+        """Every job's granted configuration executes exactly its work."""
+        jobs = build_jobs(raw)
+        result = OnlineSimulator(
+            small_chip, TdpFifoPolicy(tdp=60.0, threads=4)
+        ).run(jobs)
+        assert len(result.records) == len(jobs)
+        for record in result.records:
+            rate = record.job.app.instance_performance(
+                record.threads, record.frequency
+            )
+            executed = rate * (record.finish - record.start)
+            assert executed == pytest.approx(record.job.work, rel=1e-9)
+
+    @given(job_stream_strategy())
+    @settings(max_examples=10, deadline=None)
+    def test_tsp_policy_always_thermally_safe(self, small_chip, raw):
+        jobs = build_jobs(raw)
+        policy = TspAdaptivePolicy(ThermalSafePower(small_chip), threads=4)
+        result = OnlineSimulator(small_chip, policy).run(jobs)
+        assert result.max_peak_temperature <= small_chip.t_dtm + 1e-6
+
+    @given(job_stream_strategy())
+    @settings(max_examples=10, deadline=None)
+    def test_causality(self, small_chip, raw):
+        """No job starts before it arrives; makespan covers everything."""
+        jobs = build_jobs(raw)
+        result = OnlineSimulator(
+            small_chip, TdpFifoPolicy(tdp=60.0, threads=4)
+        ).run(jobs)
+        for record in result.records:
+            assert record.start >= record.job.arrival - 1e-12
+            assert record.finish <= result.makespan + 1e-9

@@ -1,0 +1,65 @@
+"""Job-trace CSV round-tripping."""
+
+import pytest
+
+from repro.apps.parsec import PARSEC
+from repro.errors import ConfigurationError
+from repro.runtime import Job, deterministic_job_stream
+from repro.runtime.traces import jobs_from_csv, jobs_to_csv
+
+
+class TestRoundTrip:
+    def test_stream_roundtrips(self, tmp_path):
+        jobs = deterministic_job_stream(
+            [PARSEC["x264"], PARSEC["canneal"]], 10, 1.0, 50e9, seed=5
+        )
+        path = jobs_to_csv(jobs, tmp_path / "trace.csv")
+        loaded = jobs_from_csv(path)
+        assert len(loaded) == len(jobs)
+        for a, b in zip(jobs, loaded):
+            assert a.job_id == b.job_id
+            assert a.app.name == b.app.name
+            assert a.arrival == pytest.approx(b.arrival)
+            assert a.work == pytest.approx(b.work)
+            assert a.max_threads == b.max_threads
+
+    def test_loaded_stream_runs_identically(self, tmp_path, small_chip):
+        from repro.runtime import OnlineSimulator, TdpFifoPolicy
+
+        jobs = deterministic_job_stream([PARSEC["x264"]], 5, 1.0, 30e9, seed=7)
+        loaded = jobs_from_csv(jobs_to_csv(jobs, tmp_path / "t.csv"))
+        policy = TdpFifoPolicy(tdp=40.0, threads=4)
+        a = OnlineSimulator(small_chip, policy).run(jobs)
+        b = OnlineSimulator(small_chip, TdpFifoPolicy(tdp=40.0, threads=4)).run(
+            loaded
+        )
+        assert a.makespan == pytest.approx(b.makespan)
+        assert a.energy == pytest.approx(b.energy)
+
+
+class TestValidation:
+    def test_empty_file_rejected(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text("")
+        with pytest.raises(ConfigurationError, match="empty"):
+            jobs_from_csv(path)
+
+    def test_bad_header_rejected(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("a,b,c\n")
+        with pytest.raises(ConfigurationError, match="header"):
+            jobs_from_csv(path)
+
+    def test_short_row_rejected(self, tmp_path):
+        path = tmp_path / "short.csv"
+        path.write_text("job_id,app,arrival,work,max_threads\n1,x264,0.0\n")
+        with pytest.raises(ConfigurationError, match="fields"):
+            jobs_from_csv(path)
+
+    def test_unknown_app_rejected(self, tmp_path):
+        path = tmp_path / "unknown.csv"
+        path.write_text(
+            "job_id,app,arrival,work,max_threads\n0,vips,0.0,1e9,8\n"
+        )
+        with pytest.raises(ConfigurationError, match="unknown application"):
+            jobs_from_csv(path)

@@ -1,0 +1,78 @@
+"""Calibration-sensitivity analysis."""
+
+import pytest
+
+from repro.apps.parsec import PARSEC
+from repro.errors import ConfigurationError
+from repro.sensitivity import (
+    evaluate_headline_shapes,
+    perturbed_app,
+    perturbed_catalogue,
+    sensitivity_sweep,
+)
+from repro.tech.library import NODE_16NM
+from repro.units import GIGA
+
+
+class TestPerturbation:
+    def test_scales_applied(self):
+        app = PARSEC["x264"]
+        p = perturbed_app(app, ceff_scale=1.2, pind_scale=0.8, i0_scale=1.5)
+        assert p.ceff_22nm == pytest.approx(1.2 * app.ceff_22nm)
+        assert p.pind_22nm == pytest.approx(0.8 * app.pind_22nm)
+        assert p.i0_22nm == pytest.approx(1.5 * app.i0_22nm)
+
+    def test_scaling_behaviour_preserved(self):
+        app = PARSEC["x264"]
+        p = perturbed_app(app, ceff_scale=1.3)
+        assert p.speedup(8) == pytest.approx(app.speedup(8))
+        assert p.ipc == app.ipc
+
+    def test_power_scales_monotonically(self):
+        app = PARSEC["x264"]
+        hotter = perturbed_app(app, ceff_scale=1.2)
+        assert hotter.core_power(NODE_16NM, 8, 3.0 * GIGA) > app.core_power(
+            NODE_16NM, 8, 3.0 * GIGA
+        )
+
+    def test_identity_perturbation(self):
+        app = PARSEC["canneal"]
+        same = perturbed_app(app)
+        assert same == app
+
+    def test_invalid_scale_rejected(self):
+        with pytest.raises(ConfigurationError, match="ceff_scale"):
+            perturbed_app(PARSEC["x264"], ceff_scale=0.0)
+
+    def test_catalogue_perturbation_covers_all_apps(self):
+        cat = perturbed_catalogue(ceff_scale=1.1)
+        assert set(cat) == set(PARSEC)
+        for name in PARSEC:
+            assert cat[name].ceff_22nm == pytest.approx(
+                1.1 * PARSEC[name].ceff_22nm
+            )
+
+
+class TestHeadlineShapes:
+    def test_nominal_calibration_holds(self, chip16):
+        shapes = evaluate_headline_shapes(chip16, perturbed_catalogue())
+        assert shapes.all_hold
+
+    def test_shapes_survive_ten_percent(self, chip16):
+        """The reproduction's conclusions do not hinge on the exact
+        calibration constants: +-10 % on any coefficient axis leaves
+        every headline shape intact."""
+        sweep = sensitivity_sweep(chip16, scales=(0.9, 1.1))
+        assert len(sweep) == 6
+        for key, shapes in sweep.items():
+            assert shapes.all_hold, key
+
+    def test_extreme_perturbation_breaks_something(self, chip16):
+        """Sanity: the checks are not vacuous — dividing all switching
+        capacitance by five makes every app fit the TDP at max v/f, so
+        the deep-dark-silicon claim must fail."""
+        shapes = evaluate_headline_shapes(
+            chip16, perturbed_catalogue(ceff_scale=0.2)
+        )
+        assert not shapes.some_dark_silicon_at_max_vf
+        assert not shapes.all_hold

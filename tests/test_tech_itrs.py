@@ -1,0 +1,95 @@
+"""ITRS scaling-factor table (paper Figure 1)."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.tech.itrs import (
+    SCALING_FACTORS,
+    ScalingFactors,
+    scale_between,
+    scaling_from_22nm,
+)
+
+
+class TestTable:
+    def test_has_all_four_nodes(self):
+        assert set(SCALING_FACTORS) == {"22nm", "16nm", "11nm", "8nm"}
+
+    def test_22nm_is_identity(self):
+        f = SCALING_FACTORS["22nm"]
+        assert (f.vdd, f.frequency, f.capacitance, f.area) == (1.0, 1.0, 1.0, 1.0)
+
+    def test_16nm_values_match_paper(self):
+        f = SCALING_FACTORS["16nm"]
+        assert (f.vdd, f.frequency, f.capacitance, f.area) == (0.89, 1.35, 0.64, 0.53)
+
+    def test_11nm_values_match_paper(self):
+        f = SCALING_FACTORS["11nm"]
+        assert (f.vdd, f.frequency, f.capacitance, f.area) == (0.81, 1.75, 0.39, 0.28)
+
+    def test_8nm_values_match_paper(self):
+        f = SCALING_FACTORS["8nm"]
+        assert (f.vdd, f.frequency, f.capacitance, f.area) == (0.74, 2.30, 0.24, 0.15)
+
+    def test_vdd_decreases_with_scaling(self):
+        vdds = [SCALING_FACTORS[n].vdd for n in ("22nm", "16nm", "11nm", "8nm")]
+        assert vdds == sorted(vdds, reverse=True)
+
+    def test_frequency_increases_with_scaling(self):
+        fs = [SCALING_FACTORS[n].frequency for n in ("22nm", "16nm", "11nm", "8nm")]
+        assert fs == sorted(fs)
+
+    def test_area_shrinks_about_53_percent_per_node(self):
+        # Paper: 53 % area step per node.
+        areas = [SCALING_FACTORS[n].area for n in ("22nm", "16nm", "11nm", "8nm")]
+        for prev, cur in zip(areas, areas[1:]):
+            assert cur / prev == pytest.approx(0.53, rel=0.02)
+
+
+class TestLookup:
+    def test_known_node(self):
+        assert scaling_from_22nm("16nm").area == 0.53
+
+    def test_unknown_node_raises(self):
+        with pytest.raises(ConfigurationError, match="unknown technology node"):
+            scaling_from_22nm("7nm")
+
+    def test_error_lists_known_nodes(self):
+        with pytest.raises(ConfigurationError, match="16nm"):
+            scaling_from_22nm("nope")
+
+
+class TestRelative:
+    def test_relative_to_self_is_identity(self):
+        f = SCALING_FACTORS["11nm"].relative_to(SCALING_FACTORS["11nm"])
+        assert f.vdd == pytest.approx(1.0)
+        assert f.area == pytest.approx(1.0)
+
+    def test_scale_between_forward(self):
+        f = scale_between("22nm", "16nm")
+        assert f.area == pytest.approx(0.53)
+        assert f.frequency == pytest.approx(1.35)
+
+    def test_scale_between_skipping_a_node(self):
+        f = scale_between("16nm", "8nm")
+        assert f.area == pytest.approx(0.15 / 0.53)
+        assert f.vdd == pytest.approx(0.74 / 0.89)
+
+    def test_scale_between_is_inverse_symmetric(self):
+        fwd = scale_between("16nm", "8nm")
+        back = scale_between("8nm", "16nm")
+        assert fwd.vdd * back.vdd == pytest.approx(1.0)
+        assert fwd.capacitance * back.capacitance == pytest.approx(1.0)
+
+
+class TestValidation:
+    @pytest.mark.parametrize("field", ["vdd", "frequency", "capacitance", "area"])
+    def test_non_positive_factor_rejected(self, field):
+        kwargs = dict(vdd=1.0, frequency=1.0, capacitance=1.0, area=1.0)
+        kwargs[field] = 0.0
+        with pytest.raises(ConfigurationError, match=field):
+            ScalingFactors(**kwargs)
+
+    def test_negative_factor_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ScalingFactors(vdd=-0.5, frequency=1.0, capacitance=1.0, area=1.0)

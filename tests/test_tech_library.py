@@ -1,0 +1,78 @@
+"""The canonical node library (paper Section 2.1)."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.tech.library import (
+    ALL_NODES,
+    EVALUATED_NODES,
+    NODE_8NM,
+    NODE_11NM,
+    NODE_16NM,
+    NODE_22NM,
+    chip_core_count,
+    chip_grid,
+    node_by_name,
+)
+from repro.units import GIGA, to_mm2
+
+
+class TestCoreAreas:
+    """Paper: 9.6 / 5.1 / 2.7 / 1.4 mm^2."""
+
+    @pytest.mark.parametrize(
+        "node, area",
+        [(NODE_22NM, 9.6), (NODE_16NM, 5.1), (NODE_11NM, 2.7), (NODE_8NM, 1.4)],
+    )
+    def test_core_area(self, node, area):
+        assert to_mm2(node.core_area) == pytest.approx(area, rel=0.01)
+
+
+class TestNominalFrequencies:
+    """Paper Section 3: 3.6 / 4.0 / 4.4 GHz for 16 / 11 / 8 nm."""
+
+    @pytest.mark.parametrize(
+        "node, f_ghz",
+        [(NODE_16NM, 3.6), (NODE_11NM, 4.0), (NODE_8NM, 4.4)],
+    )
+    def test_f_max(self, node, f_ghz):
+        assert node.f_max == pytest.approx(f_ghz * GIGA)
+
+
+class TestChips:
+    """Paper Section 2.1: 100 / 198 / 361 cores."""
+
+    @pytest.mark.parametrize(
+        "node, cores",
+        [(NODE_16NM, 100), (NODE_11NM, 198), (NODE_8NM, 361)],
+    )
+    def test_core_count(self, node, cores):
+        assert chip_core_count(node) == cores
+
+    @pytest.mark.parametrize("node", ALL_NODES)
+    def test_grid_matches_core_count(self, node):
+        rows, cols = chip_grid(node)
+        assert rows * cols == chip_core_count(node)
+
+    @pytest.mark.parametrize("node", EVALUATED_NODES)
+    def test_chip_silicon_roughly_constant(self, node):
+        # Die core-silicon budget stays ~510 mm^2 across evaluated nodes.
+        total = chip_core_count(node) * to_mm2(node.core_area)
+        assert 490 <= total <= 540
+
+
+class TestLookup:
+    def test_by_name(self):
+        assert node_by_name("11nm") is NODE_11NM
+
+    def test_unknown_raises(self):
+        with pytest.raises(ConfigurationError, match="unknown technology node"):
+            node_by_name("5nm")
+
+    def test_all_nodes_ordered_oldest_first(self):
+        features = [n.feature_nm for n in ALL_NODES]
+        assert features == sorted(features, reverse=True)
+
+    def test_evaluated_excludes_22nm(self):
+        assert NODE_22NM not in EVALUATED_NODES
+        assert len(EVALUATED_NODES) == 3

@@ -1,0 +1,79 @@
+"""TechNode behaviour."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.tech.itrs import SCALING_FACTORS
+from repro.tech.node import TechNode
+from repro.units import GIGA, mm2
+
+
+def make_node(**overrides):
+    defaults = dict(
+        name="test",
+        feature_nm=16.0,
+        factors=SCALING_FACTORS["16nm"],
+        core_area=mm2(5.1),
+        f_max=3.6 * GIGA,
+    )
+    defaults.update(overrides)
+    return TechNode(**defaults)
+
+
+class TestValidation:
+    def test_valid_node_constructs(self):
+        node = make_node()
+        assert node.name == "test"
+
+    def test_negative_feature_rejected(self):
+        with pytest.raises(ConfigurationError, match="feature_nm"):
+            make_node(feature_nm=-1.0)
+
+    def test_zero_core_area_rejected(self):
+        with pytest.raises(ConfigurationError, match="core_area"):
+            make_node(core_area=0.0)
+
+    def test_f_min_above_f_max_rejected(self):
+        with pytest.raises(ConfigurationError, match="f_min"):
+            make_node(f_min=4.0 * GIGA)
+
+    def test_zero_dvfs_step_rejected(self):
+        with pytest.raises(ConfigurationError, match="dvfs_step"):
+            make_node(dvfs_step=0.0)
+
+
+class TestVddNominal:
+    def test_scales_the_1v_rail(self):
+        assert make_node().vdd_nominal == pytest.approx(0.89)
+
+
+class TestFrequencyLadder:
+    def test_ascending(self):
+        ladder = make_node().frequency_ladder()
+        assert ladder == sorted(ladder)
+
+    def test_contains_f_max(self):
+        node = make_node()
+        assert node.frequency_ladder()[-1] == pytest.approx(node.f_max)
+
+    def test_starts_at_f_min(self):
+        node = make_node()
+        assert node.frequency_ladder()[0] == pytest.approx(node.f_min)
+
+    def test_step_spacing(self):
+        ladder = make_node().frequency_ladder()
+        for a, b in zip(ladder, ladder[1:-1]):
+            assert b - a == pytest.approx(0.2 * GIGA)
+
+    def test_non_multiple_span_still_ends_at_f_max(self):
+        node = make_node(f_max=3.55 * GIGA)
+        ladder = node.frequency_ladder()
+        assert ladder[-1] == pytest.approx(3.55 * GIGA)
+
+    def test_single_level_when_min_equals_max(self):
+        node = make_node(f_min=3.6 * GIGA, f_max=3.6 * GIGA)
+        assert node.frequency_ladder() == [pytest.approx(3.6 * GIGA)]
+
+    def test_no_duplicate_top_level(self):
+        ladder = make_node(f_max=3.6 * GIGA, f_min=0.2 * GIGA).frequency_ladder()
+        assert len(ladder) == len(set(round(f, 3) for f in ladder))

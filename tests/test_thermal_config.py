@@ -1,0 +1,67 @@
+"""Thermal configuration (the paper's Section 2.1 HotSpot setup)."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.thermal.config import PAPER_THERMAL_CONFIG, ThermalConfig
+
+
+class TestPaperValues:
+    """Every value here is stated verbatim in Section 2.1."""
+
+    def test_die_thickness(self):
+        assert PAPER_THERMAL_CONFIG.die_thickness == pytest.approx(0.15e-3)
+
+    def test_silicon_conductivity(self):
+        assert PAPER_THERMAL_CONFIG.silicon_conductivity == 100.0
+
+    def test_silicon_specific_heat(self):
+        assert PAPER_THERMAL_CONFIG.silicon_specific_heat == pytest.approx(1.75e6)
+
+    def test_tim(self):
+        cfg = PAPER_THERMAL_CONFIG
+        assert cfg.tim_thickness == pytest.approx(20e-6)
+        assert cfg.tim_conductivity == 4.0
+        assert cfg.tim_specific_heat == pytest.approx(4.0e6)
+
+    def test_spreader(self):
+        cfg = PAPER_THERMAL_CONFIG
+        assert cfg.spreader_side == pytest.approx(30e-3)
+        assert cfg.spreader_thickness == pytest.approx(1e-3)
+
+    def test_sink(self):
+        cfg = PAPER_THERMAL_CONFIG
+        assert cfg.sink_side == pytest.approx(60e-3)
+        assert cfg.sink_thickness == pytest.approx(6.9e-3)
+
+    def test_metal_properties(self):
+        cfg = PAPER_THERMAL_CONFIG
+        assert cfg.metal_conductivity == 400.0
+        assert cfg.metal_specific_heat == pytest.approx(3.55e6)
+
+    def test_convection(self):
+        cfg = PAPER_THERMAL_CONFIG
+        assert cfg.convection_resistance == pytest.approx(0.1)
+        assert cfg.convection_capacitance == pytest.approx(140.4)
+
+    def test_boundaries(self):
+        assert PAPER_THERMAL_CONFIG.ambient == 45.0
+        assert PAPER_THERMAL_CONFIG.t_dtm == 80.0
+
+
+class TestValidation:
+    def test_negative_thickness_rejected(self):
+        with pytest.raises(ConfigurationError, match="die_thickness"):
+            ThermalConfig(die_thickness=-1.0)
+
+    def test_sink_smaller_than_spreader_rejected(self):
+        with pytest.raises(ConfigurationError, match="sink"):
+            ThermalConfig(sink_side=20e-3)
+
+    def test_t_dtm_below_ambient_rejected(self):
+        with pytest.raises(ConfigurationError, match="T_DTM"):
+            ThermalConfig(ambient=85.0)
+
+    def test_zero_convection_rejected(self):
+        with pytest.raises(ConfigurationError, match="convection_resistance"):
+            ThermalConfig(convection_resistance=0.0)

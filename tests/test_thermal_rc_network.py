@@ -1,0 +1,122 @@
+"""RC-network assembly and matrix construction."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.thermal.rc_network import NodeSpec, RCNetwork
+
+
+def simple_network():
+    """Two nodes in series to ambient: a --1W/K-- b --2W/K-- ambient."""
+    net = RCNetwork()
+    net.add_node(NodeSpec("a", capacitance=1.0))
+    net.add_node(NodeSpec("b", capacitance=2.0, ambient_conductance=2.0))
+    net.add_conductance("a", "b", 1.0)
+    return net
+
+
+class TestAssembly:
+    def test_size(self):
+        assert simple_network().size == 2
+
+    def test_duplicate_name_rejected(self):
+        net = RCNetwork()
+        net.add_node(NodeSpec("a", 1.0))
+        with pytest.raises(ConfigurationError, match="duplicate"):
+            net.add_node(NodeSpec("a", 1.0))
+
+    def test_unknown_node_in_edge_rejected(self):
+        net = simple_network()
+        with pytest.raises(ConfigurationError, match="no node"):
+            net.add_conductance("a", "zzz", 1.0)
+
+    def test_self_loop_rejected(self):
+        net = simple_network()
+        with pytest.raises(ConfigurationError, match="self-loop"):
+            net.add_conductance("a", "a", 1.0)
+
+    def test_non_positive_conductance_rejected(self):
+        net = simple_network()
+        with pytest.raises(ConfigurationError, match="positive"):
+            net.add_conductance("a", "b", 0.0)
+
+    def test_add_resistance_is_reciprocal(self):
+        net = RCNetwork()
+        net.add_node(NodeSpec("a", 1.0, ambient_conductance=1.0))
+        net.add_node(NodeSpec("b", 1.0))
+        net.add_resistance("a", "b", 0.5)
+        a = net.conductance_matrix().toarray()
+        assert a[0, 1] == pytest.approx(-2.0)
+
+    def test_invalid_resistance_rejected(self):
+        net = simple_network()
+        with pytest.raises(ConfigurationError, match="resistance"):
+            net.add_resistance("a", "b", -1.0)
+
+    def test_node_capacitance_positive_required(self):
+        with pytest.raises(ConfigurationError, match="capacitance"):
+            NodeSpec("x", capacitance=0.0)
+
+    def test_negative_ambient_conductance_rejected(self):
+        with pytest.raises(ConfigurationError, match="ambient_conductance"):
+            NodeSpec("x", capacitance=1.0, ambient_conductance=-1.0)
+
+
+class TestMatrix:
+    def test_matrix_values(self):
+        a = simple_network().conductance_matrix().toarray()
+        expected = np.array([[1.0, -1.0], [-1.0, 3.0]])
+        assert np.allclose(a, expected)
+
+    def test_symmetric(self):
+        a = simple_network().conductance_matrix().toarray()
+        assert np.allclose(a, a.T)
+
+    def test_positive_definite_with_ambient_path(self):
+        a = simple_network().conductance_matrix().toarray()
+        eigenvalues = np.linalg.eigvalsh(a)
+        assert np.all(eigenvalues > 0)
+
+    def test_row_sums_equal_ambient_conductance(self):
+        net = simple_network()
+        a = net.conductance_matrix().toarray()
+        assert np.allclose(a.sum(axis=1), net.ambient_conductances())
+
+    def test_capacitance_vector(self):
+        assert np.allclose(simple_network().capacitances(), [1.0, 2.0])
+
+    def test_empty_network_rejected(self):
+        with pytest.raises(ConfigurationError, match="no nodes"):
+            RCNetwork().conductance_matrix()
+
+
+class TestValidate:
+    def test_valid_network_passes(self):
+        simple_network().validate()
+
+    def test_no_ambient_path_rejected(self):
+        net = RCNetwork()
+        net.add_node(NodeSpec("a", 1.0))
+        net.add_node(NodeSpec("b", 1.0))
+        net.add_conductance("a", "b", 1.0)
+        with pytest.raises(ConfigurationError, match="ambient"):
+            net.validate()
+
+    def test_orphan_island_rejected(self):
+        net = simple_network()
+        net.add_node(NodeSpec("island", 1.0))
+        with pytest.raises(ConfigurationError, match="island"):
+            net.validate()
+
+    def test_analytic_steady_state(self):
+        """T_a = P * (R_ab + R_b_amb), hand-checkable two-node chain."""
+        from scipy.sparse.linalg import spsolve
+
+        net = simple_network()
+        a = net.conductance_matrix().tocsc()
+        p = np.array([1.0, 0.0])  # 1 W into node a
+        delta = spsolve(a, p)
+        # R_ab = 1, R_b_amb = 0.5: T_a = 1.5 K, T_b = 0.5 K above ambient.
+        assert delta[0] == pytest.approx(1.5)
+        assert delta[1] == pytest.approx(0.5)

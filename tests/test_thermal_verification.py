@@ -1,0 +1,109 @@
+"""Analytic verification of the compact thermal model."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.thermal.config import PAPER_THERMAL_CONFIG
+from repro.thermal.verification import (
+    analytic_column_resistance,
+    analytic_spreading_resistance,
+    resolution_study,
+    uniform_power_peak,
+)
+from repro.units import mm2
+
+
+class TestAnalyticBound:
+    def test_rc_model_within_analytic_bound(self):
+        """Uniformly heated die: the RC peak must lie below the
+        straight-down series bound (the periphery only helps) and above
+        the pure-convection floor."""
+        cfg = PAPER_THERMAL_CONFIG
+        die_area = 100 * mm2(5.1)  # the paper's 16 nm die
+        total_power = 200.0
+        per_core = total_power / 100
+
+        peak = uniform_power_peak(10, 10, mm2(5.1), per_core, cfg)
+        upper = cfg.ambient + total_power * analytic_column_resistance(cfg, die_area)
+        lower = cfg.ambient + total_power * analytic_spreading_resistance(
+            cfg, die_area
+        )
+        assert lower < peak < upper
+
+    def test_close_to_full_spreading_bound(self):
+        """The thick copper sink spreads well: the RC solution should sit
+        within ~30 % of the perfect-spreading lower bound, far from the
+        no-spreading upper bound."""
+        cfg = PAPER_THERMAL_CONFIG
+        die_area = 100 * mm2(5.1)
+        total_power = 200.0
+        peak_rise = (
+            uniform_power_peak(10, 10, mm2(5.1), total_power / 100, cfg)
+            - cfg.ambient
+        )
+        lower_rise = total_power * analytic_spreading_resistance(cfg, die_area)
+        upper_rise = total_power * analytic_column_resistance(cfg, die_area)
+        assert peak_rise / lower_rise < 1.3
+        assert peak_rise / upper_rise < 0.5
+
+    def test_bound_ordering(self):
+        cfg = PAPER_THERMAL_CONFIG
+        area = mm2(500)
+        assert analytic_spreading_resistance(cfg, area) < analytic_column_resistance(
+            cfg, area
+        )
+
+    def test_resistance_components_positive(self):
+        r = analytic_column_resistance(PAPER_THERMAL_CONFIG, mm2(500))
+        assert r > PAPER_THERMAL_CONFIG.convection_resistance
+
+    def test_invalid_area_rejected(self):
+        with pytest.raises(ConfigurationError, match="die_area"):
+            analytic_column_resistance(PAPER_THERMAL_CONFIG, 0.0)
+
+
+class TestLinearityInPower:
+    def test_temperature_rise_proportional_to_power(self):
+        cfg = PAPER_THERMAL_CONFIG
+        rise_1 = uniform_power_peak(5, 5, mm2(5.1), 1.0, cfg) - cfg.ambient
+        rise_3 = uniform_power_peak(5, 5, mm2(5.1), 3.0, cfg) - cfg.ambient
+        assert rise_3 == pytest.approx(3.0 * rise_1, rel=1e-9)
+
+
+class TestResolutionConvergence:
+    @pytest.fixture(scope="class")
+    def study(self):
+        return resolution_study(
+            die_area=mm2(400), total_power=150.0, resolutions=(1, 2, 4, 8)
+        )
+
+    def test_all_resolutions_evaluated(self, study):
+        assert [p.blocks_per_side for p in study] == [1, 2, 4, 8]
+
+    def test_peaks_converge(self, study):
+        """Successive refinements change the peak less and less."""
+        peaks = [p.peak_temperature for p in study]
+        deltas = [abs(b - a) for a, b in zip(peaks, peaks[1:])]
+        assert deltas[-1] < deltas[0] + 1e-9
+        # The 4->8 step moves the peak by less than half a kelvin.
+        assert deltas[-1] < 0.5
+
+    def test_refinement_resolves_the_hot_centre(self, study):
+        """From 2x2 on, finer meshes expose the centre hot spot, so the
+        peak grows monotonically.  (The 1x1 mesh is a special case: the
+        single lumped node over-serialises the vertical path and lands
+        *above* the converged value.)"""
+        peaks = [p.peak_temperature for p in study]
+        assert peaks[1:] == sorted(peaks[1:])
+
+    def test_coarse_fine_agree_within_a_few_kelvin(self, study):
+        peaks = [p.peak_temperature for p in study]
+        assert abs(peaks[-1] - peaks[0]) < 5.0
+
+    def test_invalid_resolution_rejected(self):
+        with pytest.raises(ConfigurationError, match="resolution"):
+            resolution_study(mm2(400), 100.0, resolutions=(0,))
+
+    def test_invalid_area_rejected(self):
+        with pytest.raises(ConfigurationError):
+            resolution_study(-1.0, 100.0)

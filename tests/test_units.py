@@ -1,0 +1,43 @@
+"""Unit-conversion helpers."""
+
+import pytest
+
+from repro import units
+
+
+class TestPrefixes:
+    def test_milli(self):
+        assert units.MILLI == pytest.approx(1e-3)
+
+    def test_micro(self):
+        assert units.MICRO == pytest.approx(1e-6)
+
+    def test_nano(self):
+        assert units.NANO == pytest.approx(1e-9)
+
+    def test_giga(self):
+        assert units.GIGA == pytest.approx(1e9)
+
+    def test_mega_kilo(self):
+        assert units.MEGA == pytest.approx(1e6)
+        assert units.KILO == pytest.approx(1e3)
+
+
+class TestConversions:
+    def test_ghz_roundtrip(self):
+        assert units.to_ghz(units.ghz(3.6)) == pytest.approx(3.6)
+
+    def test_ghz_value(self):
+        assert units.ghz(2.0) == pytest.approx(2.0e9)
+
+    def test_mm2_roundtrip(self):
+        assert units.to_mm2(units.mm2(9.6)) == pytest.approx(9.6)
+
+    def test_mm2_value(self):
+        assert units.mm2(1.0) == pytest.approx(1e-6)
+
+    def test_gips(self):
+        assert units.gips(3.0e9) == pytest.approx(3.0)
+
+    def test_gips_zero(self):
+        assert units.gips(0.0) == 0.0
