@@ -1,6 +1,6 @@
 # Convenience targets for the dark-silicon reproduction.
 
-.PHONY: install test bench experiments examples clean
+.PHONY: install test bench bench-smoke experiments examples clean
 
 install:
 	pip install -e . || python setup.py develop
@@ -10,6 +10,11 @@ test:
 
 bench:
 	pytest benchmarks/ --benchmark-only
+
+# Fast sanity pass over the hot-path benchmarks: fails on any exception
+# (import errors, solver regressions), without judging timings.
+bench-smoke:
+	pytest benchmarks/bench_fig10_tsp.py benchmarks/bench_runtime_policies.py -x -q --benchmark-only
 
 experiments:
 	python -m repro.cli all

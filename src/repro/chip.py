@@ -1,10 +1,11 @@
 """The Chip: one technology node's manycore platform, fully assembled.
 
 A :class:`Chip` bundles what Figure 1's tool flow produces for one
-technology node — the floorplan, the thermal RC model built from it, and
-a steady-state solver — so the estimation engine, mapping policies and
-boosting simulations all share one object (and its cached factorisations
-and influence matrix).
+technology node — the floorplan, the thermal RC model built from it, a
+steady-state solver, and the batched acceleration engine — so the
+estimation engine, mapping policies and boosting simulations all share
+one object (and its cached factorisations, influence matrix, and
+peak-temperature/TSP caches).
 """
 
 from __future__ import annotations
@@ -53,6 +54,7 @@ class Chip:
         self.thermal_config = thermal_config
         self.thermal: ThermalModel = build_thermal_model(floorplan, thermal_config)
         self.solver = SteadyStateSolver(self.thermal)
+        self._engine: Optional["BatchedSteadyState"] = None
 
     @classmethod
     def for_node(
@@ -78,6 +80,20 @@ class Chip:
             thermal_config=thermal_config,
             grid=(rows, cols),
         )
+
+    @property
+    def engine(self) -> "BatchedSteadyState":
+        """The chip's batched steady-state engine, built on first use.
+
+        One engine per chip: its influence operator, peak-temperature
+        cache and TSP tables are shared by every consumer (TSP, the
+        estimation engine, the online simulator and its policies).
+        """
+        if self._engine is None:
+            from repro.perf.batched import BatchedSteadyState
+
+            self._engine = BatchedSteadyState(self.thermal)
+        return self._engine
 
     @property
     def n_cores(self) -> int:

@@ -65,7 +65,9 @@ class TemperatureConstraint(Constraint):
 
     def admits(self, chip: Chip, core_powers: Sequence[float]) -> bool:
         threshold = chip.t_dtm if self.t_dtm is None else self.t_dtm
-        peak = chip.solver.peak_temperature(core_powers)
+        peak = chip.engine.peak_temperature(
+            np.asarray(core_powers, dtype=float)
+        )
         return peak <= threshold + 1e-6
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

@@ -10,6 +10,7 @@ DVFS/thread-count search that exploits application TLP/ILP characteristics
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import partial
 from typing import Optional, Sequence
 
 from repro.apps.profile import AppProfile
@@ -19,6 +20,7 @@ from repro.core.constraints import Constraint, PowerBudgetConstraint
 from repro.core.estimator import MappingResult, map_workload
 from repro.errors import ConfigurationError, InfeasibleError
 from repro.mapping.base import Placer
+from repro.perf.sweep import SweepRunner
 from repro.units import gips as to_gips
 
 
@@ -81,15 +83,33 @@ def sweep_frequencies(
     constraint: Constraint,
     threads: int = 8,
     placer: Optional[Placer] = None,
+    runner: Optional[SweepRunner] = None,
 ) -> list[FrequencySweepPoint]:
-    """Figure 5: dark silicon vs v/f level for one application."""
-    points = []
-    for f in frequencies:
-        result = estimate_dark_silicon(
-            chip, app, f, constraint, threads=threads, placer=placer
-        )
-        points.append(FrequencySweepPoint.from_result(f, result))
-    return points
+    """Figure 5: dark silicon vs v/f level for one application.
+
+    Args:
+        runner: sweep executor (timing metrics land in its
+            :attr:`~repro.perf.sweep.SweepRunner.metrics` under stage
+            ``"sweep_frequencies"``); a private serial runner by default.
+            Chips do not pickle, so this sweep is always in-process even
+            on a parallel runner — each cell still reuses the chip
+            engine's cached influence operator.
+    """
+    if runner is None or runner.parallel:
+        runner = SweepRunner()
+    cell = partial(
+        estimate_dark_silicon,
+        chip,
+        app,
+        constraint=constraint,
+        threads=threads,
+        placer=placer,
+    )
+    results = runner.map(list(frequencies), cell, stage="sweep_frequencies")
+    return [
+        FrequencySweepPoint.from_result(f, result)
+        for f, result in zip(frequencies, results)
+    ]
 
 
 def compare_tdp_vs_temperature(

@@ -197,7 +197,7 @@ def map_workload(
             )
         )
 
-    peak = chip.solver.peak_temperature(core_powers)
+    peak = chip.engine.peak_temperature(core_powers)
     return MappingResult(
         chip=chip,
         placed=tuple(placed),

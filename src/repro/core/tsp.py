@@ -20,9 +20,13 @@ The worst case over mappings is attained by thermally concentrated ones;
 following the TSP paper's heuristic, a candidate worst mapping is built
 around every possible "centre" core (the ``m`` cores with the largest
 influence on the centre), and the minimum budget over all candidates is
-kept.  The whole ``TSP(1..n)`` table is computed in one vectorised pass
-(per centre: a column gather, a cumulative sum, and a min-reduce), so it
-costs O(n^3) arithmetic rather than O(n^4).
+kept.  The heavy lifting lives in the chip's shared
+:class:`repro.perf.batched.BatchedSteadyState` engine: the whole
+``TSP(1..n)`` table is one vectorised pass (per centre block: a column
+gather, a cumulative sum, and a min-reduce — O(n^3) arithmetic rather
+than O(n^4)), a *single* count is one BLAS selection matmul, and both are
+cached per ``(headroom, inactive power)`` so every calculator bound to
+the same chip reuses them.
 """
 
 from __future__ import annotations
@@ -55,16 +59,15 @@ class ThermalSafePower:
                 f"inactive_power must be non-negative, got {inactive_power}"
             )
         self._chip = chip
-        self._b = chip.thermal.influence_matrix()
+        self._engine = chip.engine
+        self._b = self._engine.influence
         self._inactive_power = inactive_power
         self._t_dtm = chip.t_dtm if t_dtm is None else t_dtm
         if self._t_dtm <= chip.ambient:
             raise ConfigurationError(
                 f"T_DTM ({self._t_dtm}) must exceed ambient ({chip.ambient})"
             )
-        self._worst_budgets: Optional[np.ndarray] = None  # index m-1
-        self._worst_centres: Optional[np.ndarray] = None
-        self._order: Optional[np.ndarray] = None
+        self._safe_frequencies: dict[tuple, float] = {}
 
     @property
     def chip(self) -> Chip:
@@ -101,10 +104,16 @@ class ThermalSafePower:
         return result
 
     def worst_case(self, m: int) -> float:
-        """Worst-case per-core TSP(m) over all ``m``-core mappings (W)."""
+        """Worst-case per-core TSP(m) over all ``m``-core mappings (W).
+
+        A single count is evaluated through the engine's selection-matmul
+        fast path (and cached); once a full table exists the value comes
+        from it instead.
+        """
         self._check_m(m)
-        self._ensure_table()
-        budget = float(self._worst_budgets[m - 1])
+        budget, _ = self._engine.tsp_for_count(
+            m, self.headroom, self._inactive_power
+        )
         if budget <= 0:
             raise InfeasibleError(
                 "inactive-core power alone already violates T_DTM"
@@ -114,9 +123,11 @@ class ThermalSafePower:
     def worst_case_mapping(self, m: int) -> list[int]:
         """A thermally worst (most concentrated) mapping of ``m`` cores."""
         self._check_m(m)
-        self._ensure_table()
-        centre = int(self._worst_centres[m - 1])
-        return sorted(self._order[centre, :m].tolist())
+        _, centre = self._engine.tsp_for_count(
+            m, self.headroom, self._inactive_power
+        )
+        order = self._engine.concentration_order()
+        return sorted(order[centre, :m].tolist())
 
     def total_budget(self, m: int) -> float:
         """Chip-level safe power with ``m`` active cores: ``m * TSP(m)``."""
@@ -126,10 +137,14 @@ class ThermalSafePower:
         """``{m: TSP(m)}`` for the given active-core counts.
 
         Defaults to every count from 1 to the chip's core count — the
-        abstraction a runtime would precompute once per chip.
+        abstraction a runtime would precompute once per chip.  The full
+        range triggers the engine's all-counts pass, shared with every
+        other calculator on the chip.
         """
         if counts is None:
             counts = range(1, self._chip.n_cores + 1)
+            # One vectorised pass beats n selection matmuls.
+            self._engine.tsp_table(self.headroom, self._inactive_power)
         return {m: self.worst_case(m) for m in counts}
 
     def safe_frequency(
@@ -156,6 +171,20 @@ class ThermalSafePower:
         Raises:
             InfeasibleError: when even the lowest level exceeds TSP(m).
         """
+        key = (
+            app,
+            m,
+            threads,
+            None if frequencies is None else tuple(frequencies),
+        )
+        cached = self._safe_frequencies.get(key)
+        if cached is not None:
+            if cached == 0.0:
+                raise InfeasibleError(
+                    f"no DVFS level of {app.name} fits TSP({m}) = "
+                    f"{self.worst_case(m):.3f} W/core"
+                )
+            return cached
         budget = self.worst_case(m)
         ladder = sorted(
             frequencies
@@ -169,6 +198,7 @@ class ThermalSafePower:
             )
             if power <= budget:
                 chosen = f
+        self._safe_frequencies[key] = chosen
         if chosen == 0.0:
             raise InfeasibleError(
                 f"no DVFS level of {app.name} fits TSP({m}) = {budget:.3f} W/core"
@@ -185,32 +215,6 @@ class ThermalSafePower:
         return {m: self.safe_frequency(app, m, threads=threads) for m in counts}
 
     # -- internals ----------------------------------------------------
-
-    def _ensure_table(self) -> None:
-        if self._worst_budgets is not None:
-            return
-        b = self._b
-        n = self._chip.n_cores
-        headroom = self.headroom
-        p_inact = self._inactive_power
-        row_totals = b.sum(axis=1)
-        order = np.argsort(-b, axis=1)
-        best = np.full(n, np.inf)
-        best_centre = np.zeros(n, dtype=int)
-        for centre in range(n):
-            # Columns ordered by decreasing influence on the centre; the
-            # cumulative sum's column m-1 is every core's heating by the
-            # centre's m-core worst candidate at 1 W/core.
-            cum = np.cumsum(b[:, order[centre]], axis=1)
-            inactive_heat = p_inact * (row_totals[:, None] - cum)
-            budgets = (headroom - inactive_heat) / cum
-            per_m = budgets.min(axis=0)
-            improved = per_m < best
-            best = np.where(improved, per_m, best)
-            best_centre[improved] = centre
-        self._worst_budgets = best
-        self._worst_centres = best_centre
-        self._order = order
 
     def _check_active(self, active: Sequence[int]) -> np.ndarray:
         idx = np.asarray(active, dtype=int)

@@ -1,6 +1,6 @@
 """Shared infrastructure for the experiment modules.
 
-Chips are cached per (node, thermal config id): building the RC model and
+Chips are cached per (node, thermal config): building the RC model and
 its factorisation is cheap, but the influence matrix used by TSP and the
 thermal-spread placer is worth reusing across figures.
 """
@@ -13,6 +13,7 @@ from typing import Sequence
 from repro.chip import Chip
 from repro.errors import ConfigurationError
 from repro.tech.library import node_by_name
+from repro.thermal.config import PAPER_THERMAL_CONFIG, ThermalConfig
 from repro.units import GIGA
 
 #: Frequencies of the Figure 5 x-axis (GHz 2.8 .. 3.6), in Hz.
@@ -22,9 +23,16 @@ FIG5_FREQUENCIES: tuple[float, ...] = tuple(
 
 
 @lru_cache(maxsize=8)
-def get_chip(node_name: str) -> Chip:
-    """The paper's chip at the named node, cached per process."""
-    return Chip.for_node(node_by_name(node_name))
+def get_chip(
+    node_name: str, thermal_config: ThermalConfig = PAPER_THERMAL_CONFIG
+) -> Chip:
+    """The chip at the named node and package config, cached per process.
+
+    The cache key is the full ``(node_name, thermal_config)`` pair —
+    ``ThermalConfig`` is a frozen (hashable) dataclass — so callers with
+    a non-default package never receive a stale default-config chip.
+    """
+    return Chip.for_node(node_by_name(node_name), thermal_config=thermal_config)
 
 
 def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:

@@ -12,12 +12,14 @@ to 8 nm).
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import partial
 from typing import Mapping, Optional, Sequence
 
 from repro.apps.parsec import PARSEC_ORDER, app_by_name
 from repro.core.tsp import ThermalSafePower
 from repro.errors import InfeasibleError
 from repro.experiments.common import format_table, get_chip
+from repro.perf.sweep import SweepRunner
 from repro.units import GIGA, gips as to_gips
 
 #: The paper's per-node dark-silicon percentages.
@@ -98,51 +100,72 @@ class Fig10Result:
         )
 
 
+def _node_cell(
+    cell: tuple[str, float],
+    app_names: Sequence[str],
+    threads: int,
+) -> Fig10NodeResult:
+    """One (node, dark share) grid cell — module-level so a parallel
+    :class:`SweepRunner` can ship it to worker processes (the chip is
+    obtained inside the worker via the per-process cache)."""
+    node_name, dark = cell
+    chip = get_chip(node_name)
+    instances = int(round(chip.n_cores * (1.0 - dark))) // threads
+    active = instances * threads
+    tsp = ThermalSafePower(chip)
+    budget = tsp.worst_case(active)
+    apps = []
+    for name in app_names:
+        app = app_by_name(name)
+        chosen_f = 0.0
+        chosen_p = 0.0
+        for f in chip.node.frequency_ladder():
+            p = app.core_power(chip.node, threads, f, temperature=chip.t_dtm)
+            if p <= budget:
+                chosen_f, chosen_p = f, p
+        if chosen_f == 0.0:
+            raise InfeasibleError(
+                f"no DVFS level of {name} fits TSP({active}) = "
+                f"{budget:.2f} W/core at {node_name}"
+            )
+        perf = instances * app.instance_performance(threads, chosen_f)
+        apps.append(
+            Fig10AppPoint(
+                app=name,
+                frequency=chosen_f,
+                per_core_budget=budget,
+                per_core_power=chosen_p,
+                gips=to_gips(perf),
+            )
+        )
+    return Fig10NodeResult(
+        node=node_name,
+        dark_share=dark,
+        active_cores=active,
+        tsp_per_core=budget,
+        apps=tuple(apps),
+    )
+
+
 def run(
     dark_shares: Optional[Mapping[str, float]] = None,
     app_names: Sequence[str] = PARSEC_ORDER,
     threads: int = 8,
+    runner: Optional[SweepRunner] = None,
 ) -> Fig10Result:
-    """Evaluate TSP-governed performance for every node and application."""
+    """Evaluate TSP-governed performance for every node and application.
+
+    Args:
+        runner: sweep executor for the per-node cells; pass a parallel
+            one to fan nodes out across processes (cells only exchange
+            picklable inputs/results).  Timing lands in its metrics
+            under stage ``"fig10_nodes"``.
+    """
     shares = dict(PAPER_DARK_SHARES if dark_shares is None else dark_shares)
-    nodes = []
-    for node_name, dark in shares.items():
-        chip = get_chip(node_name)
-        instances = int(round(chip.n_cores * (1.0 - dark))) // threads
-        active = instances * threads
-        tsp = ThermalSafePower(chip)
-        budget = tsp.worst_case(active)
-        apps = []
-        for name in app_names:
-            app = app_by_name(name)
-            chosen_f = 0.0
-            chosen_p = 0.0
-            for f in chip.node.frequency_ladder():
-                p = app.core_power(chip.node, threads, f, temperature=chip.t_dtm)
-                if p <= budget:
-                    chosen_f, chosen_p = f, p
-            if chosen_f == 0.0:
-                raise InfeasibleError(
-                    f"no DVFS level of {name} fits TSP({active}) = "
-                    f"{budget:.2f} W/core at {node_name}"
-                )
-            perf = instances * app.instance_performance(threads, chosen_f)
-            apps.append(
-                Fig10AppPoint(
-                    app=name,
-                    frequency=chosen_f,
-                    per_core_budget=budget,
-                    per_core_power=chosen_p,
-                    gips=to_gips(perf),
-                )
-            )
-        nodes.append(
-            Fig10NodeResult(
-                node=node_name,
-                dark_share=dark,
-                active_cores=active,
-                tsp_per_core=budget,
-                apps=tuple(apps),
-            )
-        )
+    runner = runner or SweepRunner()
+    nodes = runner.map(
+        list(shares.items()),
+        partial(_node_cell, app_names=tuple(app_names), threads=threads),
+        stage="fig10_nodes",
+    )
     return Fig10Result(nodes=tuple(nodes))

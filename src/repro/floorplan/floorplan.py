@@ -11,8 +11,10 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Iterable, Sequence
 
+import numpy as np
+
 from repro.errors import ConfigurationError
-from repro.floorplan.geometry import Rect, shared_edge_length
+from repro.floorplan.geometry import EDGE_TOLERANCE, Rect
 
 
 @dataclass(frozen=True)
@@ -48,19 +50,33 @@ class Floorplan:
             dupes = sorted({n for n in names if names.count(n) > 1})
             raise ConfigurationError(f"duplicate block names: {dupes}")
         self._index = {b.name: i for i, b in enumerate(self._blocks)}
+        # Corner coordinates as column vectors, reused by the O(n^2)
+        # vectorised overlap check and adjacency computation.
+        self._x = np.array([b.rect.x for b in self._blocks])
+        self._y = np.array([b.rect.y for b in self._blocks])
+        self._x2 = np.array([b.rect.x2 for b in self._blocks])
+        self._y2 = np.array([b.rect.y2 for b in self._blocks])
         self._validate_no_overlap()
         self._adjacency: list[tuple[int, int, float]] | None = None
 
     def _validate_no_overlap(self) -> None:
-        # O(n^2) sweep is fine at the paper's scales (<= 361 blocks); a
-        # line sweep would only matter for floorplans far larger than any
-        # chip modelled here.
-        for i, a in enumerate(self._blocks):
-            for b in self._blocks[i + 1 :]:
-                if a.rect.overlaps(b.rect):
-                    raise ConfigurationError(
-                        f"blocks {a.name!r} and {b.name!r} overlap"
-                    )
+        # All-pairs interior intersection test (Rect.overlaps, broadcast
+        # over the upper triangle).  O(n^2) memory is fine at the paper's
+        # scales (<= 361 blocks).
+        x, y, x2, y2 = self._x, self._y, self._x2, self._y2
+        overlap = (
+            (x[:, None] < x2[None, :] - EDGE_TOLERANCE)
+            & (x[None, :] < x2[:, None] - EDGE_TOLERANCE)
+            & (y[:, None] < y2[None, :] - EDGE_TOLERANCE)
+            & (y[None, :] < y2[:, None] - EDGE_TOLERANCE)
+        )
+        overlap &= np.triu(np.ones(overlap.shape, dtype=bool), k=1)
+        if overlap.any():
+            i, j = (int(k) for k in np.argwhere(overlap)[0])
+            raise ConfigurationError(
+                f"blocks {self._blocks[i].name!r} and "
+                f"{self._blocks[j].name!r} overlap"
+            )
 
     @property
     def blocks(self) -> tuple[Block, ...]:
@@ -104,13 +120,31 @@ class Floorplan:
             shared boundary length in m; computed once and cached.
         """
         if self._adjacency is None:
-            pairs: list[tuple[int, int, float]] = []
-            for i, a in enumerate(self._blocks):
-                for j in range(i + 1, len(self._blocks)):
-                    length = shared_edge_length(a.rect, self._blocks[j].rect)
-                    if length > 0.0:
-                        pairs.append((i, j, length))
-            self._adjacency = pairs
+            # Vectorised all-pairs shared_edge_length (same tolerance and
+            # branch order: vertical abutment wins over horizontal).
+            x, y, x2, y2 = self._x, self._y, self._x2, self._y2
+            vertical = (np.abs(x2[:, None] - x[None, :]) <= EDGE_TOLERANCE) | (
+                np.abs(x2[None, :] - x[:, None]) <= EDGE_TOLERANCE
+            )
+            horizontal = (np.abs(y2[:, None] - y[None, :]) <= EDGE_TOLERANCE) | (
+                np.abs(y2[None, :] - y[:, None]) <= EDGE_TOLERANCE
+            )
+            y_overlap = np.minimum(y2[:, None], y2[None, :]) - np.maximum(
+                y[:, None], y[None, :]
+            )
+            x_overlap = np.minimum(x2[:, None], x2[None, :]) - np.maximum(
+                x[:, None], x[None, :]
+            )
+            length = np.where(
+                vertical,
+                np.maximum(y_overlap, 0.0),
+                np.where(horizontal, np.maximum(x_overlap, 0.0), 0.0),
+            )
+            mask = np.triu(length > 0.0, k=1)
+            self._adjacency = [
+                (int(i), int(j), float(length[i, j]))
+                for i, j in np.argwhere(mask)
+            ]
         return self._adjacency
 
     def neighbours(self, index: int) -> list[int]:

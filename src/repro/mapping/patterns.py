@@ -18,6 +18,8 @@ from __future__ import annotations
 
 from typing import AbstractSet, Optional, Sequence
 
+import numpy as np
+
 from repro.chip import Chip
 from repro.errors import ConfigurationError
 from repro.mapping.base import Placer
@@ -69,37 +71,49 @@ class NeighbourhoodSpreadPlacer(Placer):
             raise ConfigurationError(
                 "NeighbourhoodSpreadPlacer needs a grid chip"
             )
-        free = set(self.free_cores(chip, occupied))
-        if len(free) < n_cores:
-            return None
         rows, cols = chip.grid
-        taken = set(occupied)
+        n = rows * cols
+        adjacency = self._neighbour_matrix(chip)
+        taken = np.zeros(n)
+        if occupied:
+            taken[list(occupied)] = 1.0
+        if n - len(occupied) < n_cores:
+            return None
+        # scores[c] = taken 4-neighbours of c (one matvec), +inf on
+        # unavailable cores so argmin (lowest index wins ties, matching
+        # the scalar greedy walk) only ever selects free ones; +inf
+        # absorbs the incremental neighbour updates.
+        scores = adjacency @ taken
+        scores[taken == 1.0] = np.inf
         chosen: list[int] = []
         for _ in range(n_cores):
-            best = min(
-                sorted(free),
-                key=lambda c: self._occupied_neighbours(c, taken, rows, cols),
-            )
+            best = int(scores.argmin())
             chosen.append(best)
-            free.remove(best)
-            taken.add(best)
+            scores[best] = np.inf
+            scores += adjacency[:, best]
         return chosen
 
     @staticmethod
-    def _occupied_neighbours(
-        core: int, taken: AbstractSet[int], rows: int, cols: int
-    ) -> int:
-        row, col = divmod(core, cols)
-        count = 0
-        if row > 0 and core - cols in taken:
-            count += 1
-        if row < rows - 1 and core + cols in taken:
-            count += 1
-        if col > 0 and core - 1 in taken:
-            count += 1
-        if col < cols - 1 and core + 1 in taken:
-            count += 1
-        return count
+    def _neighbour_matrix(chip: Chip) -> np.ndarray:
+        """Dense 0/1 grid 4-neighbour matrix, cached on the chip."""
+        cached = getattr(chip, "_grid_neighbour_matrix", None)
+        if cached is not None:
+            return cached
+        rows, cols = chip.grid
+        n = rows * cols
+        matrix = np.zeros((n, n))
+        for core in range(n):
+            row, col = divmod(core, cols)
+            if row > 0:
+                matrix[core, core - cols] = 1.0
+            if row < rows - 1:
+                matrix[core, core + cols] = 1.0
+            if col > 0:
+                matrix[core, core - 1] = 1.0
+            if col < cols - 1:
+                matrix[core, core + 1] = 1.0
+        chip._grid_neighbour_matrix = matrix
+        return matrix
 
 
 class ThermalSpreadPlacer(Placer):

@@ -1,0 +1,30 @@
+"""Acceleration layer: batched steady-state solves and sweep execution.
+
+* :class:`repro.perf.batched.BatchedSteadyState` — the chip's influence
+  operator applied to whole batches of power vectors in one BLAS matmul,
+  with a quantized-key LRU cache for the event loop's repeated
+  peak-temperature queries, and the shared TSP budget tables.
+* :class:`repro.perf.sweep.SweepRunner` — experiment/benchmark grid
+  execution with per-stage timing metrics and optional process
+  parallelism.
+
+Every chip exposes a lazily built engine as :attr:`repro.chip.Chip.
+engine`; the rewired call sites (TSP, the estimation engine, the dark-
+silicon sweeps, the online simulator and its policies) all route through
+it and stay numerically equivalent (<= 1e-9 K) to the direct
+:class:`repro.thermal.steady_state.SteadyStateSolver` path.
+"""
+
+from repro.perf.batched import (
+    BatchedSteadyState,
+    DEFAULT_CACHE_SIZE,
+    DEFAULT_POWER_QUANTUM,
+)
+from repro.perf.sweep import SweepRunner
+
+__all__ = [
+    "BatchedSteadyState",
+    "DEFAULT_CACHE_SIZE",
+    "DEFAULT_POWER_QUANTUM",
+    "SweepRunner",
+]

@@ -1,0 +1,303 @@
+"""Batched steady-state evaluation over the influence matrix.
+
+Every figure in the paper reduces to thousands of steady-state solves
+``T = T_amb + B P``.  The direct :class:`repro.thermal.steady_state.
+SteadyStateSolver` performs one sparse LU solve per power vector; at the
+scales the experiments sweep (frequency ladders x core counts x nodes,
+plus an event loop querying the peak temperature at every scheduling
+event) the same influence operator is applied over and over.
+
+:class:`BatchedSteadyState` freezes the core-to-core influence matrix
+``B`` of one :class:`repro.thermal.model.ThermalModel` and evaluates
+
+* *batches* of power vectors as a single BLAS matmul
+  (``T = T_amb + P_batch @ B^T``), and
+* repeated single-vector peak-temperature queries through an LRU cache
+  keyed by the *quantized* power vector (the event loop re-encounters
+  identical chip configurations constantly).
+
+It also owns the chip-level TSP artefacts (the per-centre concentration
+order and the worst-case budget tables) so that every
+:class:`repro.core.tsp.ThermalSafePower` bound to the same chip shares
+them instead of rebuilding per-centre cumulative sums per instance.
+
+Invalidation: the engine binds a *frozen* model — ``ThermalModel`` never
+mutates after construction, so no cache here ever needs invalidating
+during the model's lifetime.  A different package configuration means a
+different ``ThermalModel`` (and chip), hence a fresh engine.  See
+``docs/thermal_model.md`` for the cache-error bound of the quantized key.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.thermal.model import ThermalModel
+
+#: Default peak-temperature cache capacity (entries).
+DEFAULT_CACHE_SIZE = 4096
+
+#: Default power quantization step for cache keys, in W.  Two vectors
+#: closer than half a quantum per core share a cache entry; the induced
+#: temperature error is bounded by ``0.5 * quantum * max_i sum_j B[i,j]``
+#: (well below 1e-9 K for the library's chips).
+DEFAULT_POWER_QUANTUM = 1e-9
+
+
+class BatchedSteadyState:
+    """Batched/cached steady-state engine bound to one thermal model.
+
+    Args:
+        model: the frozen thermal model.
+        cache_size: peak-temperature LRU capacity; 0 disables caching.
+        power_quantum: cache-key quantization step, in W.
+    """
+
+    def __init__(
+        self,
+        model: ThermalModel,
+        cache_size: int = DEFAULT_CACHE_SIZE,
+        power_quantum: float = DEFAULT_POWER_QUANTUM,
+    ) -> None:
+        if cache_size < 0:
+            raise ConfigurationError(
+                f"cache_size must be non-negative, got {cache_size}"
+            )
+        if power_quantum <= 0:
+            raise ConfigurationError(
+                f"power_quantum must be positive, got {power_quantum}"
+            )
+        self._model = model
+        self._b = model.influence_matrix()
+        # Row-major transpose so P_batch @ B^T hits contiguous memory.
+        self._bt = np.ascontiguousarray(self._b.T)
+        self._ambient = model.ambient
+        self._n = model.n_cores
+        self._cache_size = cache_size
+        self._quantum = power_quantum
+        self._cache: OrderedDict[bytes, float] = OrderedDict()
+        self._hits = 0
+        self._misses = 0
+        # TSP artefacts, shared by every ThermalSafePower on this chip.
+        self._order: Optional[np.ndarray] = None
+        self._row_totals: Optional[np.ndarray] = None
+        self._tsp_tables: dict[tuple[float, float], tuple[np.ndarray, np.ndarray]] = {}
+        self._tsp_single: dict[tuple[int, float, float], tuple[float, int]] = {}
+
+    # -- basic properties ---------------------------------------------
+
+    @property
+    def model(self) -> ThermalModel:
+        """The bound thermal model."""
+        return self._model
+
+    @property
+    def influence(self) -> np.ndarray:
+        """The core-to-core influence matrix ``B``, in K/W."""
+        return self._b
+
+    @property
+    def ambient(self) -> float:
+        """Ambient temperature, degC."""
+        return self._ambient
+
+    @property
+    def n_cores(self) -> int:
+        """Core count."""
+        return self._n
+
+    # -- batched solves -----------------------------------------------
+
+    def temperatures(self, core_powers: Sequence[float]) -> np.ndarray:
+        """Steady-state core temperatures for one or many power vectors.
+
+        Args:
+            core_powers: shape ``(n,)`` for one vector or ``(k, n)`` for
+                a batch of ``k`` vectors, in W.
+
+        Returns:
+            Temperatures (degC) of the same shape as the input.
+        """
+        p = np.asarray(core_powers, dtype=float)
+        if p.ndim == 1:
+            if p.shape != (self._n,):
+                raise ConfigurationError(
+                    f"expected {self._n} core powers, got shape {p.shape}"
+                )
+            return self._ambient + self._b @ p
+        if p.ndim != 2 or p.shape[1] != self._n:
+            raise ConfigurationError(
+                f"expected a (k, {self._n}) power batch, got shape {p.shape}"
+            )
+        return self._ambient + p @ self._bt
+
+    def peak_temperatures(self, power_batch: Sequence[Sequence[float]]) -> np.ndarray:
+        """Hottest-core temperature (degC) of each vector in a batch."""
+        p = np.asarray(power_batch, dtype=float)
+        if p.ndim != 2:
+            raise ConfigurationError(
+                f"peak_temperatures expects a 2-D batch, got shape {p.shape}"
+            )
+        return self.temperatures(p).max(axis=1)
+
+    def peak_temperature(self, core_powers: Sequence[float]) -> float:
+        """Hottest core's steady-state temperature (degC), LRU-cached.
+
+        The cache key is the power vector rounded to ``power_quantum``;
+        repeated event-loop configurations hit the cache instead of
+        re-applying the operator.
+        """
+        p = np.asarray(core_powers, dtype=float)
+        if p.shape != (self._n,):
+            raise ConfigurationError(
+                f"expected {self._n} core powers, got shape {p.shape}"
+            )
+        if self._cache_size == 0:
+            return float((self._ambient + self._b @ p).max())
+        key = np.rint(p / self._quantum).astype(np.int64).tobytes()
+        cached = self._cache.get(key)
+        if cached is not None:
+            self._hits += 1
+            self._cache.move_to_end(key)
+            return cached
+        self._misses += 1
+        peak = float((self._ambient + self._b @ p).max())
+        self._cache[key] = peak
+        if len(self._cache) > self._cache_size:
+            self._cache.popitem(last=False)
+        return peak
+
+    def cache_info(self) -> dict[str, int]:
+        """Peak-temperature cache counters."""
+        return {
+            "hits": self._hits,
+            "misses": self._misses,
+            "size": len(self._cache),
+            "maxsize": self._cache_size,
+        }
+
+    def cache_clear(self) -> None:
+        """Drop every cached peak temperature (counters reset too)."""
+        self._cache.clear()
+        self._hits = 0
+        self._misses = 0
+
+    # -- shared TSP artefacts -----------------------------------------
+
+    def concentration_order(self) -> np.ndarray:
+        """Per-centre thermal concentration order (TSP's candidate maps).
+
+        Row ``c`` lists every core by decreasing influence on core ``c``;
+        its first ``m`` entries are the thermally concentrated ``m``-core
+        candidate mapping around centre ``c``.
+        """
+        if self._order is None:
+            self._order = np.argsort(-self._b, axis=1)
+            self._row_totals = self._b.sum(axis=1)
+        return self._order
+
+    def _concentration(self) -> tuple[np.ndarray, np.ndarray]:
+        self.concentration_order()
+        return self._order, self._row_totals
+
+    def tsp_table(
+        self,
+        headroom: float,
+        inactive_power: float,
+        chunk: int = 32,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Worst-case TSP budgets for every active-core count 1..n.
+
+        Args:
+            headroom: temperature budget ``T_DTM - T_amb``, in K.
+            inactive_power: residual power of dark cores, in W.
+            chunk: centres evaluated per vectorised block.
+
+        Returns:
+            ``(budgets, centres)`` — ``budgets[m - 1]`` is the worst-case
+            per-core budget with ``m`` active cores (W) and
+            ``centres[m - 1]`` the centre of a mapping attaining it.
+            Cached per ``(headroom, inactive_power)``, so every caller on
+            this chip shares one table.
+        """
+        key = (float(headroom), float(inactive_power))
+        cached = self._tsp_tables.get(key)
+        if cached is not None:
+            return cached
+        order, row_totals = self._concentration()
+        b = self._b
+        n = self._n
+        best = np.full(n, np.inf)
+        best_centre = np.zeros(n, dtype=int)
+        for start in range(0, n, chunk):
+            centres = order[start : start + chunk]
+            # gathered[c, k, i] = B[i, order[c, k]]: every core's heating
+            # by the k-th member of centre c's candidate, at 1 W.
+            gathered = np.transpose(b[:, centres], (1, 2, 0))
+            cum = np.cumsum(gathered, axis=1)
+            if inactive_power:
+                inactive_heat = inactive_power * (row_totals[None, None, :] - cum)
+                budgets = (headroom - inactive_heat) / cum
+            else:
+                budgets = headroom / cum
+            per_m = budgets.min(axis=2)
+            chunk_best = per_m.min(axis=0)
+            chunk_centre = per_m.argmin(axis=0) + start
+            improved = chunk_best < best
+            best = np.where(improved, chunk_best, best)
+            best_centre[improved] = chunk_centre[improved]
+        result = (best, best_centre)
+        self._tsp_tables[key] = result
+        return result
+
+    def tsp_for_count(
+        self,
+        m: int,
+        headroom: float,
+        inactive_power: float,
+    ) -> tuple[float, int]:
+        """Worst-case TSP budget for one active-core count.
+
+        A single count does not need the full cumulative-sum table: the
+        per-centre candidate sums are one 0/1 selection matmul
+        (``W = B @ M``), which BLAS evaluates orders of magnitude faster
+        than the all-counts pass.  Results are cached per
+        ``(m, headroom, inactive_power)``; if the full table already
+        exists it is reused verbatim.
+
+        Returns:
+            ``(budget, centre)`` as in :meth:`tsp_table` at index ``m-1``.
+        """
+        if not 1 <= m <= self._n:
+            raise ConfigurationError(
+                f"active-core count must be in [1, {self._n}], got {m}"
+            )
+        table_key = (float(headroom), float(inactive_power))
+        table = self._tsp_tables.get(table_key)
+        if table is not None:
+            budgets, centres = table
+            return float(budgets[m - 1]), int(centres[m - 1])
+        key = (m, float(headroom), float(inactive_power))
+        cached = self._tsp_single.get(key)
+        if cached is not None:
+            return cached
+        order, row_totals = self._concentration()
+        n = self._n
+        members = order[:, :m]  # (centre, member) candidate mappings
+        selection = np.zeros((n, n))
+        selection[members.ravel(), np.repeat(np.arange(n), m)] = 1.0
+        heat = self._b @ selection  # heat[i, c]: heating of i at 1 W/core
+        if inactive_power:
+            inactive_heat = inactive_power * (row_totals[:, None] - heat)
+            budgets = (headroom - inactive_heat) / heat
+        else:
+            budgets = headroom / heat
+        per_centre = budgets.min(axis=0)
+        centre = int(per_centre.argmin())
+        result = (float(per_centre[centre]), centre)
+        self._tsp_single[key] = result
+        return result

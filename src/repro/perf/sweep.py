@@ -1,0 +1,115 @@
+"""Grid sweep execution with timing metrics and optional parallelism.
+
+The experiment and benchmark modules all share one shape: a cartesian
+grid of independent cells (technology nodes x figures, frequency ladders
+x core counts, ...) evaluated cell by cell.  :class:`SweepRunner` runs
+such grids through one interface, records per-stage wall-clock counters,
+and can fan independent cells out to worker *processes* when the host has
+cores to spare.
+
+Parallel execution uses :mod:`concurrent.futures`; the cell function and
+its inputs must then be picklable (module-level functions, or
+``functools.partial`` over one).  Chips and solver objects hold sparse
+factorisations that do not pickle — parallel cells should receive plain
+parameters and obtain chips inside the worker (e.g. via
+:func:`repro.experiments.common.get_chip`, whose per-process cache makes
+this cheap after the first cell).
+"""
+
+from __future__ import annotations
+
+import itertools
+import time
+from concurrent.futures import ProcessPoolExecutor
+from typing import Callable, Iterable, Optional, Sequence, TypeVar
+
+from repro.errors import ConfigurationError
+
+K = TypeVar("K")
+V = TypeVar("V")
+
+
+def _timed_cell(fn: Callable[[K], V], cell: K) -> tuple[V, float]:
+    """Evaluate one cell and report its wall-clock time (worker side)."""
+    start = time.perf_counter()
+    result = fn(cell)
+    return result, time.perf_counter() - start
+
+
+class SweepRunner:
+    """Executes independent grid cells, serially or across processes.
+
+    Args:
+        max_workers: worker processes; ``None`` or values below 2 run
+            cells serially in-process (the right default on small grids
+            and single-core hosts, where process startup dominates).
+    """
+
+    def __init__(self, max_workers: Optional[int] = None) -> None:
+        if max_workers is not None and max_workers < 1:
+            raise ConfigurationError(
+                f"max_workers must be positive, got {max_workers}"
+            )
+        self._max_workers = max_workers
+        self._metrics: dict[str, dict] = {}
+
+    @property
+    def max_workers(self) -> Optional[int]:
+        """Configured worker-process count (None = serial)."""
+        return self._max_workers
+
+    @property
+    def parallel(self) -> bool:
+        """True when cells run in worker processes."""
+        return self._max_workers is not None and self._max_workers > 1
+
+    @property
+    def metrics(self) -> dict[str, dict]:
+        """Per-stage timing counters.
+
+        ``{stage: {"cells": n, "wall_s": total, "cell_s": [...],
+        "workers": w}}`` — ``cell_s`` holds each cell's own evaluation
+        time, in submission order; ``wall_s`` is the stage's end-to-end
+        wall clock (under parallelism it is less than ``sum(cell_s)``).
+        """
+        return self._metrics
+
+    @staticmethod
+    def grid(*axes: Iterable) -> list[tuple]:
+        """Cartesian product of sweep axes, as a list of cells."""
+        return list(itertools.product(*axes))
+
+    def map(
+        self,
+        cells: Sequence[K],
+        fn: Callable[[K], V],
+        stage: str = "sweep",
+    ) -> list[V]:
+        """Evaluate ``fn`` over every cell, preserving cell order.
+
+        Args:
+            cells: the grid cells.
+            fn: the per-cell function; must be picklable when the runner
+                is parallel.
+            stage: metrics key for this pass (re-running a stage name
+                accumulates into the same counters).
+
+        Returns:
+            ``[fn(cell) for cell in cells]``.
+        """
+        start = time.perf_counter()
+        if self.parallel and len(cells) > 1:
+            with ProcessPoolExecutor(max_workers=self._max_workers) as pool:
+                timed = list(pool.map(_timed_cell, itertools.repeat(fn), cells))
+        else:
+            timed = [_timed_cell(fn, cell) for cell in cells]
+        wall = time.perf_counter() - start
+        results = [r for r, _ in timed]
+        counters = self._metrics.setdefault(
+            stage,
+            {"cells": 0, "wall_s": 0.0, "cell_s": [], "workers": self._max_workers or 1},
+        )
+        counters["cells"] += len(cells)
+        counters["wall_s"] += wall
+        counters["cell_s"].extend(t for _, t in timed)
+        return results

@@ -49,12 +49,16 @@ class RuntimeResult:
 
     @property
     def mean_response_time(self) -> float:
-        """Average arrival-to-completion latency, s."""
+        """Average arrival-to-completion latency, s (0.0 with no jobs)."""
+        if not self.records:
+            return 0.0
         return float(np.mean([r.response_time for r in self.records]))
 
     @property
     def mean_waiting_time(self) -> float:
-        """Average queueing delay, s."""
+        """Average queueing delay, s (0.0 with no jobs)."""
+        if not self.records:
+            return 0.0
         return float(np.mean([r.waiting_time for r in self.records]))
 
     @property
@@ -95,10 +99,16 @@ class OnlineSimulator:
         """Simulate the whole stream to completion.
 
         Raises:
-            ConfigurationError: if some job can never be admitted even on
-                an idle chip (the stream would hang).
+            ConfigurationError: if the stream is empty, or if some job
+                can never be admitted even on an idle chip (the stream
+                would hang).
         """
+        if not jobs:
+            raise ConfigurationError(
+                "job stream is empty; nothing to simulate"
+            )
         chip = self._chip
+        engine = chip.engine
         jobs = sorted(jobs, key=lambda j: (j.arrival, j.job_id))
         arrivals = list(jobs)
         queue: list[Job] = []
@@ -120,8 +130,10 @@ class OnlineSimulator:
                 energy += float(core_powers.sum()) * dt
                 core_seconds += len(occupied) * dt
                 if occupied:
+                    # The engine's quantized LRU makes the repeated
+                    # configurations of a steady event loop cache hits.
                     max_peak = max(
-                        max_peak, chip.solver.peak_temperature(core_powers)
+                        max_peak, engine.peak_temperature(core_powers)
                     )
             now = to_time
 
@@ -136,6 +148,16 @@ class OnlineSimulator:
                 decision = self._policy.admit(chip, job, core_powers, cores)
                 if decision is None:
                     return
+                if decision.threads != len(cores):
+                    # Power and duration are computed from the decision
+                    # while cores were placed for threads_for(job); a
+                    # mismatch would charge per-core power to the wrong
+                    # number of cores.
+                    raise ConfigurationError(
+                        f"policy granted {decision.threads} threads for job "
+                        f"{job.job_id} but {len(cores)} cores were placed; "
+                        f"threads_for() and admit() must agree"
+                    )
                 per_core = job.app.core_power(
                     chip.node,
                     decision.threads,

@@ -144,19 +144,14 @@ class ThermalModel:
         """Core-to-core steady-state influence matrix ``B``, in K/W.
 
         ``B[i, j]`` is core ``i``'s temperature rise per watt at core
-        ``j``; computed column-by-column from the cached LU factorisation
-        and cached.  ``B`` is symmetric (reciprocity) and entrywise
-        positive.
+        ``j``; all columns are computed in one multi-right-hand-side
+        solve against the cached LU factorisation and cached.  ``B`` is
+        symmetric (reciprocity) and entrywise positive.
         """
         if self._influence is None:
             lu = self._factorisation()
-            n = self.n_cores
-            b = np.empty((n, n))
-            unit = np.zeros(self.n_nodes)
-            for j, node in enumerate(self._core_indices):
-                unit[node] = 1.0
-                delta = lu.solve(unit)
-                b[:, j] = delta[self._core_indices]
-                unit[node] = 0.0
-            self._influence = b
+            units = np.zeros((self.n_nodes, self.n_cores))
+            units[self._core_indices, np.arange(self.n_cores)] = 1.0
+            delta = lu.solve(units)
+            self._influence = np.ascontiguousarray(delta[self._core_indices])
         return self._influence

@@ -92,14 +92,18 @@ class TransientSimulator:
         return float(np.max(self.core_temperatures))
 
     def reset(self, core_temperatures: Optional[Sequence[float]] = None) -> None:
-        """Reset to ambient, or to the steady state of a power vector.
+        """Reset the state to ambient.
+
+        The full network state cannot be reconstructed from core
+        temperatures alone (the package nodes are unobserved), so this
+        method only supports the ambient reset.
 
         Args:
-            core_temperatures: if given, the simulator instead starts
-                from the *steady state* whose core temperatures these
-                would be is not reconstructible; so this argument must be
-                ``None`` (reset to ambient).  Use :meth:`warm_start` to
-                begin from a steady state.
+            core_temperatures: must be ``None``; to begin from the steady
+                state of a known power vector use :meth:`warm_start`.
+
+        Raises:
+            ConfigurationError: if ``core_temperatures`` is given.
         """
         if core_temperatures is not None:
             raise ConfigurationError(
@@ -136,12 +140,19 @@ class TransientSimulator:
             power_schedule: called before every step as
                 ``schedule(t, core_temperatures)`` and must return the
                 per-core power vector (W) to apply during [t, t + dt).
-            duration: simulated time, s.
+            duration: simulated time, s; must be a whole number of steps
+                (within float tolerance) — silently rounding would
+                simulate a different duration than requested.
             record_interval: spacing of recorded samples, s; defaults to
                 every step.
 
         Returns:
             A :class:`TransientResult` with the recorded trajectory.
+
+        Raises:
+            ConfigurationError: on a non-positive duration, a duration
+                shorter than one step, or one that is not an integer
+                multiple of ``dt``.
         """
         if duration <= 0:
             raise ConfigurationError(f"duration must be positive, got {duration}")
@@ -149,6 +160,12 @@ class TransientSimulator:
         if n_steps < 1:
             raise ConfigurationError(
                 f"duration {duration} s is shorter than one step ({self._dt} s)"
+            )
+        if abs(n_steps * self._dt - duration) > 1e-9 * max(duration, self._dt):
+            raise ConfigurationError(
+                f"duration {duration} s is not a whole number of {self._dt} s "
+                f"steps (nearest is {n_steps} steps = {n_steps * self._dt} s); "
+                f"pass an integer multiple of dt"
             )
         every = 1
         if record_interval is not None:

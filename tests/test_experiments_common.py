@@ -1,9 +1,12 @@
 """Experiment infrastructure: chip cache and table rendering."""
 
+import dataclasses
+
 import pytest
 
 from repro.errors import ConfigurationError
 from repro.experiments.common import FIG5_FREQUENCIES, format_table, get_chip
+from repro.thermal.config import PAPER_THERMAL_CONFIG
 from repro.units import GIGA
 
 
@@ -17,6 +20,17 @@ class TestChipCache:
     def test_unknown_node_raises(self):
         with pytest.raises(ConfigurationError):
             get_chip("3nm")
+
+    def test_cache_keyed_on_thermal_config(self):
+        # Regression: the cache used to key on the node name alone, so a
+        # custom-package request could return the default-config chip.
+        hot = dataclasses.replace(PAPER_THERMAL_CONFIG, ambient=55.0)
+        default_chip = get_chip("16nm")
+        hot_chip = get_chip("16nm", hot)
+        assert hot_chip is not default_chip
+        assert hot_chip.ambient == pytest.approx(55.0)
+        assert get_chip("16nm") is default_chip
+        assert get_chip("16nm", hot) is hot_chip
 
 
 class TestFig5Frequencies:

@@ -1,0 +1,186 @@
+"""Batched steady-state engine: equivalence, caching, shared TSP tables."""
+
+import numpy as np
+import pytest
+
+from repro.chip import Chip
+from repro.core.tsp import ThermalSafePower
+from repro.errors import ConfigurationError
+from repro.floorplan.generator import grid_floorplan
+from repro.perf import BatchedSteadyState
+from repro.tech.library import NODE_16NM
+from repro.thermal.builder import build_thermal_model
+from repro.thermal.steady_state import SteadyStateSolver
+
+
+@pytest.fixture(scope="module")
+def model():
+    return build_thermal_model(grid_floorplan(4, 4, NODE_16NM.core_area))
+
+
+@pytest.fixture(scope="module")
+def solver(model):
+    return SteadyStateSolver(model)
+
+
+@pytest.fixture()
+def engine(model):
+    return BatchedSteadyState(model)
+
+
+def random_powers(n, k=None, seed=0):
+    rng = np.random.default_rng(seed)
+    shape = (n,) if k is None else (k, n)
+    return rng.uniform(0.0, 5.0, size=shape)
+
+
+class TestSolverEquivalence:
+    """The batched path must be numerically identical to the LU path."""
+
+    def test_single_vector_temperatures(self, engine, solver):
+        for seed in range(10):
+            p = random_powers(engine.n_cores, seed=seed)
+            direct = solver.temperatures(p)
+            batched = engine.temperatures(p)
+            assert np.max(np.abs(batched - direct)) <= 1e-9
+
+    def test_single_vector_peak(self, engine, solver):
+        for seed in range(10):
+            p = random_powers(engine.n_cores, seed=seed)
+            assert abs(
+                engine.peak_temperature(p) - solver.peak_temperature(p)
+            ) <= 1e-9
+
+    def test_batch_matches_per_row_solves(self, engine, solver):
+        batch = random_powers(engine.n_cores, k=32, seed=7)
+        batched = engine.temperatures(batch)
+        for row, p in zip(batched, batch):
+            assert np.max(np.abs(row - solver.temperatures(p))) <= 1e-9
+
+    def test_peak_batch_matches_scalar_path(self, engine):
+        batch = random_powers(engine.n_cores, k=16, seed=3)
+        peaks = engine.peak_temperatures(batch)
+        singles = [engine.peak_temperature(p) for p in batch]
+        assert np.max(np.abs(peaks - np.array(singles))) <= 1e-9
+
+    def test_idle_vector_is_ambient(self, engine):
+        p = np.zeros(engine.n_cores)
+        assert engine.peak_temperature(p) == pytest.approx(engine.ambient)
+
+
+class TestCache:
+    def test_repeat_query_hits(self, engine):
+        p = random_powers(engine.n_cores, seed=1)
+        first = engine.peak_temperature(p)
+        second = engine.peak_temperature(p)
+        assert first == second
+        info = engine.cache_info()
+        assert info["hits"] == 1
+        assert info["misses"] == 1
+        assert info["size"] == 1
+
+    def test_quantization_shares_entries(self, engine):
+        p = random_powers(engine.n_cores, seed=2)
+        engine.peak_temperature(p)
+        # A perturbation far below the quantum lands on the same key.
+        engine.peak_temperature(p + 1e-13)
+        info = engine.cache_info()
+        assert info["hits"] == 1
+        assert info["misses"] == 1
+
+    def test_distinct_vectors_miss(self, engine):
+        engine.peak_temperature(random_powers(engine.n_cores, seed=3))
+        engine.peak_temperature(random_powers(engine.n_cores, seed=4))
+        assert engine.cache_info()["misses"] == 2
+        assert engine.cache_info()["hits"] == 0
+
+    def test_lru_eviction_bounds_size(self, model):
+        engine = BatchedSteadyState(model, cache_size=4)
+        for seed in range(10):
+            engine.peak_temperature(random_powers(engine.n_cores, seed=seed))
+        assert engine.cache_info()["size"] == 4
+        # The most recent entry survived the evictions.
+        engine.peak_temperature(random_powers(engine.n_cores, seed=9))
+        assert engine.cache_info()["hits"] == 1
+
+    def test_cache_clear_resets(self, engine):
+        p = random_powers(engine.n_cores, seed=5)
+        engine.peak_temperature(p)
+        engine.peak_temperature(p)
+        engine.cache_clear()
+        info = engine.cache_info()
+        assert info == {"hits": 0, "misses": 0, "size": 0, "maxsize": info["maxsize"]}
+
+    def test_zero_cache_size_disables_caching(self, model, solver):
+        engine = BatchedSteadyState(model, cache_size=0)
+        p = random_powers(engine.n_cores, seed=6)
+        assert abs(
+            engine.peak_temperature(p) - solver.peak_temperature(p)
+        ) <= 1e-9
+        assert engine.cache_info()["size"] == 0
+
+
+class TestValidation:
+    def test_wrong_vector_length_rejected(self, engine):
+        with pytest.raises(ConfigurationError, match="core powers"):
+            engine.temperatures(np.zeros(engine.n_cores + 1))
+        with pytest.raises(ConfigurationError, match="core powers"):
+            engine.peak_temperature(np.zeros(engine.n_cores + 1))
+
+    def test_wrong_batch_width_rejected(self, engine):
+        with pytest.raises(ConfigurationError, match="batch"):
+            engine.temperatures(np.zeros((3, engine.n_cores + 1)))
+
+    def test_peak_batch_needs_two_dims(self, engine):
+        with pytest.raises(ConfigurationError, match="2-D"):
+            engine.peak_temperatures(np.zeros(engine.n_cores))
+
+    def test_negative_cache_size_rejected(self, model):
+        with pytest.raises(ConfigurationError, match="cache_size"):
+            BatchedSteadyState(model, cache_size=-1)
+
+    def test_non_positive_quantum_rejected(self, model):
+        with pytest.raises(ConfigurationError, match="power_quantum"):
+            BatchedSteadyState(model, power_quantum=0.0)
+
+
+class TestChipEngine:
+    def test_engine_is_cached_on_chip(self):
+        chip = Chip.grid_chip(NODE_16NM, 3, 3)
+        assert chip.engine is chip.engine
+
+    def test_engine_binds_chip_model(self):
+        chip = Chip.grid_chip(NODE_16NM, 3, 3)
+        assert chip.engine.model is chip.thermal
+        assert np.array_equal(
+            chip.engine.influence, chip.thermal.influence_matrix()
+        )
+
+
+class TestSharedTspTables:
+    def test_single_count_matches_full_table(self, engine):
+        headroom, inactive = 55.0, 0.3
+        budgets, centres = engine.tsp_table(headroom, inactive)
+        # Build a fresh engine so the single-m path cannot reuse the table.
+        fresh = BatchedSteadyState(engine.model)
+        for m in (1, 5, engine.n_cores):
+            budget, _ = fresh.tsp_for_count(m, headroom, inactive)
+            assert budget == pytest.approx(budgets[m - 1], abs=1e-9)
+
+    def test_table_is_shared_per_parameters(self, engine):
+        first = engine.tsp_table(55.0, 0.0)
+        second = engine.tsp_table(55.0, 0.0)
+        assert first[0] is second[0]
+
+    def test_count_out_of_range_rejected(self, engine):
+        with pytest.raises(ConfigurationError, match="active-core count"):
+            engine.tsp_for_count(0, 55.0, 0.0)
+        with pytest.raises(ConfigurationError, match="active-core count"):
+            engine.tsp_for_count(engine.n_cores + 1, 55.0, 0.0)
+
+    def test_tsp_instances_share_one_engine(self):
+        chip = Chip.grid_chip(NODE_16NM, 3, 3)
+        a = ThermalSafePower(chip)
+        b = ThermalSafePower(chip)
+        assert a.worst_case(4) == b.worst_case(4)
+        assert chip.engine.cache_info()["maxsize"] > 0

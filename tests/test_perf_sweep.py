@@ -1,0 +1,70 @@
+"""Sweep runner: grids, serial/parallel execution, timing metrics."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.perf import SweepRunner
+
+
+def _square(x):
+    """Module-level so the parallel path can pickle it."""
+    return x * x
+
+
+class TestGrid:
+    def test_cartesian_product(self):
+        cells = SweepRunner.grid([1, 2], ["a", "b"])
+        assert cells == [(1, "a"), (1, "b"), (2, "a"), (2, "b")]
+
+    def test_single_axis(self):
+        assert SweepRunner.grid([1, 2, 3]) == [(1,), (2,), (3,)]
+
+
+class TestSerial:
+    def test_preserves_order(self):
+        runner = SweepRunner()
+        assert runner.map([3, 1, 2], _square) == [9, 1, 4]
+
+    def test_not_parallel_by_default(self):
+        assert not SweepRunner().parallel
+        assert not SweepRunner(max_workers=1).parallel
+
+    def test_metrics_recorded(self):
+        runner = SweepRunner()
+        runner.map([1, 2, 3], _square, stage="demo")
+        counters = runner.metrics["demo"]
+        assert counters["cells"] == 3
+        assert len(counters["cell_s"]) == 3
+        assert counters["wall_s"] >= 0.0
+        assert counters["workers"] == 1
+
+    def test_stage_counters_accumulate(self):
+        runner = SweepRunner()
+        runner.map([1], _square, stage="demo")
+        runner.map([2, 3], _square, stage="demo")
+        assert runner.metrics["demo"]["cells"] == 3
+
+    def test_empty_grid(self):
+        runner = SweepRunner()
+        assert runner.map([], _square) == []
+
+
+class TestParallel:
+    def test_invalid_workers_rejected(self):
+        with pytest.raises(ConfigurationError, match="max_workers"):
+            SweepRunner(max_workers=0)
+
+    def test_parallel_flag(self):
+        assert SweepRunner(max_workers=2).parallel
+
+    def test_parallel_map_matches_serial(self):
+        runner = SweepRunner(max_workers=2)
+        assert runner.map([4, 5, 6], _square, stage="par") == [16, 25, 36]
+        counters = runner.metrics["par"]
+        assert counters["cells"] == 3
+        assert counters["workers"] == 2
+
+    def test_single_cell_stays_in_process(self):
+        # One cell is not worth a worker pool; the result must match.
+        runner = SweepRunner(max_workers=4)
+        assert runner.map([7], _square) == [49]

@@ -7,8 +7,10 @@ from repro.apps.parsec import PARSEC
 from repro.core.tsp import ThermalSafePower
 from repro.errors import ConfigurationError
 from repro.runtime import (
+    AdmissionDecision,
     Job,
     OnlineSimulator,
+    RuntimeResult,
     TdpFifoPolicy,
     TspAdaptivePolicy,
     deterministic_job_stream,
@@ -241,6 +243,48 @@ class TestSimulator:
         policy = TdpFifoPolicy(tdp=0.5, threads=4)  # one core alone exceeds
         with pytest.raises(ConfigurationError, match="never"):
             OnlineSimulator(small_chip, policy).run(jobs)
+
+    def test_empty_stream_rejected(self, small_chip):
+        # Regression: an empty stream used to produce a degenerate result
+        # whose mean latencies were nan (with a NumPy warning).
+        policy = TdpFifoPolicy(tdp=40.0, threads=4)
+        with pytest.raises(ConfigurationError, match="empty"):
+            OnlineSimulator(small_chip, policy).run([])
+
+    def test_empty_result_means_are_zero(self, small_chip):
+        import warnings
+
+        empty = RuntimeResult(
+            records=(),
+            makespan=0.0,
+            energy=0.0,
+            max_peak_temperature=small_chip.ambient,
+            core_seconds=0.0,
+            n_cores=small_chip.n_cores,
+        )
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert empty.mean_response_time == 0.0
+            assert empty.mean_waiting_time == 0.0
+            assert empty.throughput_gips == 0.0
+            assert empty.utilisation == 0.0
+
+    def test_policy_thread_mismatch_detected(self, small_chip):
+        # Regression: a policy whose admit() grants a thread count other
+        # than the placement it was shown used to be accepted silently,
+        # charging per-core power to the wrong number of cores.
+        class SplitBrainPolicy(TdpFifoPolicy):
+            def admit(self, chip, job, core_powers, cores):
+                decision = super().admit(chip, job, core_powers, cores)
+                if decision is None:
+                    return None
+                return AdmissionDecision(
+                    threads=decision.threads + 1, frequency=decision.frequency
+                )
+
+        policy = SplitBrainPolicy(tdp=40.0, threads=4)
+        with pytest.raises(ConfigurationError, match="must agree"):
+            OnlineSimulator(small_chip, policy).run([make_job()])
 
     def test_fifo_order_preserved(self, small_chip):
         """Head-of-line blocking: a big job queued first runs before a

@@ -140,6 +140,22 @@ class TestSimulate:
         with pytest.raises(ConfigurationError, match="duration"):
             sim.simulate(lambda t, temps: [0.0] * 9, duration=-1.0)
 
+    def test_fractional_step_duration_rejected(self, model):
+        # Regression: a duration of 2.5 steps used to be silently rounded
+        # to 2 steps, simulating a different interval than requested.
+        sim = TransientSimulator(model, dt=1e-3)
+        with pytest.raises(ConfigurationError, match="whole number"):
+            sim.simulate(lambda t, temps: [0.0] * 9, duration=2.5e-3)
+
+    def test_near_integer_duration_tolerated(self, model):
+        # Float representation noise (e.g. 0.1 + 0.2) must not trip the
+        # whole-number check.
+        sim = TransientSimulator(model, dt=1e-3)
+        result = sim.simulate(
+            lambda t, temps: [0.0] * 9, duration=(0.001 + 0.002)
+        )
+        assert len(result.times) == 3
+
     def test_record_interval_below_dt_rejected(self, model):
         sim = TransientSimulator(model, dt=1e-2)
         with pytest.raises(ConfigurationError, match="record_interval"):
