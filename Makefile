@@ -1,6 +1,9 @@
 # Convenience targets for the dark-silicon reproduction.
 
-.PHONY: install test bench bench-smoke experiments examples clean
+# Make every target work from a plain checkout (no editable install).
+export PYTHONPATH := src:$(PYTHONPATH)
+
+.PHONY: install test bench bench-smoke bench-track experiments examples clean
 
 install:
 	pip install -e . || python setup.py develop
@@ -15,6 +18,13 @@ bench:
 # (import errors, solver regressions), without judging timings.
 bench-smoke:
 	pytest benchmarks/bench_fig10_tsp.py benchmarks/bench_runtime_policies.py -x -q --benchmark-only
+
+# Timed + instrumented trajectory entry: runs the bench-smoke set with
+# the observability registry on, appends wall-clock and registry
+# snapshots to BENCH_TRACK.json, and fails on >20% regression vs the
+# committed benchmarks/bench_baseline.json.
+bench-track:
+	python benchmarks/track.py
 
 experiments:
 	python -m repro.cli all

@@ -1,7 +1,33 @@
-"""Shared helpers for the benchmark modules."""
+"""Shared helpers for the benchmark modules.
+
+Besides the table ``emit`` banner, this module owns the observability
+hook of the bench suite: when the :mod:`repro.obs` registry is recording
+(``REPRO_OBS=1``, as ``make bench-track`` sets, or an explicit
+``obs.enable()``), :func:`attach_obs` stores the registry snapshot in a
+bench result's ``extra_info`` so the ``BENCH_*.json`` trajectory records
+solver calls, cache hit rates and sweep stages next to the wall-clock
+numbers — not just "how long", but "doing what".
+"""
+
+from repro import obs
 
 
 def emit(title: str, result) -> None:
     """Print an experiment's table under a banner (visible with -s)."""
     print(f"\n=== {title} ===")
     print(result.table())
+
+
+def attach_obs(benchmark) -> None:
+    """Attach the current registry snapshot to a bench result.
+
+    A no-op when the snapshot is empty (registry disabled or nothing
+    recorded), so default benchmark runs — the 5 %-overhead guarantee is
+    stated for observability *off* — are unchanged.
+
+    Args:
+        benchmark: the ``pytest-benchmark`` fixture of the test.
+    """
+    snapshot = obs.snapshot()
+    if any(snapshot[kind] for kind in ("counters", "timers", "spans")):
+        benchmark.extra_info["obs"] = snapshot

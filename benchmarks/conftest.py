@@ -5,4 +5,26 @@ Each ``bench_figNN`` module regenerates one figure/table of the paper via
 (direction of effects, approximate factors).  Absolute numbers are
 recorded to stdout so a ``--benchmark-only -s`` run doubles as the
 EXPERIMENTS.md data source.
+
+Observability: with ``REPRO_OBS=1`` in the environment (what
+``make bench-track`` sets) the global :mod:`repro.obs` registry records
+through every bench, is reset between tests, and each test's snapshot is
+attached to its bench result's ``extra_info`` — landing in the
+``BENCH_*.json`` trajectory alongside the timings.  Without the variable
+the registry stays disabled and the suite runs exactly as before.
 """
+
+import pytest
+
+from benchmarks._util import attach_obs
+from repro import obs
+
+
+@pytest.fixture(autouse=True)
+def _obs_per_test(request):
+    """Per-test registry isolation + snapshot attachment."""
+    if obs.enabled():
+        obs.reset()
+    yield
+    if obs.enabled() and "benchmark" in request.fixturenames:
+        attach_obs(request.getfixturevalue("benchmark"))

@@ -7,9 +7,17 @@ Usage::
     darksilicon fig11 --quick       # shortened transients
     darksilicon all                  # everything (slow figures shortened
                                      # unless --full is given)
+    darksilicon fig10 --profile     # + observability snapshot (JSON)
+    darksilicon obs                  # instrumented demo; prints the
+                                     # registry snapshot as pure JSON
 
 Each experiment prints the rows the corresponding paper figure plots;
 EXPERIMENTS.md records how they compare against the published values.
+``--profile`` enables the :mod:`repro.obs` registry for the run and
+appends its snapshot (solver calls, cache traffic, TSP table builds,
+sweep stages, runtime/DTM events) after the tables; ``--profile-out``
+additionally writes it to a file (``.csv`` suffix selects CSV, anything
+else JSON).
 """
 
 from __future__ import annotations
@@ -19,6 +27,7 @@ import sys
 import time
 from typing import Callable
 
+from repro import obs
 from repro.experiments import (
     ext_projection,
     ext_sensitivity,
@@ -39,6 +48,7 @@ from repro.experiments import (
     fig13_boosting_apps,
     fig14_ntc,
 )
+from repro.experiments.common import experiment_span
 
 _QUICK_DURATION = 2.0
 _FULL_FIG11_DURATION = 100.0
@@ -74,6 +84,91 @@ def _runners(quick: bool) -> dict[str, Callable[[], object]]:
     }
 
 
+def _run_obs_demo() -> dict:
+    """A small instrumented workload touching every hot subsystem.
+
+    Exercises the thermal solvers, the batched engine and its caches,
+    the shared TSP tables, a sweep stage, the online runtime with its
+    policy decisions, the estimator and DTM enforcement — on a reduced
+    4x4 chip so the whole demo finishes in about a second — and returns
+    the resulting registry snapshot.
+    """
+    import numpy as np
+
+    from repro.apps.parsec import PARSEC
+    from repro.apps.workload import ApplicationInstance, Workload
+    from repro.chip import Chip
+    from repro.core.estimator import map_workload
+    from repro.core.constraints import PowerBudgetConstraint
+    from repro.core.tsp import ThermalSafePower
+    from repro.dtm.enforcement import enforce
+    from repro.perf.sweep import SweepRunner
+    from repro.runtime import (
+        OnlineSimulator,
+        TspAdaptivePolicy,
+        deterministic_job_stream,
+    )
+    from repro.tech.library import node_by_name
+    from repro.thermal.transient import TransientSimulator
+
+    obs.enable()
+    obs.reset()
+    chip = Chip.grid_chip(node_by_name("16nm"), 4, 4)
+    with experiment_span("obs-demo"):
+        # TSP tables + batched-engine solves through a sweep stage.
+        tsp = ThermalSafePower(chip)
+        runner = SweepRunner()
+        runner.map([2, 4, 8, 12], tsp.worst_case, stage="tsp_counts")
+        tsp.table()
+
+        # The online event loop: admissions, policy decisions, the
+        # engine's quantized peak-temperature cache.
+        apps = [PARSEC["x264"], PARSEC["swaptions"]]
+        jobs = deterministic_job_stream(
+            apps, n_jobs=6, mean_interarrival=0.5, work=20e9, seed=7
+        )
+        OnlineSimulator(chip, TspAdaptivePolicy(tsp, threads=2)).run(jobs)
+
+        # Estimation + DTM enforcement on an optimistic-TDP mapping.
+        workload = Workload(
+            [
+                ApplicationInstance(
+                    PARSEC["x264"], threads=2, frequency=chip.node.f_max
+                )
+            ]
+            * 6
+        )
+        mapped = map_workload(
+            chip,
+            workload,
+            PowerBudgetConstraint(400.0),
+            stop_at_first_rejection=False,
+        )
+        enforce(mapped)
+
+        # A short closed-loop transient.
+        sim = TransientSimulator(chip.thermal, dt=1e-3)
+        idle = np.full(chip.n_cores, 2.0)
+        sim.simulate(lambda t, temps: idle, duration=0.02)
+    return obs.snapshot()
+
+
+def _emit_profile(args) -> None:
+    """Print the registry snapshot; optionally write it to a file."""
+    snap = obs.snapshot()
+    print("=== observability ===")
+    print(obs.to_json(snap))
+    if args.profile_out:
+        from pathlib import Path
+
+        target = Path(args.profile_out)
+        if target.suffix == ".csv":
+            obs.to_csv(snap, target)
+        else:
+            obs.to_json(snap, target)
+        print(f"[observability snapshot written to {target}]")
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = argparse.ArgumentParser(
@@ -82,7 +177,7 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument(
         "experiment",
-        help="experiment name (fig1..fig14), 'all', or 'list'",
+        help="experiment name (fig1..fig14), 'all', 'list', or 'obs'",
     )
     parser.add_argument(
         "--quick",
@@ -94,12 +189,40 @@ def main(argv: list[str] | None = None) -> int:
         metavar="DIR",
         help="also export each experiment's rows to DIR/<name>.csv",
     )
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="enable the observability registry and print its JSON "
+        "snapshot after the tables",
+    )
+    parser.add_argument(
+        "--profile-out",
+        metavar="PATH",
+        help="write the observability snapshot to PATH (.csv for CSV, "
+        "anything else for JSON); implies --profile",
+    )
     args = parser.parse_args(argv)
+    if args.profile_out:
+        args.profile = True
+
+    if args.experiment == "obs":
+        snap = _run_obs_demo()
+        print(obs.to_json(snap))
+        if args.profile_out:
+            from pathlib import Path
+
+            target = Path(args.profile_out)
+            if target.suffix == ".csv":
+                obs.to_csv(snap, target)
+            else:
+                obs.to_json(snap, target)
+        return 0
 
     runners = _runners(args.quick)
     if args.experiment == "list":
         for name in runners:
             print(name)
+        print("obs")
         return 0
 
     if args.experiment == "all":
@@ -113,6 +236,9 @@ def main(argv: list[str] | None = None) -> int:
         )
         return 2
 
+    if args.profile:
+        obs.enable()
+
     csv_dir = None
     if args.csv:
         from pathlib import Path
@@ -122,7 +248,8 @@ def main(argv: list[str] | None = None) -> int:
 
     for name in names:
         started = time.time()
-        result = runners[name]()
+        with experiment_span(name):
+            result = runners[name]()
         elapsed = time.time() - started
         print(f"=== {name} ({elapsed:.1f} s) ===")
         print(result.table())
@@ -132,6 +259,9 @@ def main(argv: list[str] | None = None) -> int:
             target = result_to_csv(result, csv_dir / f"{name}.csv")
             print(f"[rows exported to {target}]")
         print()
+
+    if args.profile:
+        _emit_profile(args)
     return 0
 
 

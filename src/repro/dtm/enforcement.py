@@ -15,6 +15,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro import obs
 from repro.core.estimator import MappingResult
 from repro.dtm.policies import DtmPolicy, ThrottleHottest
 from repro.errors import ConfigurationError
@@ -82,6 +83,7 @@ def enforce(
     policy = policy or ThrottleHottest()
     placed = list(result.placed)
     steps = 0
+    obs.incr("dtm.enforcements")
 
     def peak(instances) -> float:
         powers = np.zeros(chip.n_cores)
@@ -99,6 +101,7 @@ def enforce(
             break
         placed = modified
         steps += 1
+        obs.incr("dtm.steps")
 
     powers = np.zeros(chip.n_cores)
     for p in placed:

@@ -15,6 +15,7 @@ from typing import Optional, Sequence
 
 import numpy as np
 
+from repro import obs
 from repro.chip import Chip
 from repro.core.estimator import PlacedInstance
 from repro.errors import ConfigurationError
@@ -59,6 +60,7 @@ class GateHottest(DtmPolicy):
         index = self.hottest_instance_index(chip, placed)
         if index is None:
             return None
+        obs.incr("dtm.gate_events")
         return placed[:index] + placed[index + 1 :]
 
 
@@ -92,7 +94,9 @@ class ThrottleHottest(DtmPolicy):
         victim = placed[index]
         lower = [f for f in ladder if f < victim.instance.frequency]
         if not lower:
+            obs.incr("dtm.gate_events")
             return placed[:index] + placed[index + 1 :]
+        obs.incr("dtm.throttle_events")
         instance = victim.instance.with_frequency(lower[-1])
         per_core = instance.core_power(chip.node, temperature=chip.t_dtm)
         replacement = PlacedInstance(

@@ -10,6 +10,7 @@ from __future__ import annotations
 from functools import lru_cache
 from typing import Sequence
 
+from repro import obs
 from repro.chip import Chip
 from repro.errors import ConfigurationError
 from repro.tech.library import node_by_name
@@ -33,6 +34,18 @@ def get_chip(
     a non-default package never receive a stale default-config chip.
     """
     return Chip.for_node(node_by_name(node_name), thermal_config=thermal_config)
+
+
+def experiment_span(name: str):
+    """Span covering one figure/extension run (``experiment.<name>``).
+
+    The CLI wraps every experiment it dispatches in one of these, so a
+    profiled run attributes solver calls, cache traffic and sweep stages
+    to the figure that caused them (nested spans land under
+    ``experiment.<name>.sweep.<stage>`` etc.).  A no-op when the global
+    registry is disabled.
+    """
+    return obs.span(f"experiment.{name}")
 
 
 def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:

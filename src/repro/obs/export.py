@@ -1,0 +1,59 @@
+"""Snapshot export: JSON documents and flat CSV tables.
+
+A snapshot (see :meth:`repro.obs.registry.Registry.snapshot`) is already
+a JSON-serialisable dict; :func:`to_json` adds deterministic formatting
+and optional file output, :func:`to_csv` flattens the three aggregate
+kinds into one ``kind,name,count,total_s,value`` table so spreadsheet
+tooling can consume a run without JSON wrangling.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from pathlib import Path
+from typing import Optional, Union
+
+
+def to_json(snapshot: dict, path: Optional[Union[str, Path]] = None) -> str:
+    """Serialise a snapshot to JSON (sorted keys, 2-space indent).
+
+    Args:
+        snapshot: a registry snapshot.
+        path: when given, the JSON is also written to this file.
+
+    Returns:
+        The JSON text.
+    """
+    text = json.dumps(snapshot, indent=2, sort_keys=True)
+    if path is not None:
+        Path(path).write_text(text + "\n")
+    return text
+
+
+def to_csv(snapshot: dict, path: Optional[Union[str, Path]] = None) -> str:
+    """Flatten a snapshot into CSV rows.
+
+    Counters emit ``(kind="counter", value)`` rows; timers and spans
+    emit ``(count, total_s)`` rows.  Rows are sorted by (kind, name) so
+    the output is diff-stable across runs.
+
+    Returns:
+        The CSV text (also written to ``path`` when given).
+    """
+    buffer = io.StringIO()
+    writer = csv.writer(buffer, lineterminator="\n")
+    writer.writerow(["kind", "name", "count", "total_s", "value"])
+    rows = []
+    for name, value in snapshot.get("counters", {}).items():
+        rows.append(["counter", name, "", "", value])
+    for kind in ("timers", "spans"):
+        for name, agg in snapshot.get(kind, {}).items():
+            rows.append([kind[:-1], name, agg["count"], agg["total_s"], ""])
+    rows.sort(key=lambda r: (r[0], r[1]))
+    writer.writerows(rows)
+    text = buffer.getvalue()
+    if path is not None:
+        Path(path).write_text(text)
+    return text

@@ -35,6 +35,7 @@ from typing import Optional, Sequence
 
 import numpy as np
 
+from repro import obs
 from repro.errors import ConfigurationError
 from repro.thermal.model import ThermalModel
 
@@ -128,11 +129,14 @@ class BatchedSteadyState:
                 raise ConfigurationError(
                     f"expected {self._n} core powers, got shape {p.shape}"
                 )
+            obs.incr("perf.batched.single_solves")
             return self._ambient + self._b @ p
         if p.ndim != 2 or p.shape[1] != self._n:
             raise ConfigurationError(
                 f"expected a (k, {self._n}) power batch, got shape {p.shape}"
             )
+        obs.incr("perf.batched.batch_solves")
+        obs.incr("perf.batched.batch_rows", p.shape[0])
         return self._ambient + p @ self._bt
 
     def peak_temperatures(self, power_batch: Sequence[Sequence[float]]) -> np.ndarray:
@@ -157,14 +161,17 @@ class BatchedSteadyState:
                 f"expected {self._n} core powers, got shape {p.shape}"
             )
         if self._cache_size == 0:
+            obs.incr("perf.batched.uncached_peaks")
             return float((self._ambient + self._b @ p).max())
         key = np.rint(p / self._quantum).astype(np.int64).tobytes()
         cached = self._cache.get(key)
         if cached is not None:
             self._hits += 1
+            obs.incr("perf.batched.cache_hits")
             self._cache.move_to_end(key)
             return cached
         self._misses += 1
+        obs.incr("perf.batched.cache_misses")
         peak = float((self._ambient + self._b @ p).max())
         self._cache[key] = peak
         if len(self._cache) > self._cache_size:
@@ -180,11 +187,45 @@ class BatchedSteadyState:
             "maxsize": self._cache_size,
         }
 
+    def cache_stats(self) -> dict[str, float]:
+        """Peak-temperature cache statistics, including the hit rate.
+
+        Extends :meth:`cache_info` with ``hit_rate`` (hits over total
+        queries, 0.0 before any query) and the count of shared TSP
+        tables currently held (``tsp_tables`` full tables plus
+        ``tsp_singles`` single-count entries).
+        """
+        queries = self._hits + self._misses
+        return {
+            "hits": self._hits,
+            "misses": self._misses,
+            "hit_rate": self._hits / queries if queries else 0.0,
+            "size": len(self._cache),
+            "maxsize": self._cache_size,
+            "tsp_tables": len(self._tsp_tables),
+            "tsp_singles": len(self._tsp_single),
+        }
+
     def cache_clear(self) -> None:
         """Drop every cached peak temperature (counters reset too)."""
         self._cache.clear()
         self._hits = 0
         self._misses = 0
+
+    def reset(self) -> None:
+        """Return the engine to its just-constructed state.
+
+        Clears the peak-temperature cache *and* the shared TSP artefacts
+        (full tables, single-count entries, and the concentration
+        order), so long-running processes can release every byte the
+        engine accumulated — :meth:`cache_clear` alone leaves the TSP
+        tables alive.
+        """
+        self.cache_clear()
+        self._tsp_tables.clear()
+        self._tsp_single.clear()
+        self._order = None
+        self._row_totals = None
 
     # -- shared TSP artefacts -----------------------------------------
 
@@ -227,7 +268,9 @@ class BatchedSteadyState:
         key = (float(headroom), float(inactive_power))
         cached = self._tsp_tables.get(key)
         if cached is not None:
+            obs.incr("tsp.table_hits")
             return cached
+        obs.incr("tsp.table_builds")
         order, row_totals = self._concentration()
         b = self._b
         n = self._n
@@ -279,12 +322,15 @@ class BatchedSteadyState:
         table_key = (float(headroom), float(inactive_power))
         table = self._tsp_tables.get(table_key)
         if table is not None:
+            obs.incr("tsp.table_hits")
             budgets, centres = table
             return float(budgets[m - 1]), int(centres[m - 1])
         key = (m, float(headroom), float(inactive_power))
         cached = self._tsp_single.get(key)
         if cached is not None:
+            obs.incr("tsp.single_hits")
             return cached
+        obs.incr("tsp.single_builds")
         order, row_totals = self._concentration()
         n = self._n
         members = order[:, :m]  # (centre, member) candidate mappings

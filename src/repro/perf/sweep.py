@@ -7,6 +7,14 @@ such grids through one interface, records per-stage wall-clock counters,
 and can fan independent cells out to worker *processes* when the host has
 cores to spare.
 
+Every stage is also reported to the global :mod:`repro.obs` registry:
+the stage's end-to-end wall clock lands under the span
+``sweep.<stage>``, cell counts under the ``sweep.cells`` counter, and —
+crucially — measurements taken *inside worker processes* (solver calls,
+cache hits, TSP builds) are captured as exact per-cell snapshot deltas
+and merged back into the parent registry, so a parallel sweep reports
+the same totals as a serial one.
+
 Parallel execution uses :mod:`concurrent.futures`; the cell function and
 its inputs must then be picklable (module-level functions, or
 ``functools.partial`` over one).  Chips and solver objects hold sparse
@@ -23,6 +31,7 @@ import time
 from concurrent.futures import ProcessPoolExecutor
 from typing import Callable, Iterable, Optional, Sequence, TypeVar
 
+from repro import obs
 from repro.errors import ConfigurationError
 
 K = TypeVar("K")
@@ -30,10 +39,36 @@ V = TypeVar("V")
 
 
 def _timed_cell(fn: Callable[[K], V], cell: K) -> tuple[V, float]:
-    """Evaluate one cell and report its wall-clock time (worker side)."""
+    """Evaluate one cell and report its wall-clock time (serial path)."""
     start = time.perf_counter()
     result = fn(cell)
     return result, time.perf_counter() - start
+
+
+def _worker_cell(fn: Callable[[K], V], cell: K) -> tuple[V, float, Optional[dict]]:
+    """Worker-side cell evaluation: result, wall time, registry delta.
+
+    The delta is the worker's global-registry diff across the cell, so
+    whatever state the worker inherited (a forked parent's counts, a
+    previous cell on the same worker) cancels exactly.
+    """
+    before = obs.snapshot() if obs.enabled() else None
+    start = time.perf_counter()
+    result = fn(cell)
+    elapsed = time.perf_counter() - start
+    delta = obs.diff(before) if before is not None else None
+    return result, elapsed, delta
+
+
+def _init_worker(parent_obs_enabled: bool) -> None:
+    """Worker initialiser: mirror the parent's observability switch.
+
+    Needed wherever the pool uses the ``spawn`` start method (fresh
+    interpreters do not inherit the parent's registry state); harmless
+    under ``fork``.
+    """
+    if parent_obs_enabled:
+        obs.enable()
 
 
 class SweepRunner:
@@ -71,6 +106,8 @@ class SweepRunner:
         "workers": w}}`` — ``cell_s`` holds each cell's own evaluation
         time, in submission order; ``wall_s`` is the stage's end-to-end
         wall clock (under parallelism it is less than ``sum(cell_s)``).
+        The same stages appear in the global registry as ``sweep.<stage>``
+        spans, where nested/parallel runs aggregate across runners.
         """
         return self._metrics
 
@@ -97,13 +134,26 @@ class SweepRunner:
         Returns:
             ``[fn(cell) for cell in cells]``.
         """
-        start = time.perf_counter()
-        if self.parallel and len(cells) > 1:
-            with ProcessPoolExecutor(max_workers=self._max_workers) as pool:
-                timed = list(pool.map(_timed_cell, itertools.repeat(fn), cells))
-        else:
-            timed = [_timed_cell(fn, cell) for cell in cells]
-        wall = time.perf_counter() - start
+        with obs.span(f"sweep.{stage}"):
+            start = time.perf_counter()
+            if self.parallel and len(cells) > 1:
+                with ProcessPoolExecutor(
+                    max_workers=self._max_workers,
+                    initializer=_init_worker,
+                    initargs=(obs.enabled(),),
+                ) as pool:
+                    timed = list(
+                        pool.map(_worker_cell, itertools.repeat(fn), cells)
+                    )
+                # Worker measurements would otherwise die with the pool:
+                # fold every cell's exact delta into the parent registry.
+                for _, _, delta in timed:
+                    obs.merge(delta)
+                timed = [(r, t) for r, t, _ in timed]
+            else:
+                timed = [_timed_cell(fn, cell) for cell in cells]
+            wall = time.perf_counter() - start
+        obs.incr("sweep.cells", len(cells))
         results = [r for r, _ in timed]
         counters = self._metrics.setdefault(
             stage,

@@ -18,6 +18,7 @@ from typing import Optional, Sequence
 
 import numpy as np
 
+from repro import obs
 from repro.chip import Chip
 from repro.errors import ConfigurationError
 from repro.mapping.base import Placer
@@ -144,10 +145,13 @@ class OnlineSimulator:
                 threads = self._policy.threads_for(job)
                 cores = self._placer.place(chip, threads, occupied)
                 if cores is None:
+                    obs.incr("runtime.placement_deferrals")
                     return
                 decision = self._policy.admit(chip, job, core_powers, cores)
                 if decision is None:
+                    obs.incr("runtime.policy_deferrals")
                     return
+                obs.incr("runtime.admissions")
                 if decision.threads != len(cores):
                     # Power and duration are computed from the decision
                     # while cores were placed for threads_for(job); a
@@ -195,10 +199,15 @@ class OnlineSimulator:
                 advance(next_finish)
                 _, _, record = heapq.heappop(running)
                 records.append(record)
+                obs.incr("runtime.completions")
                 core_powers[list(record.cores)] = 0.0
                 occupied.difference_update(record.cores)
             try_admissions()
 
+        obs.incr("runtime.simulations")
+        # Simulated (not wall) seconds; the timer aggregate gives the
+        # mean makespan over runs as total_s / count.
+        obs.observe("runtime.simulated_s", now)
         return RuntimeResult(
             records=tuple(records),
             makespan=now,

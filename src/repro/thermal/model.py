@@ -21,6 +21,7 @@ import numpy as np
 from scipy import sparse
 from scipy.sparse.linalg import splu
 
+from repro import obs
 from repro.errors import ConfigurationError
 from repro.floorplan.floorplan import Floorplan
 from repro.thermal.config import ThermalConfig
@@ -107,6 +108,7 @@ class ThermalModel:
 
     def _factorisation(self):
         if self._lu is None:
+            obs.incr("thermal.model.lu_factorisations")
             self._lu = splu(sparse.csc_matrix(self._matrix))
         return self._lu
 
@@ -132,6 +134,7 @@ class ThermalModel:
             raise ConfigurationError(
                 f"expected {self.n_nodes} node powers, got shape {p.shape}"
             )
+        obs.incr("thermal.model.solves")
         delta = self._factorisation().solve(p)
         return self.ambient + delta
 
@@ -149,6 +152,7 @@ class ThermalModel:
         symmetric (reciprocity) and entrywise positive.
         """
         if self._influence is None:
+            obs.incr("thermal.model.influence_builds")
             lu = self._factorisation()
             units = np.zeros((self.n_nodes, self.n_cores))
             units[self._core_indices, np.arange(self.n_cores)] = 1.0

@@ -13,6 +13,7 @@ from typing import Callable, Optional, Sequence
 
 import numpy as np
 
+from repro import obs
 from repro.errors import ConfigurationError, ConvergenceError
 from repro.thermal.model import ThermalModel
 
@@ -39,6 +40,7 @@ class SteadyStateSolver:
 
     def temperatures(self, core_powers: Sequence[float]) -> np.ndarray:
         """Steady-state core temperatures (degC) for per-core powers (W)."""
+        obs.incr("thermal.steady.solves")
         return self._model.core_steady_state(core_powers)
 
     def peak_temperature(self, core_powers: Sequence[float]) -> float:
@@ -87,6 +89,7 @@ class SteadyStateSolver:
                 )
         powers = base
         for _ in range(max_iterations):
+            obs.incr("thermal.steady.leakage_iterations")
             leak = np.asarray(leakage_power(temps), dtype=float)
             if leak.shape != base.shape:
                 raise ConfigurationError(

@@ -22,6 +22,7 @@ import numpy as np
 from scipy import sparse
 from scipy.sparse.linalg import splu
 
+from repro import obs
 from repro.errors import ConfigurationError
 from repro.thermal.model import ThermalModel
 
@@ -68,6 +69,7 @@ class TransientSimulator:
         self._dt = dt
         c_over_dt = sparse.diags(model.capacitances / dt)
         self._c_over_dt = model.capacitances / dt
+        obs.incr("thermal.transient.lu_factorisations")
         self._lu = splu(sparse.csc_matrix(c_over_dt + model.conductance_matrix))
         self._state = np.zeros(model.n_nodes)  # temperature above ambient
 
@@ -123,6 +125,7 @@ class TransientSimulator:
         Returns:
             The core temperatures (degC) after the step.
         """
+        obs.incr("thermal.transient.steps")
         p = self._model.expand_core_powers(core_powers)
         rhs = self._c_over_dt * self._state + p
         self._state = self._lu.solve(rhs)
@@ -176,6 +179,7 @@ class TransientSimulator:
                 )
             every = max(1, int(round(record_interval / self._dt)))
 
+        obs.incr("thermal.transient.simulations")
         times: list[float] = []
         temps: list[np.ndarray] = []
         powers: list[np.ndarray] = []

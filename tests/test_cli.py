@@ -1,8 +1,21 @@
 """The darksilicon CLI."""
 
+import json
+
 import pytest
 
+from repro import obs
 from repro.cli import main
+
+
+@pytest.fixture()
+def restore_obs():
+    """Run a CLI profiling command, then restore global registry state."""
+    was_enabled = obs.enabled()
+    yield
+    obs.reset()
+    if not was_enabled:
+        obs.disable()
 
 
 class TestDispatch:
@@ -33,6 +46,62 @@ class TestDispatch:
         out = capsys.readouterr().out
         assert "ntc" in out
         assert "boost" in out
+
+    def test_list_advertises_obs(self, capsys):
+        assert main(["list"]) == 0
+        assert "obs" in capsys.readouterr().out.split()
+
+
+class TestObservabilityCli:
+    def test_obs_command_emits_json_for_instrumented_subsystems(
+        self, capsys, restore_obs
+    ):
+        assert main(["obs"]) == 0
+        snap = json.loads(capsys.readouterr().out)
+        assert snap["version"] == 1
+        subsystems = {
+            name.split(".", 1)[0]
+            for kind in ("counters", "timers", "spans")
+            for name in snap[kind]
+        }
+        # The acceptance bar: one invocation covers >= 4 subsystems.
+        assert len(subsystems) >= 4
+        for expected in ("thermal", "tsp", "runtime", "sweep"):
+            assert expected in subsystems
+        assert snap["spans"]["experiment.obs-demo"]["count"] == 1
+
+    def test_obs_command_writes_snapshot_file(
+        self, capsys, tmp_path, restore_obs
+    ):
+        target = tmp_path / "snap.json"
+        assert main(["obs", "--profile-out", str(target)]) == 0
+        capsys.readouterr()
+        assert json.loads(target.read_text())["version"] == 1
+
+    def test_profile_flag_appends_snapshot(self, capsys, restore_obs):
+        assert main(["fig1", "--profile"]) == 0
+        out = capsys.readouterr().out
+        assert "=== observability ===" in out
+        payload = out.split("=== observability ===", 1)[1]
+        snap = json.loads(payload)
+        assert snap["spans"]["experiment.fig1"]["count"] == 1
+
+    def test_profile_out_csv(self, capsys, tmp_path, restore_obs):
+        target = tmp_path / "snap.csv"
+        assert main(["fig1", "--profile-out", str(target)]) == 0
+        capsys.readouterr()
+        lines = target.read_text().strip().splitlines()
+        assert lines[0] == "kind,name,count,total_s,value"
+        assert len(lines) > 1
+
+    def test_without_profile_registry_stays_silent(self, capsys):
+        was_enabled = obs.enabled()
+        before = obs.snapshot()
+        assert main(["fig1"]) == 0
+        capsys.readouterr()
+        assert obs.enabled() == was_enabled
+        if not was_enabled:
+            assert obs.snapshot() == before
 
 
 class TestExperimentsTableApi:

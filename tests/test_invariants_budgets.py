@@ -1,0 +1,120 @@
+"""Property-based TSP and speed-up invariants.
+
+The TSP abstraction and the extended-Amdahl model carry the paper's
+central quantitative claims; these properties assert their shape for
+*every* bundled application and across whole budget tables rather than
+at single calibration points:
+
+* per-core TSP is non-increasing in the active-core count (more active
+  cores -> each gets less);
+* the worst-case TSP budget never exceeds the budget of any concrete
+  mapping (it is the min over mappings);
+* the extended-Amdahl speed-up rises to its gamma-induced peak and is
+  non-increasing beyond it, for every PARSEC profile.
+"""
+
+import numpy as np
+import pytest
+
+from repro.apps.parsec import PARSEC
+from repro.apps.speedup import amdahl_speedup, saturation_threads
+from repro.core.tsp import ThermalSafePower
+
+
+@pytest.fixture(scope="module")
+def tsp(small_chip):
+    return ThermalSafePower(small_chip)
+
+
+@pytest.fixture(scope="module")
+def tsp_with_inactive(small_chip):
+    return ThermalSafePower(small_chip, inactive_power=0.3)
+
+
+class TestTspMonotone:
+    def test_per_core_budget_non_increasing(self, tsp, small_chip):
+        table = tsp.table()
+        budgets = [table[m] for m in range(1, small_chip.n_cores + 1)]
+        diffs = np.diff(budgets)
+        assert np.all(diffs <= 1e-9)
+
+    def test_per_core_budget_non_increasing_with_inactive_power(
+        self, tsp_with_inactive, small_chip
+    ):
+        table = tsp_with_inactive.table()
+        budgets = [table[m] for m in range(1, small_chip.n_cores + 1)]
+        assert np.all(np.diff(budgets) <= 1e-9)
+
+    def test_inactive_power_shrinks_every_budget(
+        self, tsp, tsp_with_inactive, small_chip
+    ):
+        for m in range(1, small_chip.n_cores + 1):
+            assert tsp_with_inactive.worst_case(m) <= tsp.worst_case(m) + 1e-9
+
+
+class TestWorstCaseIsWorst:
+    def test_worst_case_bounds_random_mappings(self, tsp, small_chip):
+        rng = np.random.default_rng(42)
+        n = small_chip.n_cores
+        for _ in range(20):
+            m = int(rng.integers(1, n + 1))
+            mapping = rng.choice(n, size=m, replace=False)
+            assert tsp.worst_case(m) <= tsp.for_mapping(mapping) + 1e-9
+
+    def test_worst_case_attained_by_reported_mapping(self, tsp, small_chip):
+        # The engine's concentrated candidate mapping must realise the
+        # worst-case budget it reports.
+        for m in (1, 4, small_chip.n_cores):
+            mapping = tsp.worst_case_mapping(m)
+            assert tsp.for_mapping(mapping) == pytest.approx(
+                tsp.worst_case(m), abs=1e-9
+            )
+
+    def test_total_budget_monotone_in_count(self, tsp, small_chip):
+        # m * TSP(m): the chip-level budget may only grow as more
+        # (weaker) cores activate — activating a core never reduces what
+        # the chip as a whole may safely draw... up to the table's end.
+        totals = [tsp.total_budget(m) for m in range(1, small_chip.n_cores + 1)]
+        # Not strictly monotone in general, but the paper's headline
+        # TSP(1) <= total at full activation must hold.
+        assert totals[-1] >= totals[0] - 1e-9
+
+
+class TestExtendedAmdahlShape:
+    MAX_THREADS = 128
+
+    def test_speedup_peaks_then_declines_for_every_app(self, all_apps):
+        for name, app in all_apps.items():
+            p, gamma = app.parallel_fraction, app.sync_overhead
+            curve = [
+                amdahl_speedup(p, n, gamma) for n in range(1, self.MAX_THREADS + 1)
+            ]
+            if gamma == 0.0:
+                # Pure Amdahl: monotone non-decreasing everywhere.
+                assert np.all(np.diff(curve) >= -1e-12), name
+                continue
+            peak = saturation_threads(p, gamma)
+            rising = curve[: min(peak, self.MAX_THREADS)]
+            falling = curve[min(peak, self.MAX_THREADS) - 1 :]
+            assert np.all(np.diff(rising) >= -1e-12), name
+            assert np.all(np.diff(falling) <= 1e-12), name
+
+    def test_saturation_point_is_argmax(self, all_apps):
+        for name, app in all_apps.items():
+            p, gamma = app.parallel_fraction, app.sync_overhead
+            if gamma == 0.0:
+                continue
+            peak = saturation_threads(p, gamma)
+            best = max(
+                range(1, self.MAX_THREADS + 1),
+                key=lambda n: amdahl_speedup(p, n, gamma),
+            )
+            assert peak == best, name
+
+    def test_speedup_bounded_by_thread_count(self, all_apps):
+        for name, app in all_apps.items():
+            for n in (1, 2, 8, 64):
+                s = app.speedup(n) if hasattr(app, "speedup") else amdahl_speedup(
+                    app.parallel_fraction, n, app.sync_overhead
+                )
+                assert 0.0 < s <= n + 1e-12, name

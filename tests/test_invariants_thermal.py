@@ -1,0 +1,144 @@
+"""Property-based thermal invariants on seeded-random floorplans.
+
+The calibration tests of PR 1 pin the solvers to fixed fixtures; these
+properties assert the *physics* on freshly generated chips every run:
+
+* steady state is affine in power — superposition and scaling of
+  ``T = T_amb + B P`` hold exactly;
+* heating any single core never cools the chip — the peak temperature
+  is monotone in every coordinate of the power vector (B > 0);
+* the batched engine agrees with the direct LU solver to 1e-9 K on
+  every random floorplan, not just the 4x4 fixture.
+
+Generators are seeded (``numpy.random.default_rng``) so failures
+reproduce deterministically.
+"""
+
+import numpy as np
+import pytest
+
+from repro.floorplan.generator import grid_floorplan
+from repro.perf import BatchedSteadyState
+from repro.tech.library import NODE_16NM
+from repro.thermal.builder import build_thermal_model
+from repro.thermal.steady_state import SteadyStateSolver
+
+#: Distinct random chip geometries per test run.
+N_CHIPS = 6
+
+#: Random power vectors per chip.
+N_VECTORS = 4
+
+
+def _random_model(rng: np.random.Generator):
+    """A thermal model on a random grid floorplan (random core size)."""
+    rows = int(rng.integers(2, 6))
+    cols = int(rng.integers(2, 6))
+    core_area = NODE_16NM.core_area * float(rng.uniform(0.5, 2.0))
+    return build_thermal_model(grid_floorplan(rows, cols, core_area))
+
+
+@pytest.fixture(scope="module")
+def random_models():
+    rng = np.random.default_rng(20260806)
+    return [_random_model(rng) for _ in range(N_CHIPS)]
+
+
+class TestSuperposition:
+    """T - T_amb must be linear in P on every random chip."""
+
+    def test_additivity(self, random_models):
+        rng = np.random.default_rng(1)
+        for model in random_models:
+            solver = SteadyStateSolver(model)
+            n = model.n_cores
+            for _ in range(N_VECTORS):
+                p1 = rng.uniform(0.0, 8.0, n)
+                p2 = rng.uniform(0.0, 8.0, n)
+                rise_sum = solver.temperatures(p1 + p2) - model.ambient
+                rise_parts = (
+                    solver.temperatures(p1) - model.ambient
+                ) + (solver.temperatures(p2) - model.ambient)
+                assert np.max(np.abs(rise_sum - rise_parts)) <= 1e-8
+
+    def test_homogeneity(self, random_models):
+        rng = np.random.default_rng(2)
+        for model in random_models:
+            solver = SteadyStateSolver(model)
+            n = model.n_cores
+            p = rng.uniform(0.0, 5.0, n)
+            scale = float(rng.uniform(0.1, 4.0))
+            scaled = solver.temperatures(scale * p) - model.ambient
+            base = solver.temperatures(p) - model.ambient
+            assert np.max(np.abs(scaled - scale * base)) <= 1e-8
+
+    def test_zero_power_is_ambient(self, random_models):
+        for model in random_models:
+            solver = SteadyStateSolver(model)
+            temps = solver.temperatures(np.zeros(model.n_cores))
+            assert np.max(np.abs(temps - model.ambient)) <= 1e-9
+
+
+class TestMonotonicity:
+    """Raising any one core's power must not lower any temperature."""
+
+    def test_peak_monotone_in_single_core_power(self, random_models):
+        rng = np.random.default_rng(3)
+        for model in random_models:
+            solver = SteadyStateSolver(model)
+            n = model.n_cores
+            p = rng.uniform(0.0, 5.0, n)
+            base_peak = solver.peak_temperature(p)
+            core = int(rng.integers(n))
+            bumped = p.copy()
+            bumped[core] += float(rng.uniform(0.1, 3.0))
+            assert solver.peak_temperature(bumped) >= base_peak - 1e-12
+
+    def test_all_cores_heat_everywhere(self, random_models):
+        # The influence matrix itself must be entrywise positive: every
+        # watt anywhere heats every core (the physical basis of the
+        # monotonicity property).
+        for model in random_models:
+            b = model.influence_matrix()
+            assert np.all(b > 0.0)
+
+    def test_uniform_power_increase_raises_all_temps(self, random_models):
+        rng = np.random.default_rng(4)
+        for model in random_models:
+            solver = SteadyStateSolver(model)
+            n = model.n_cores
+            p = rng.uniform(0.0, 5.0, n)
+            hotter = solver.temperatures(p + 0.5)
+            cooler = solver.temperatures(p)
+            assert np.all(hotter >= cooler - 1e-12)
+
+
+class TestBatchedAgreement:
+    """The batched engine must match the LU path on fresh geometries."""
+
+    def test_batched_matches_direct_on_random_chips(self, random_models):
+        rng = np.random.default_rng(5)
+        for model in random_models:
+            solver = SteadyStateSolver(model)
+            engine = BatchedSteadyState(model)
+            n = model.n_cores
+            for _ in range(N_VECTORS):
+                p = rng.uniform(0.0, 8.0, n)
+                assert (
+                    np.max(np.abs(engine.temperatures(p) - solver.temperatures(p)))
+                    <= 1e-9
+                )
+                assert (
+                    abs(engine.peak_temperature(p) - solver.peak_temperature(p))
+                    <= 1e-9
+                )
+
+    def test_batch_rows_match_direct(self, random_models):
+        rng = np.random.default_rng(6)
+        for model in random_models:
+            solver = SteadyStateSolver(model)
+            engine = BatchedSteadyState(model)
+            batch = rng.uniform(0.0, 8.0, (5, model.n_cores))
+            rows = engine.temperatures(batch)
+            for row, p in zip(rows, batch):
+                assert np.max(np.abs(row - solver.temperatures(p))) <= 1e-9

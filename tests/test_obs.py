@@ -1,0 +1,181 @@
+"""repro.obs: registry semantics, null fast path, merge/diff, export."""
+
+import json
+
+import pytest
+
+from repro import obs
+from repro.obs import Registry
+
+
+@pytest.fixture()
+def registry():
+    return Registry(enabled=True)
+
+
+@pytest.fixture()
+def global_obs():
+    """Enable the global registry for a test, restoring it afterwards."""
+    was_enabled = obs.enabled()
+    obs.enable()
+    obs.reset()
+    yield obs
+    obs.reset()
+    if not was_enabled:
+        obs.disable()
+
+
+class TestCounters:
+    def test_incr_accumulates(self, registry):
+        registry.incr("a.x")
+        registry.incr("a.x", 2)
+        assert registry.snapshot()["counters"] == {"a.x": 3}
+
+    def test_disabled_registry_records_nothing(self):
+        registry = Registry()
+        registry.incr("a.x")
+        registry.observe("a.t", 1.0)
+        with registry.span("a.s"):
+            pass
+        snap = registry.snapshot()
+        assert snap["counters"] == {}
+        assert snap["timers"] == {}
+        assert snap["spans"] == {}
+
+    def test_disable_keeps_data_reset_drops_it(self, registry):
+        registry.incr("a.x")
+        registry.disable()
+        assert registry.snapshot()["counters"] == {"a.x": 1}
+        registry.reset()
+        assert registry.snapshot()["counters"] == {}
+
+
+class TestTimersAndSpans:
+    def test_timer_counts_and_accumulates(self, registry):
+        with registry.timer("stage"):
+            pass
+        with registry.timer("stage"):
+            pass
+        agg = registry.snapshot()["timers"]["stage"]
+        assert agg["count"] == 2
+        assert agg["total_s"] >= 0.0
+
+    def test_spans_nest_into_dotted_paths(self, registry):
+        with registry.span("experiment"):
+            with registry.span("sweep"):
+                pass
+            with registry.span("sweep"):
+                pass
+        spans = registry.snapshot()["spans"]
+        assert spans["experiment"]["count"] == 1
+        assert spans["experiment.sweep"]["count"] == 2
+
+    def test_sibling_spans_do_not_nest(self, registry):
+        with registry.span("a"):
+            pass
+        with registry.span("b"):
+            pass
+        assert set(registry.snapshot()["spans"]) == {"a", "b"}
+
+    def test_span_pops_on_exception(self, registry):
+        with pytest.raises(ValueError):
+            with registry.span("outer"):
+                raise ValueError("boom")
+        with registry.span("after"):
+            pass
+        # "after" must not appear nested under the failed span.
+        assert "after" in registry.snapshot()["spans"]
+
+    def test_null_span_is_shared_and_inert(self):
+        registry = Registry()
+        assert registry.span("x") is registry.timer("y")
+
+
+class TestMergeDiff:
+    def test_diff_is_exact_delta(self, registry):
+        registry.incr("a.x", 5)
+        with registry.timer("t"):
+            pass
+        before = registry.snapshot()
+        registry.incr("a.x", 2)
+        registry.incr("a.y")
+        with registry.timer("t"):
+            pass
+        delta = registry.diff(before)
+        assert delta["counters"] == {"a.x": 2, "a.y": 1}
+        assert delta["timers"]["t"]["count"] == 1
+
+    def test_diff_omits_unchanged(self, registry):
+        registry.incr("a.x")
+        before = registry.snapshot()
+        assert registry.diff(before)["counters"] == {}
+
+    def test_merge_adds_snapshots(self, registry):
+        registry.incr("a.x", 1)
+        other = Registry(enabled=True)
+        other.incr("a.x", 2)
+        other.incr("b.y", 4)
+        with other.span("s"):
+            pass
+        registry.merge(other.snapshot())
+        snap = registry.snapshot()
+        assert snap["counters"] == {"a.x": 3, "b.y": 4}
+        assert snap["spans"]["s"]["count"] == 1
+
+    def test_merge_none_is_noop(self, registry):
+        registry.incr("a.x")
+        registry.merge(None)
+        assert registry.snapshot()["counters"] == {"a.x": 1}
+
+    def test_merge_ignores_enabled_flag(self):
+        registry = Registry()  # disabled
+        registry.merge({"counters": {"w.x": 3}, "timers": {}, "spans": {}})
+        assert registry.snapshot()["counters"] == {"w.x": 3}
+
+    def test_subsystems_prefixes(self, registry):
+        registry.incr("thermal.model.solves")
+        registry.incr("tsp.table_builds")
+        with registry.span("sweep.stage"):
+            pass
+        assert registry.subsystems() == {"thermal", "tsp", "sweep"}
+
+
+class TestGlobalHelpers:
+    def test_module_level_incr_respects_enable(self, global_obs):
+        obs.incr("a.x")
+        assert obs.snapshot()["counters"] == {"a.x": 1}
+        obs.disable()
+        obs.incr("a.x")
+        obs.enable()
+        assert obs.snapshot()["counters"] == {"a.x": 1}
+
+    def test_global_span_and_diff(self, global_obs):
+        before = obs.snapshot()
+        with obs.span("demo"):
+            obs.incr("demo.events")
+        delta = obs.diff(before)
+        assert delta["counters"] == {"demo.events": 1}
+        assert "demo" in delta["spans"]
+
+
+class TestExport:
+    def test_json_round_trips(self, registry, tmp_path):
+        registry.incr("a.x", 2)
+        target = tmp_path / "snap.json"
+        text = obs.to_json(registry.snapshot(), target)
+        assert json.loads(text)["counters"]["a.x"] == 2
+        assert json.loads(target.read_text())["counters"]["a.x"] == 2
+
+    def test_csv_flattens_all_kinds(self, registry, tmp_path):
+        registry.incr("a.x", 2)
+        with registry.timer("t"):
+            pass
+        with registry.span("s"):
+            pass
+        target = tmp_path / "snap.csv"
+        text = obs.to_csv(registry.snapshot(), target)
+        lines = text.strip().splitlines()
+        assert lines[0] == "kind,name,count,total_s,value"
+        kinds = {line.split(",")[0] for line in lines[1:]}
+        assert kinds == {"counter", "timer", "span"}
+        assert target.read_text() == text

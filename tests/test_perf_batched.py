@@ -120,6 +120,61 @@ class TestCache:
         assert engine.cache_info()["size"] == 0
 
 
+class TestCacheStats:
+    def test_hit_rate_and_size_exposed(self, engine):
+        p = random_powers(engine.n_cores, seed=11)
+        engine.peak_temperature(p)
+        engine.peak_temperature(p)
+        engine.peak_temperature(random_powers(engine.n_cores, seed=12))
+        stats = engine.cache_stats()
+        assert stats["hits"] == 1
+        assert stats["misses"] == 2
+        assert stats["hit_rate"] == pytest.approx(1 / 3)
+        assert stats["size"] == 2
+        assert stats["maxsize"] == engine.cache_info()["maxsize"]
+
+    def test_hit_rate_zero_before_any_query(self, engine):
+        assert engine.cache_stats()["hit_rate"] == 0.0
+
+    def test_stats_count_tsp_tables(self, engine):
+        engine.tsp_table(55.0, 0.0)
+        engine.tsp_for_count(2, 60.0, 0.1)
+        stats = engine.cache_stats()
+        assert stats["tsp_tables"] == 1
+        assert stats["tsp_singles"] == 1
+
+    def test_stats_after_reset(self, engine):
+        # Regression: reset() must clear the peak cache AND the shared
+        # TSP artefacts — cache_clear() alone left the tables alive.
+        p = random_powers(engine.n_cores, seed=13)
+        engine.peak_temperature(p)
+        engine.peak_temperature(p)
+        engine.tsp_table(55.0, 0.0)
+        engine.tsp_for_count(3, 60.0, 0.2)
+        engine.concentration_order()
+        engine.reset()
+        stats = engine.cache_stats()
+        assert stats == {
+            "hits": 0,
+            "misses": 0,
+            "hit_rate": 0.0,
+            "size": 0,
+            "maxsize": stats["maxsize"],
+            "tsp_tables": 0,
+            "tsp_singles": 0,
+        }
+
+    def test_reset_engine_recomputes_identically(self, engine):
+        budgets_before, centres_before = engine.tsp_table(55.0, 0.3)
+        p = random_powers(engine.n_cores, seed=14)
+        peak_before = engine.peak_temperature(p)
+        engine.reset()
+        budgets_after, centres_after = engine.tsp_table(55.0, 0.3)
+        assert np.array_equal(budgets_before, budgets_after)
+        assert np.array_equal(centres_before, centres_after)
+        assert engine.peak_temperature(p) == peak_before
+
+
 class TestValidation:
     def test_wrong_vector_length_rejected(self, engine):
         with pytest.raises(ConfigurationError, match="core powers"):

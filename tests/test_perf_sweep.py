@@ -2,12 +2,19 @@
 
 import pytest
 
+from repro import obs
 from repro.errors import ConfigurationError
 from repro.perf import SweepRunner
 
 
 def _square(x):
     """Module-level so the parallel path can pickle it."""
+    return x * x
+
+
+def _instrumented_square(x):
+    """Picklable cell that also reports to the global registry."""
+    obs.incr("testsweep.cell_calls")
     return x * x
 
 
@@ -68,3 +75,65 @@ class TestParallel:
         # One cell is not worth a worker pool; the result must match.
         runner = SweepRunner(max_workers=4)
         assert runner.map([7], _square) == [49]
+
+
+class TestConcurrencyObservability:
+    """workers=1 vs workers=4: identical results, merged registry."""
+
+    @pytest.fixture()
+    def global_obs(self):
+        was_enabled = obs.enabled()
+        obs.enable()
+        obs.reset()
+        yield obs
+        obs.reset()
+        if not was_enabled:
+            obs.disable()
+
+    CELLS = list(range(8))
+
+    def test_parallel_matches_serial_results_and_counters(self, global_obs):
+        serial = SweepRunner(max_workers=1)
+        serial_results = serial.map(self.CELLS, _instrumented_square, stage="smoke")
+        serial_snap = obs.snapshot()
+
+        obs.reset()
+        par = SweepRunner(max_workers=4)
+        par_results = par.map(self.CELLS, _instrumented_square, stage="smoke")
+        par_snap = obs.snapshot()
+
+        assert par_results == serial_results
+        # Same totals regardless of execution mode: the per-worker deltas
+        # must have been merged back, not lost with the pool.
+        assert (
+            par_snap["counters"]["testsweep.cell_calls"]
+            == serial_snap["counters"]["testsweep.cell_calls"]
+            == len(self.CELLS)
+        )
+        assert par_snap["counters"]["sweep.cells"] == len(self.CELLS)
+        assert par_snap["spans"]["sweep.smoke"]["count"] == 1
+
+    def test_worker_deltas_merge_instead_of_clobbering(self, global_obs):
+        # Counts present in the parent *before* the sweep must survive it:
+        # forked workers inherit them, and a naive "copy the worker's
+        # registry back" would double- or over-write them.
+        obs.incr("testsweep.cell_calls", 100)
+        runner = SweepRunner(max_workers=4)
+        runner.map(self.CELLS, _instrumented_square, stage="merge")
+        assert obs.snapshot()["counters"]["testsweep.cell_calls"] == 100 + len(
+            self.CELLS
+        )
+
+    def test_runner_metrics_agree_across_modes(self, global_obs):
+        serial = SweepRunner(max_workers=1)
+        serial.map(self.CELLS, _instrumented_square, stage="m")
+        par = SweepRunner(max_workers=4)
+        par.map(self.CELLS, _instrumented_square, stage="m")
+        assert serial.metrics["m"]["cells"] == par.metrics["m"]["cells"]
+        assert len(par.metrics["m"]["cell_s"]) == len(self.CELLS)
+        assert par.metrics["m"]["workers"] == 4
+
+    def test_parallel_with_obs_disabled_still_correct(self):
+        assert not obs.enabled()
+        runner = SweepRunner(max_workers=4)
+        assert runner.map([2, 3, 4], _square) == [4, 9, 16]
