@@ -3,13 +3,25 @@
 # Make every target work from a plain checkout (no editable install).
 export PYTHONPATH := src:$(PYTHONPATH)
 
-.PHONY: install test bench bench-smoke bench-track experiments examples clean
+.PHONY: install test figures-smoke bench bench-smoke bench-track experiments examples clean
 
 install:
 	pip install -e . || python setup.py develop
 
 test:
 	pytest tests/
+	$(MAKE) figures-smoke
+
+# Cold + warm batch pass against a throwaway artifact store: the first
+# run computes every registered experiment in quick mode, the second
+# must be served entirely from the store (--expect-cached exits 3 on
+# any recomputation; --profile prints the store.* hit counters).
+# Catches cache-key, canonicalisation or fingerprint drift.
+figures-smoke:
+	rm -rf .figures-smoke-store
+	python -m repro.cli batch --quick --store .figures-smoke-store
+	python -m repro.cli batch --quick --store .figures-smoke-store --expect-cached --profile
+	rm -rf .figures-smoke-store
 
 bench:
 	pytest benchmarks/ --benchmark-only
@@ -27,11 +39,11 @@ bench-track:
 	python benchmarks/track.py
 
 experiments:
-	python -m repro.cli all
+	python -m repro.cli run all
 
 examples:
 	for f in examples/*.py; do echo "== $$f =="; python $$f; done
 
 clean:
-	rm -rf build dist src/*.egg-info .pytest_benchmarks .benchmarks
+	rm -rf build dist src/*.egg-info .pytest_benchmarks .benchmarks .figures-smoke-store
 	find . -name __pycache__ -type d -exec rm -rf {} +

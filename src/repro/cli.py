@@ -1,23 +1,38 @@
-"""Command-line entry point: regenerate any paper figure as a text table.
+"""Command-line entry point: the experiment registry as a service.
 
 Usage::
 
-    darksilicon list                 # available experiments
-    darksilicon fig5                 # one figure
-    darksilicon fig11 --quick       # shortened transients
-    darksilicon all                  # everything (slow figures shortened
-                                     # unless --full is given)
-    darksilicon fig10 --profile     # + observability snapshot (JSON)
-    darksilicon obs                  # instrumented demo; prints the
-                                     # registry snapshot as pure JSON
+    darksilicon list                     # registered experiments
+    darksilicon describe fig11           # parameter schema + defaults
+    darksilicon run fig5                 # one figure
+    darksilicon fig5                     # same (legacy spelling)
+    darksilicon run fig11 --quick        # shortened transients
+    darksilicon run fig11 --params duration=1.5 n_instances=6
+    darksilicon run all --keep-going     # everything; report failures
+    darksilicon run fig10 --store .cache # serve/persist via the store
+    darksilicon batch --quick --store .cache   # all cells, cached
+    darksilicon batch --quick --store .cache --expect-cached
+    darksilicon obs                      # instrumented demo (pure JSON)
 
-Each experiment prints the rows the corresponding paper figure plots;
-EXPERIMENTS.md records how they compare against the published values.
+Every experiment is dispatched through
+:mod:`repro.experiments.registry`: ``--params key=value`` overrides are
+validated against the experiment's typed schema (aliases like
+``boost_duration`` still work), ``--quick`` applies the schema's
+quick-mode values, and ``--store DIR`` routes execution through the
+content-addressed artifact store (:mod:`repro.store`) so repeated runs
+are served from disk.  ``--force`` bypasses the store and overwrites.
+
+``batch`` executes a set of cells through
+:class:`repro.store.BatchRunner`: warm cells come straight from the
+store (no worker processes), cold cells optionally fan out across
+``--workers`` processes, and ``summary`` runs last so it consumes the
+sibling artifacts the same batch just produced.  ``--expect-cached``
+makes a warm run a testable assertion (used by ``make figures-smoke``).
+
 ``--profile`` enables the :mod:`repro.obs` registry for the run and
-appends its snapshot (solver calls, cache traffic, TSP table builds,
-sweep stages, runtime/DTM events) after the tables; ``--profile-out``
-additionally writes it to a file (``.csv`` suffix selects CSV, anything
-else JSON).
+appends its snapshot (solver calls, cache traffic, store hits/misses,
+sweep stages) after the tables; ``--profile-out`` additionally writes
+it to a file (``.csv`` suffix selects CSV, anything else JSON).
 """
 
 from __future__ import annotations
@@ -25,63 +40,17 @@ from __future__ import annotations
 import argparse
 import sys
 import time
-from typing import Callable
+from pathlib import Path
+from typing import Optional
 
 from repro import obs
-from repro.experiments import (
-    ext_projection,
-    ext_sensitivity,
-    summary,
-    ext_runtime,
-    fig01_scaling,
-    fig02_vf_curve,
-    fig03_power_fit,
-    fig04_speedup,
-    fig05_tdp_dark_silicon,
-    fig06_temperature_constraint,
-    fig07_dvfs,
-    fig08_patterning,
-    fig09_dsrem,
-    fig10_tsp,
-    fig11_boosting_transient,
-    fig12_boosting_sweep,
-    fig13_boosting_apps,
-    fig14_ntc,
-)
+from repro.errors import ConfigurationError
+from repro.experiments import registry
 from repro.experiments.common import experiment_span
+from repro.io import result_to_csv
 
-_QUICK_DURATION = 2.0
-_FULL_FIG11_DURATION = 100.0
-_FULL_BOOST_DURATION = 5.0
-
-
-def _runners(quick: bool) -> dict[str, Callable[[], object]]:
-    fig11_duration = _QUICK_DURATION if quick else _FULL_FIG11_DURATION
-    boost_duration = _QUICK_DURATION if quick else _FULL_BOOST_DURATION
-    return {
-        "fig1": fig01_scaling.run,
-        "fig2": fig02_vf_curve.run,
-        "fig3": fig03_power_fit.run,
-        "fig4": fig04_speedup.run,
-        "fig5": fig05_tdp_dark_silicon.run,
-        "fig6": fig06_temperature_constraint.run,
-        "fig7": fig07_dvfs.run,
-        "fig8": fig08_patterning.run,
-        "fig9": fig09_dsrem.run,
-        "fig10": fig10_tsp.run,
-        "fig11": lambda: fig11_boosting_transient.run(duration=fig11_duration),
-        "fig12": lambda: fig12_boosting_sweep.run(boost_duration=boost_duration),
-        "fig13": lambda: fig13_boosting_apps.run(boost_duration=boost_duration),
-        "fig14": fig14_ntc.run,
-        "runtime": lambda: ext_runtime.run(
-            n_jobs=20 if quick else 60
-        ),
-        "projection": ext_projection.run,
-        "sensitivity": ext_sensitivity.run,
-        "summary": lambda: summary.run(
-            transient_duration=_QUICK_DURATION if quick else 5.0
-        ),
-    }
+#: Pseudo-experiment names the CLI accepts beyond the registry.
+_PSEUDO = ("all", "obs")
 
 
 def _run_obs_demo() -> dict:
@@ -153,42 +122,259 @@ def _run_obs_demo() -> dict:
     return obs.snapshot()
 
 
-def _emit_profile(args) -> None:
-    """Print the registry snapshot; optionally write it to a file."""
-    snap = obs.snapshot()
-    print("=== observability ===")
-    print(obs.to_json(snap))
-    if args.profile_out:
-        from pathlib import Path
+def _export_snapshot(
+    snap: dict, out_path: Optional[str], banner: bool = True
+) -> None:
+    """The one profile-snapshot exporter every command shares.
 
-        target = Path(args.profile_out)
+    Prints the snapshot as JSON (preceded by a banner unless the caller
+    needs pure-JSON stdout, as ``obs`` does) and optionally writes it to
+    ``out_path`` — ``.csv`` suffix selects CSV, anything else JSON.
+    """
+    if banner:
+        print("=== observability ===")
+    print(obs.to_json(snap))
+    if out_path:
+        target = Path(out_path)
         if target.suffix == ".csv":
             obs.to_csv(snap, target)
         else:
             obs.to_json(snap, target)
-        print(f"[observability snapshot written to {target}]")
+        if banner:
+            print(f"[observability snapshot written to {target}]")
 
 
-def main(argv: list[str] | None = None) -> int:
-    """CLI entry point; returns the process exit code."""
-    parser = argparse.ArgumentParser(
-        prog="darksilicon",
-        description="Regenerate figures of 'New Trends in Dark Silicon' (DAC 2015).",
+def _open_store(args):
+    """The artifact store named by ``--store``, or ``None``."""
+    if not getattr(args, "store", None):
+        return None
+    from repro.store import ArtifactStore
+
+    return ArtifactStore(args.store)
+
+
+def _csv_dir(args) -> Optional[Path]:
+    """The ``--csv`` export directory, created on demand."""
+    if not getattr(args, "csv", None):
+        return None
+    target = Path(args.csv)
+    target.mkdir(parents=True, exist_ok=True)
+    return target
+
+
+def _export_rows(result, name: str, csv_dir: Optional[Path]) -> None:
+    if csv_dir is not None:
+        target = result_to_csv(result, csv_dir / f"{name}.csv")
+        print(f"[rows exported to {target}]")
+
+
+def _cmd_list(args) -> int:
+    """``list``: every registered experiment, plus the obs demo."""
+    names = registry.names() + ["obs"]
+    if args.long:
+        width = max(len(n) for n in names)
+        for name in registry.names():
+            print(f"{name:<{width}}  {registry.get(name).title}")
+        print(f"{'obs':<{width}}  instrumented demo; prints the registry "
+              "snapshot as JSON")
+    else:
+        for name in names:
+            print(name)
+    return 0
+
+
+def _cmd_describe(args) -> int:
+    """``describe``: one experiment's schema, defaults and aliases."""
+    try:
+        spec = registry.get(args.experiment)
+    except ConfigurationError:
+        print(
+            f"unknown experiment {args.experiment!r}; try 'list'",
+            file=sys.stderr,
+        )
+        return 2
+    print(f"name:        {spec.name}")
+    print(f"title:       {spec.title}")
+    print(f"module:      {spec.module}")
+    if spec.result_type is not None:
+        print(f"result:      {spec.result_type.__name__}")
+    print(f"fingerprint: {spec.fingerprint()}")
+    if spec.store_aware:
+        print("store-aware: consumes sibling artifacts when --store is given")
+    if not spec.params:
+        print("parameters:  (none)")
+        return 0
+    print("parameters:")
+    for p in spec.params:
+        quick = "" if p.quick is registry.UNSET else f"  [quick: {p.quick!r}]"
+        aliases = f"  (aliases: {', '.join(p.aliases)})" if p.aliases else ""
+        print(f"  {p.name} ({p.kind}) = {p.default!r}{quick}{aliases}")
+        if p.help:
+            print(f"      {p.help}")
+    return 0
+
+
+def _cmd_run(args) -> int:
+    """``run``: one experiment, or ``all`` of them sequentially."""
+    if args.experiment == "obs":
+        return _cmd_obs(args)
+    known = registry.names()
+    if args.experiment != "all" and args.experiment not in known:
+        print(
+            f"unknown experiment {args.experiment!r}; try 'list'",
+            file=sys.stderr,
+        )
+        return 2
+    names = known if args.experiment == "all" else [args.experiment]
+    if args.params and len(names) > 1:
+        print("--params requires a single experiment, not 'all'", file=sys.stderr)
+        return 2
+
+    if args.profile:
+        obs.enable()
+    store = _open_store(args)
+    csv_dir = _csv_dir(args)
+
+    from repro.store.batch import fetch_or_run
+
+    failures: list[tuple[str, str]] = []
+    for name in names:
+        spec = registry.get(name)
+        try:
+            overrides = spec.parse_overrides(args.params or [])
+            params = spec.resolve(overrides, quick=args.quick)
+        except ConfigurationError as exc:
+            print(str(exc), file=sys.stderr)
+            return 2
+        started = time.time()
+        try:
+            with experiment_span(name):
+                result, cached = fetch_or_run(
+                    spec, params, store=store, force=args.force
+                )
+        except Exception as exc:  # noqa: BLE001 - per-experiment report
+            if not args.keep_going:
+                raise
+            failures.append((name, f"{type(exc).__name__}: {exc}"))
+            print(f"=== {name} FAILED ({type(exc).__name__}: {exc}) ===")
+            print()
+            continue
+        elapsed = time.time() - started
+        origin = ", cached" if cached else ""
+        print(f"=== {name} ({elapsed:.1f} s{origin}) ===")
+        print(result.table())
+        _export_rows(result, name, csv_dir)
+        print()
+
+    if args.keep_going and len(names) > 1:
+        print("=== run report ===")
+        failed = {name for name, _ in failures}
+        for name in names:
+            print(f"{name:<12} {'FAIL' if name in failed else 'ok'}")
+        for name, reason in failures:
+            print(f"[{name}] {reason}")
+    if args.profile:
+        _export_snapshot(obs.snapshot(), args.profile_out)
+    return 1 if failures else 0
+
+
+def _cmd_batch(args) -> int:
+    """``batch``: a set of cells through the store-backed runner."""
+    names = args.experiments or registry.names()
+    unknown = [n for n in names if n not in registry.names()]
+    if unknown:
+        print(
+            f"unknown experiment(s) {', '.join(map(repr, unknown))}; "
+            "try 'list'",
+            file=sys.stderr,
+        )
+        return 2
+    if args.profile:
+        obs.enable()
+    store = _open_store(args)
+    csv_dir = _csv_dir(args)
+
+    from repro.perf.sweep import SweepRunner
+    from repro.store.batch import BatchCell, BatchRunner
+
+    cells = [
+        BatchCell(name, registry.get(name).resolve(quick=args.quick))
+        for name in names
+    ]
+    runner = BatchRunner(store=store, sweep=SweepRunner(args.workers))
+    started = time.time()
+    outcomes = runner.run(cells, force=args.force)
+    elapsed = time.time() - started
+
+    for o in outcomes:
+        status = "cached" if o.cached else ("ran" if o.ok else "FAILED")
+        line = f"{o.cell.experiment:<12} {status:<7} {o.seconds:8.2f} s"
+        if o.error:
+            line += f"  {o.error}"
+        print(line)
+        if o.ok and args.tables:
+            print(o.result.table())
+            print()
+        if o.ok:
+            _export_rows(o.result, o.cell.experiment, csv_dir)
+    cached = sum(o.cached for o in outcomes)
+    executed = sum(o.ok and not o.cached for o in outcomes)
+    failed = sum(not o.ok for o in outcomes)
+    print(
+        f"[batch] {len(outcomes)} cells: {cached} cached, "
+        f"{executed} executed, {failed} failed in {elapsed:.1f} s"
     )
-    parser.add_argument(
-        "experiment",
-        help="experiment name (fig1..fig14), 'all', 'list', or 'obs'",
-    )
+    if store is not None:
+        stats = ", ".join(f"{k}={v}" for k, v in store.counters.items())
+        print(f"[store] {stats}")
+    if args.profile:
+        _export_snapshot(obs.snapshot(), args.profile_out)
+    if failed:
+        return 1
+    if args.expect_cached and cached != len(outcomes):
+        print(
+            f"--expect-cached: only {cached}/{len(outcomes)} cells were "
+            "served from the store",
+            file=sys.stderr,
+        )
+        return 3
+    return 0
+
+
+def _cmd_obs(args) -> int:
+    """``obs``: the instrumented demo; stdout stays pure JSON."""
+    snap = _run_obs_demo()
+    _export_snapshot(snap, args.profile_out, banner=False)
+    return 0
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--quick",
         action="store_true",
-        help="shorten the transient simulations (figures 11-13)",
+        help="apply the schema's quick-mode parameter values "
+        "(shortened transients, smaller job streams)",
     )
     parser.add_argument(
         "--csv",
         metavar="DIR",
         help="also export each experiment's rows to DIR/<name>.csv",
     )
+    parser.add_argument(
+        "--store",
+        metavar="DIR",
+        help="serve results from (and persist them to) a "
+        "content-addressed artifact store rooted at DIR",
+    )
+    parser.add_argument(
+        "--force",
+        action="store_true",
+        help="bypass the store and overwrite its artifacts",
+    )
+    _add_profile(parser)
+
+
+def _add_profile(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--profile",
         action="store_true",
@@ -201,68 +387,108 @@ def main(argv: list[str] | None = None) -> int:
         help="write the observability snapshot to PATH (.csv for CSV, "
         "anything else for JSON); implies --profile",
     )
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The darksilicon argument parser (exposed for tests/docs)."""
+    parser = argparse.ArgumentParser(
+        prog="darksilicon",
+        description="Regenerate figures of 'New Trends in Dark Silicon' "
+        "(DAC 2015) through the experiment registry.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_run = sub.add_parser(
+        "run", help="run one experiment (or 'all') and print its table"
+    )
+    p_run.add_argument(
+        "experiment",
+        help="experiment name (see 'list'), 'all', or 'obs'",
+    )
+    p_run.add_argument(
+        "--params",
+        metavar="KEY=VALUE",
+        nargs="+",
+        help="schema-validated parameter overrides "
+        "(e.g. --params duration=1.5 n_instances=6)",
+    )
+    p_run.add_argument(
+        "--keep-going",
+        action="store_true",
+        help="with 'all': keep running after a failing experiment, "
+        "report per-experiment pass/fail, exit non-zero if any failed",
+    )
+    _add_common(p_run)
+
+    p_batch = sub.add_parser(
+        "batch",
+        help="run a set of experiments through the store-backed "
+        "batch runner",
+    )
+    p_batch.add_argument(
+        "experiments",
+        nargs="*",
+        help="experiment names (default: every registered experiment)",
+    )
+    p_batch.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="worker processes for cold cells (default: serial)",
+    )
+    p_batch.add_argument(
+        "--tables",
+        action="store_true",
+        help="print each cell's full table, not just its status line",
+    )
+    p_batch.add_argument(
+        "--expect-cached",
+        action="store_true",
+        help="exit 3 unless every cell was served from the store "
+        "(cache-warmness assertion for CI)",
+    )
+    _add_common(p_batch)
+
+    p_list = sub.add_parser("list", help="list registered experiments")
+    p_list.add_argument(
+        "--long", action="store_true", help="include one-line titles"
+    )
+
+    p_desc = sub.add_parser(
+        "describe", help="show one experiment's parameter schema"
+    )
+    p_desc.add_argument("experiment", help="experiment name")
+
+    p_obs = sub.add_parser(
+        "obs", help="instrumented demo; prints the registry snapshot as JSON"
+    )
+    _add_profile(p_obs)
+
+    p_run.set_defaults(func=_cmd_run)
+    p_batch.set_defaults(func=_cmd_batch)
+    p_list.set_defaults(func=_cmd_list)
+    p_desc.set_defaults(func=_cmd_describe)
+    p_obs.set_defaults(func=_cmd_obs)
+    return parser
+
+
+def main(argv: Optional[list[str]] = None) -> int:
+    """CLI entry point; returns the process exit code.
+
+    Legacy spellings stay valid: a leading experiment name (or ``all``)
+    is treated as ``run <name>``, so ``darksilicon fig5 --quick`` keeps
+    working next to ``darksilicon run fig5 --quick``.
+    """
+    argv = list(sys.argv[1:] if argv is None else argv)
+    commands = {"run", "batch", "list", "describe", "obs"}
+    if argv and not argv[0].startswith("-") and argv[0] not in commands:
+        argv = ["run", *argv]
+    parser = build_parser()
     args = parser.parse_args(argv)
-    if args.profile_out:
+    if getattr(args, "profile_out", None):
         args.profile = True
-
-    if args.experiment == "obs":
-        snap = _run_obs_demo()
-        print(obs.to_json(snap))
-        if args.profile_out:
-            from pathlib import Path
-
-            target = Path(args.profile_out)
-            if target.suffix == ".csv":
-                obs.to_csv(snap, target)
-            else:
-                obs.to_json(snap, target)
-        return 0
-
-    runners = _runners(args.quick)
-    if args.experiment == "list":
-        for name in runners:
-            print(name)
-        print("obs")
-        return 0
-
-    if args.experiment == "all":
-        names = list(runners)
-    elif args.experiment in runners:
-        names = [args.experiment]
-    else:
-        print(
-            f"unknown experiment {args.experiment!r}; try 'list'",
-            file=sys.stderr,
-        )
-        return 2
-
-    if args.profile:
-        obs.enable()
-
-    csv_dir = None
-    if args.csv:
-        from pathlib import Path
-
-        csv_dir = Path(args.csv)
-        csv_dir.mkdir(parents=True, exist_ok=True)
-
-    for name in names:
-        started = time.time()
-        with experiment_span(name):
-            result = runners[name]()
-        elapsed = time.time() - started
-        print(f"=== {name} ({elapsed:.1f} s) ===")
-        print(result.table())
-        if csv_dir is not None:
-            from repro.io import result_to_csv
-
-            target = result_to_csv(result, csv_dir / f"{name}.csv")
-            print(f"[rows exported to {target}]")
-        print()
-
-    if args.profile:
-        _emit_profile(args)
-    return 0
+    return args.func(args)
 
 
 if __name__ == "__main__":

@@ -26,6 +26,8 @@ from repro.core.constraints import PowerBudgetConstraint, TemperatureConstraint
 from repro.core.dark_silicon import estimate_dark_silicon
 from repro.core.tsp import ThermalSafePower
 from repro.experiments.common import format_table, get_chip
+from repro.experiments.registry import ExperimentSpec, Param, register
+from repro.io import PayloadSerializable
 from repro.mapping.patterns import NeighbourhoodSpreadPlacer
 from repro.power.budget import PAPER_TDP_PESSIMISTIC
 from repro.units import GIGA
@@ -55,7 +57,7 @@ class ProjectionRow:
 
 
 @dataclass(frozen=True)
-class ProjectionResult:
+class ProjectionResult(PayloadSerializable):
     """The full projection table."""
 
     app: str
@@ -138,3 +140,25 @@ def run(
             )
         )
     return ProjectionResult(app=app_name, tdp=tdp, entries=tuple(entries))
+
+
+SPEC = register(
+    ExperimentSpec(
+        name="projection",
+        title="Dark-silicon projection across nodes and methodologies",
+        module=__name__,
+        runner=run,
+        params=(
+            Param("app_name", "str", "ferret", help="projected application"),
+            Param(
+                "node_names",
+                "json",
+                ("16nm", "11nm", "8nm"),
+                help="technology nodes",
+            ),
+            Param("tdp", "float", PAPER_TDP_PESSIMISTIC, help="TDP, W"),
+            Param("threads", "int", 8, help="threads per instance"),
+        ),
+        result_type=ProjectionResult,
+    )
+)

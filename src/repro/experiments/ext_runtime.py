@@ -16,6 +16,8 @@ from repro.apps.parsec import app_by_name
 from repro.chip import Chip
 from repro.core.tsp import ThermalSafePower
 from repro.experiments.common import format_table, get_chip
+from repro.experiments.registry import ExperimentSpec, Param, register
+from repro.io import PayloadSerializable
 from repro.runtime import (
     OnlineSimulator,
     RuntimeResult,
@@ -26,7 +28,7 @@ from repro.runtime import (
 
 
 @dataclass(frozen=True)
-class RuntimeComparison:
+class RuntimeComparison(PayloadSerializable):
     """Both policies' outcomes on one job stream."""
 
     n_jobs: int
@@ -87,3 +89,34 @@ def run(
         chip, TspAdaptivePolicy(ThermalSafePower(chip))
     ).run(jobs)
     return RuntimeComparison(n_jobs=n_jobs, tdp=tdp_run, tsp=tsp_run)
+
+
+SPEC = register(
+    ExperimentSpec(
+        name="runtime",
+        title="Online TDP-FIFO vs TSP-adaptive policy comparison",
+        module=__name__,
+        runner=run,
+        params=(
+            Param(
+                "app_names",
+                "json",
+                ("x264", "canneal", "swaptions", "ferret"),
+                help="job-stream applications",
+            ),
+            Param(
+                "n_jobs", "int", 60, quick=20, help="jobs in the stream"
+            ),
+            Param(
+                "mean_interarrival",
+                "float",
+                0.3,
+                help="mean interarrival time, s",
+            ),
+            Param("work", "float", 400e9, help="instructions per job"),
+            Param("tdp", "float", 185.0, help="TDP budget, W"),
+            Param("seed", "int", 3, help="stream RNG seed"),
+        ),
+        result_type=RuntimeComparison,
+    )
+)

@@ -12,11 +12,13 @@ from typing import Optional, Sequence
 
 from repro.chip import Chip
 from repro.experiments.common import format_table, get_chip
+from repro.experiments.registry import ExperimentSpec, Param, register
+from repro.io import PayloadSerializable
 from repro.sensitivity import sensitivity_sweep
 
 
 @dataclass(frozen=True)
-class SensitivityResult:
+class SensitivityResult(PayloadSerializable):
     """The sweep's outcomes, keyed by (axis, scale)."""
 
     outcomes: dict
@@ -68,3 +70,22 @@ def run(
     """Run the single-axis sensitivity sweep."""
     chip = chip or get_chip("16nm")
     return SensitivityResult(outcomes=sensitivity_sweep(chip, scales=scales))
+
+
+SPEC = register(
+    ExperimentSpec(
+        name="sensitivity",
+        title="Headline-shape sensitivity to calibration perturbations",
+        module=__name__,
+        runner=run,
+        params=(
+            Param(
+                "scales",
+                "json",
+                (0.9, 1.1),
+                help="per-axis perturbation factors",
+            ),
+        ),
+        result_type=SensitivityResult,
+    )
+)

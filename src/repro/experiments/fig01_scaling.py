@@ -10,12 +10,14 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.experiments.common import format_table
+from repro.experiments.registry import ExperimentSpec, register
+from repro.io import PayloadSerializable
 from repro.tech.library import ALL_NODES, chip_core_count
 from repro.units import GIGA, to_mm2
 
 
 @dataclass(frozen=True)
-class ScalingTable:
+class ScalingTable(PayloadSerializable):
     """The Figure 1 table plus derived columns."""
 
     entries: tuple[tuple[str, float, float, float, float, float, int, float], ...]
@@ -58,3 +60,14 @@ def run() -> ScalingTable:
             )
         )
     return ScalingTable(entries=tuple(entries))
+
+
+SPEC = register(
+    ExperimentSpec(
+        name="fig1",
+        title="ITRS scaling factors and derived chip parameters",
+        module=__name__,
+        runner=run,
+        result_type=ScalingTable,
+    )
+)

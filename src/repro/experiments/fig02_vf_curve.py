@@ -9,13 +9,15 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.experiments.common import format_table
+from repro.experiments.registry import ExperimentSpec, Param, register
+from repro.io import PayloadSerializable
 from repro.power.vf_curve import VFCurve
 from repro.tech.library import NODE_22NM, node_by_name
 from repro.units import GIGA
 
 
 @dataclass(frozen=True)
-class VFCurveResult:
+class VFCurveResult(PayloadSerializable):
     """Sampled Eq. (2) curve with region labels."""
 
     node: str
@@ -49,3 +51,18 @@ def run(node_name: str = "22nm", n_samples: int = 26) -> VFCurveResult:
         samples=samples,
         region_bounds=region_bounds(node),
     )
+
+
+SPEC = register(
+    ExperimentSpec(
+        name="fig2",
+        title="Eq. (2) frequency-voltage curve and operating regions",
+        module=__name__,
+        runner=run,
+        params=(
+            Param("node_name", "str", "22nm", help="technology node"),
+            Param("n_samples", "int", 26, help="curve sample count"),
+        ),
+        result_type=VFCurveResult,
+    )
+)

@@ -16,6 +16,8 @@ from dataclasses import dataclass
 
 from repro.apps.parsec import app_by_name
 from repro.experiments.common import format_table
+from repro.experiments.registry import ExperimentSpec, Param, register
+from repro.io import PayloadSerializable
 from repro.power.calibration import fit_power_model
 from repro.power.leakage import LeakageModel
 from repro.power.vf_curve import VFCurve
@@ -24,7 +26,7 @@ from repro.units import GIGA
 
 
 @dataclass(frozen=True)
-class PowerFitResult:
+class PowerFitResult(PayloadSerializable):
     """Samples, fitted coefficients, and fit quality."""
 
     app: str
@@ -103,3 +105,27 @@ def run(
         max_error=fit.max_error,
         power_at_4ghz=truth.power(4.0 * GIGA, alpha=1.0, temperature=temperature),
     )
+
+
+SPEC = register(
+    ExperimentSpec(
+        name="fig3",
+        title="Eq. (1) power-model fit against pseudo-measured samples",
+        module=__name__,
+        runner=run,
+        params=(
+            Param("app_name", "str", "x264", help="ground-truth application"),
+            Param(
+                "noise_fraction",
+                "float",
+                0.03,
+                help="relative measurement-perturbation amplitude",
+            ),
+            Param("n_samples", "int", 17, help="sweep points 0.2-4.0 GHz"),
+            Param(
+                "temperature", "float", 80.0, help="die temperature, degC"
+            ),
+        ),
+        result_type=PowerFitResult,
+    )
+)

@@ -12,6 +12,8 @@ from typing import Sequence
 
 from repro.apps.parsec import app_by_name
 from repro.experiments.common import format_table
+from repro.experiments.registry import ExperimentSpec, Param, register
+from repro.io import PayloadSerializable
 
 #: The applications plotted in Figure 4.
 FIG4_APPS: tuple[str, ...] = ("x264", "bodytrack", "canneal")
@@ -21,7 +23,7 @@ FIG4_THREADS: tuple[int, ...] = (1, 2, 4, 8, 16, 32, 48, 64)
 
 
 @dataclass(frozen=True)
-class SpeedupResult:
+class SpeedupResult(PayloadSerializable):
     """Speed-up factors per (application, thread count)."""
 
     thread_counts: tuple[int, ...]
@@ -50,3 +52,28 @@ def run(
         for name in app_names
     }
     return SpeedupResult(thread_counts=tuple(thread_counts), curves=curves)
+
+
+SPEC = register(
+    ExperimentSpec(
+        name="fig4",
+        title="Speed-up vs parallel threads (extended Amdahl)",
+        module=__name__,
+        runner=run,
+        params=(
+            Param(
+                "app_names",
+                "json",
+                FIG4_APPS,
+                help="applications to plot",
+            ),
+            Param(
+                "thread_counts",
+                "json",
+                FIG4_THREADS,
+                help="x-axis thread counts",
+            ),
+        ),
+        result_type=SpeedupResult,
+    )
+)

@@ -28,13 +28,15 @@ from repro.chip import Chip
 from repro.core.constraints import PowerBudgetConstraint
 from repro.core.dark_silicon import FrequencySweepPoint, sweep_frequencies
 from repro.experiments.common import FIG5_FREQUENCIES, format_table, get_chip
+from repro.experiments.registry import ExperimentSpec, Param, register
+from repro.io import PayloadSerializable
 from repro.mapping.patterns import NeighbourhoodSpreadPlacer
 from repro.power.budget import PAPER_TDP_OPTIMISTIC, PAPER_TDP_PESSIMISTIC
 from repro.units import GIGA
 
 
 @dataclass(frozen=True)
-class Fig5Result:
+class Fig5Result(PayloadSerializable):
     """Both panels of Figure 5.
 
     Attributes:
@@ -117,3 +119,36 @@ def run(
         tdp_pessimistic=tdp_pessimistic,
         sweeps=sweeps,
     )
+
+
+SPEC = register(
+    ExperimentSpec(
+        name="fig5",
+        title="Dark-silicon share vs DVFS level under both TDP budgets",
+        module=__name__,
+        runner=run,
+        params=(
+            Param("app_names", "json", PARSEC_ORDER, help="applications"),
+            Param(
+                "frequencies",
+                "json",
+                FIG5_FREQUENCIES,
+                help="swept v/f levels, Hz",
+            ),
+            Param(
+                "tdp_optimistic",
+                "float",
+                PAPER_TDP_OPTIMISTIC,
+                help="optimistic TDP, W",
+            ),
+            Param(
+                "tdp_pessimistic",
+                "float",
+                PAPER_TDP_PESSIMISTIC,
+                help="pessimistic TDP, W",
+            ),
+            Param("threads", "int", 8, help="threads per instance"),
+        ),
+        result_type=Fig5Result,
+    )
+)

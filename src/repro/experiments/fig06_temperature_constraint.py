@@ -22,6 +22,8 @@ from typing import Sequence
 from repro.apps.parsec import PARSEC_ORDER, app_by_name
 from repro.core.dark_silicon import compare_tdp_vs_temperature
 from repro.experiments.common import format_table, get_chip
+from repro.experiments.registry import ExperimentSpec, Param, register
+from repro.io import PayloadSerializable
 from repro.mapping.patterns import NeighbourhoodSpreadPlacer
 from repro.power.budget import PAPER_TDP_PESSIMISTIC
 
@@ -48,7 +50,7 @@ class Fig6NodeResult:
 
 
 @dataclass(frozen=True)
-class Fig6Result:
+class Fig6Result(PayloadSerializable):
     """Both Figure 6 panels."""
 
     nodes: tuple[Fig6NodeResult, ...]
@@ -108,3 +110,22 @@ def run(
             Fig6NodeResult(node=node_name, frequency=frequency, per_app=per_app)
         )
     return Fig6Result(nodes=tuple(results))
+
+
+SPEC = register(
+    ExperimentSpec(
+        name="fig6",
+        title="Dark silicon under TDP vs the temperature constraint",
+        module=__name__,
+        runner=run,
+        params=(
+            Param(
+                "node_names", "json", ("16nm", "11nm"), help="technology nodes"
+            ),
+            Param("app_names", "json", PARSEC_ORDER, help="applications"),
+            Param("tdp", "float", PAPER_TDP_PESSIMISTIC, help="TDP, W"),
+            Param("threads", "int", 8, help="threads per instance"),
+        ),
+        result_type=Fig6Result,
+    )
+)

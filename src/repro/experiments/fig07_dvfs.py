@@ -21,6 +21,8 @@ from repro.core.dark_silicon import (
     estimate_dark_silicon,
 )
 from repro.experiments.common import format_table, get_chip
+from repro.experiments.registry import ExperimentSpec, Param, register
+from repro.io import PayloadSerializable
 from repro.power.budget import PAPER_TDP_PESSIMISTIC
 from repro.units import GIGA
 
@@ -73,7 +75,7 @@ class Fig7NodeResult:
 
 
 @dataclass(frozen=True)
-class Fig7Result:
+class Fig7Result(PayloadSerializable):
     """All Figure 7 panels."""
 
     nodes: tuple[Fig7NodeResult, ...]
@@ -135,3 +137,21 @@ def run(
             )
         panels.append(Fig7NodeResult(node=node_name, tdp=tdp, apps=tuple(apps)))
     return Fig7Result(nodes=tuple(panels))
+
+
+SPEC = register(
+    ExperimentSpec(
+        name="fig7",
+        title="Performance gain from DVFS under the temperature constraint",
+        module=__name__,
+        runner=run,
+        params=(
+            Param(
+                "node_names", "json", ("16nm", "11nm"), help="technology nodes"
+            ),
+            Param("app_names", "json", PARSEC_ORDER, help="applications"),
+            Param("tdp", "float", PAPER_TDP_PESSIMISTIC, help="TDP, W"),
+        ),
+        result_type=Fig7Result,
+    )
+)

@@ -24,6 +24,8 @@ from repro.chip import Chip
 from repro.core.constraints import TemperatureConstraint
 from repro.core.estimator import map_workload
 from repro.experiments.common import format_table, get_chip
+from repro.experiments.registry import ExperimentSpec, Param, register
+from repro.io import PayloadSerializable
 from repro.mapping.base import Placer
 from repro.mapping.contiguous import ContiguousPlacer
 from repro.mapping.patterns import NeighbourhoodSpreadPlacer
@@ -52,7 +54,7 @@ class PatternOutcome:
 
 
 @dataclass(frozen=True)
-class Fig8Result:
+class Fig8Result(PayloadSerializable):
     """The Figure 8 comparison."""
 
     app: str
@@ -167,3 +169,24 @@ def run(
         contiguous_forced=forced,
         patterned=patterned,
     )
+
+
+SPEC = register(
+    ExperimentSpec(
+        name="fig8",
+        title="Contiguous vs patterned mapping thermal comparison",
+        module=__name__,
+        runner=run,
+        params=(
+            Param("app_name", "str", "x264", help="mapped application"),
+            Param(
+                "frequency",
+                "json",
+                None,
+                help="operating frequency, Hz (null: the node's f_max)",
+            ),
+            Param("threads", "int", 8, help="threads per instance"),
+        ),
+        result_type=Fig8Result,
+    )
+)

@@ -14,6 +14,8 @@ from typing import Optional, Sequence
 from repro.apps.parsec import PARSEC_ORDER, app_by_name
 from repro.chip import Chip
 from repro.experiments.common import format_table, get_chip
+from repro.experiments.registry import ExperimentSpec, Param, register
+from repro.io import PayloadSerializable
 from repro.mapping.dsrem import ds_rem
 from repro.mapping.tdpmap import tdp_map
 from repro.power.budget import PAPER_TDP_PESSIMISTIC
@@ -53,7 +55,7 @@ class Fig9Entry:
 
 
 @dataclass(frozen=True)
-class Fig9Result:
+class Fig9Result(PayloadSerializable):
     """All Figure 9 workloads."""
 
     tdp: float
@@ -116,3 +118,23 @@ def run(
             )
         )
     return Fig9Result(tdp=tdp, entries=tuple(entries))
+
+
+SPEC = register(
+    ExperimentSpec(
+        name="fig9",
+        title="DsRem vs TDPmap performance across workload mixes",
+        module=__name__,
+        runner=run,
+        params=(
+            Param(
+                "workloads",
+                "json",
+                DEFAULT_WORKLOADS,
+                help="application mixes (list of lists of names)",
+            ),
+            Param("tdp", "float", PAPER_TDP_PESSIMISTIC, help="TDP, W"),
+        ),
+        result_type=Fig9Result,
+    )
+)

@@ -19,6 +19,8 @@ from repro.apps.parsec import PARSEC_ORDER, app_by_name
 from repro.core.tsp import ThermalSafePower
 from repro.errors import InfeasibleError
 from repro.experiments.common import format_table, get_chip
+from repro.experiments.registry import ExperimentSpec, Param, register
+from repro.io import PayloadSerializable
 from repro.perf.sweep import SweepRunner
 from repro.units import GIGA, gips as to_gips
 
@@ -66,7 +68,7 @@ class Fig10NodeResult:
 
 
 @dataclass(frozen=True)
-class Fig10Result:
+class Fig10Result(PayloadSerializable):
     """All Figure 10 groups."""
 
     nodes: tuple[Fig10NodeResult, ...]
@@ -169,3 +171,24 @@ def run(
         stage="fig10_nodes",
     )
     return Fig10Result(nodes=tuple(nodes))
+
+
+SPEC = register(
+    ExperimentSpec(
+        name="fig10",
+        title="TSP-governed performance across technology nodes",
+        module=__name__,
+        runner=run,
+        params=(
+            Param(
+                "dark_shares",
+                "json",
+                None,
+                help="per-node dark-silicon shares (null: paper values)",
+            ),
+            Param("app_names", "json", PARSEC_ORDER, help="applications"),
+            Param("threads", "int", 8, help="threads per instance"),
+        ),
+        result_type=Fig10Result,
+    )
+)

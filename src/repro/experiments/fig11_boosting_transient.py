@@ -24,12 +24,19 @@ from repro.boosting.simulation import (
 )
 from repro.chip import Chip
 from repro.experiments.common import format_table, get_chip
+from repro.experiments.registry import (
+    ExperimentSpec,
+    Param,
+    duration_param,
+    register,
+)
+from repro.io import PayloadSerializable
 from repro.mapping.patterns import NeighbourhoodSpreadPlacer
 from repro.power.vf_curve import VFCurve
 
 
 @dataclass(frozen=True)
-class Fig11Result:
+class Fig11Result(PayloadSerializable):
     """Both transient traces and their aggregates."""
 
     app: str
@@ -129,3 +136,26 @@ def run(
         boosting=boosting_trace,
         constant=constant_trace,
     )
+
+
+SPEC = register(
+    ExperimentSpec(
+        name="fig11",
+        title="Transient boosting vs best safe constant frequency",
+        module=__name__,
+        runner=run,
+        params=(
+            Param("app_name", "str", "x264", help="workload application"),
+            Param("n_instances", "int", 12, help="instances mapped"),
+            Param("threads", "int", 8, help="threads per instance"),
+            duration_param(
+                100.0, 2.0, "simulated transient seconds (paper: 100)"
+            ),
+            Param("power_cap", "float", 500.0, help="boosting power cap, W"),
+            Param(
+                "record_interval", "float", 0.5, help="trace sampling, s"
+            ),
+        ),
+        result_type=Fig11Result,
+    )
+)

@@ -20,6 +20,13 @@ from repro.boosting.controller import BoostingController
 from repro.boosting.simulation import place_workload, run_boosting
 from repro.chip import Chip
 from repro.experiments.common import format_table, get_chip
+from repro.experiments.registry import (
+    ExperimentSpec,
+    Param,
+    duration_param,
+    register,
+)
+from repro.io import PayloadSerializable
 from repro.mapping.patterns import NeighbourhoodSpreadPlacer
 from repro.power.vf_curve import VFCurve
 from repro.units import GIGA
@@ -46,7 +53,7 @@ class Fig12Point:
 
 
 @dataclass(frozen=True)
-class Fig12Result:
+class Fig12Result(PayloadSerializable):
     """The Figure 12 sweep."""
 
     app: str
@@ -86,8 +93,9 @@ def run(
     app_name: str = "x264",
     core_counts: Optional[Sequence[int]] = None,
     threads: int = 8,
-    boost_duration: float = 5.0,
+    duration: float = 5.0,
     power_cap: float = 500.0,
+    boost_duration: Optional[float] = None,
 ) -> Fig12Result:
     """Run the Figure 12 sweep.
 
@@ -96,9 +104,13 @@ def run(
         app_name: the swept application (paper: x264).
         core_counts: active-core counts; defaults to 8, 16, ..., 96.
         threads: threads per instance.
-        boost_duration: transient seconds per boosting measurement.
+        duration: transient seconds per boosting measurement.
         power_cap: electrical constraint for boosting, W.
+        boost_duration: deprecated alias of ``duration`` (kept for
+            backwards compatibility; wins when given).
     """
+    if boost_duration is not None:
+        duration = boost_duration
     chip = chip or get_chip("16nm")
     app = app_by_name(app_name)
     if core_counts is None:
@@ -123,8 +135,8 @@ def run(
         boost = run_boosting(
             placed,
             controller,
-            duration=boost_duration,
-            record_interval=boost_duration,
+            duration=duration,
+            record_interval=duration,
             warm_start_frequency=const.frequency,
             power_cap=power_cap,
         )
@@ -139,3 +151,31 @@ def run(
             )
         )
     return Fig12Result(app=app_name, points=tuple(points))
+
+
+SPEC = register(
+    ExperimentSpec(
+        name="fig12",
+        title="Boosting vs constant frequency across active-core counts",
+        module=__name__,
+        runner=run,
+        params=(
+            Param("app_name", "str", "x264", help="swept application"),
+            Param(
+                "core_counts",
+                "json",
+                None,
+                help="active-core counts (null: 8,16,..,n_cores)",
+            ),
+            Param("threads", "int", 8, help="threads per instance"),
+            duration_param(
+                5.0,
+                2.0,
+                "transient seconds per boosting measurement",
+                aliases=("boost_duration",),
+            ),
+            Param("power_cap", "float", 500.0, help="boosting power cap, W"),
+        ),
+        result_type=Fig12Result,
+    )
+)

@@ -19,6 +19,13 @@ from repro.boosting.controller import BoostingController
 from repro.boosting.simulation import place_workload, run_boosting
 from repro.chip import Chip
 from repro.experiments.common import format_table, get_chip
+from repro.experiments.registry import (
+    ExperimentSpec,
+    Param,
+    duration_param,
+    register,
+)
+from repro.io import PayloadSerializable
 from repro.mapping.patterns import NeighbourhoodSpreadPlacer
 from repro.power.vf_curve import Region, VFCurve
 from repro.units import GIGA
@@ -50,7 +57,7 @@ class Fig13Case:
 
 
 @dataclass(frozen=True)
-class Fig13Result:
+class Fig13Result(PayloadSerializable):
     """All Figure 13 cases."""
 
     node: str
@@ -104,10 +111,17 @@ def run(
     app_names: Sequence[str] = PARSEC_ORDER,
     instance_counts: Sequence[int] = (12, 24),
     threads: int = 8,
-    boost_duration: float = 5.0,
+    duration: float = 5.0,
     power_cap: float = 500.0,
+    boost_duration: Optional[float] = None,
 ) -> Fig13Result:
-    """Run every Figure 13 case."""
+    """Run every Figure 13 case.
+
+    ``boost_duration`` is a deprecated alias of the standardized
+    ``duration`` keyword (it wins when given).
+    """
+    if boost_duration is not None:
+        duration = boost_duration
     chip = chip or get_chip("11nm")
     curve = VFCurve.for_node(chip.node)
     cases = []
@@ -131,8 +145,8 @@ def run(
             boost = run_boosting(
                 placed,
                 controller,
-                duration=boost_duration,
-                record_interval=boost_duration,
+                duration=duration,
+                record_interval=duration,
                 warm_start_frequency=const.frequency,
                 power_cap=power_cap,
             )
@@ -151,3 +165,28 @@ def run(
                 )
             )
     return Fig13Result(node=chip.node.name, cases=tuple(cases))
+
+
+SPEC = register(
+    ExperimentSpec(
+        name="fig13",
+        title="Boosting vs constant (V, f) per application at 11 nm",
+        module=__name__,
+        runner=run,
+        params=(
+            Param("app_names", "json", PARSEC_ORDER, help="applications"),
+            Param(
+                "instance_counts", "json", (12, 24), help="instances per case"
+            ),
+            Param("threads", "int", 8, help="threads per instance"),
+            duration_param(
+                5.0,
+                2.0,
+                "transient seconds per boosting measurement",
+                aliases=("boost_duration",),
+            ),
+            Param("power_cap", "float", 500.0, help="boosting power cap, W"),
+        ),
+        result_type=Fig13Result,
+    )
+)

@@ -15,13 +15,15 @@ from typing import Sequence
 
 from repro.apps.parsec import PARSEC_ORDER, app_by_name
 from repro.experiments.common import format_table
+from repro.experiments.registry import ExperimentSpec, Param, register
+from repro.io import PayloadSerializable
 from repro.ntc.iso_performance import IsoPerformancePoint, iso_performance_comparison
 from repro.tech.library import node_by_name
 from repro.units import GIGA
 
 
 @dataclass(frozen=True)
-class Fig14Result:
+class Fig14Result(PayloadSerializable):
     """The Figure 14 grid."""
 
     node: str
@@ -90,3 +92,25 @@ def run(
         ntc_frequency=ntc_frequency,
     )
     return Fig14Result(node=node_name, points=tuple(points))
+
+
+SPEC = register(
+    ExperimentSpec(
+        name="fig14",
+        title="NTC many-core vs STC few-core iso-performance energy",
+        module=__name__,
+        runner=run,
+        params=(
+            Param("node_name", "str", "11nm", help="technology node"),
+            Param("app_names", "json", PARSEC_ORDER, help="applications"),
+            Param("n_instances", "int", 24, help="NTC instances"),
+            Param(
+                "ntc_frequency",
+                "float",
+                1.0 * GIGA,
+                help="per-core NTC frequency, Hz",
+            ),
+        ),
+        result_type=Fig14Result,
+    )
+)

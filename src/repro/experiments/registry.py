@@ -1,0 +1,345 @@
+"""Declarative experiment registry: specs, parameter schemas, dispatch.
+
+Every experiment module under :mod:`repro.experiments` registers one
+:class:`ExperimentSpec` at import time — its CLI name, a typed parameter
+schema (defaults, quick-mode overrides, backwards-compatible aliases)
+and the ``run()`` callable.  The registry turns the experiments into
+first-class, addressable units of work:
+
+* the CLI dispatches ``run``/``batch``/``list``/``describe`` through it
+  instead of a hard-coded dict,
+* the artifact store (:mod:`repro.store`) derives cache keys from
+  :meth:`ExperimentSpec.canonical_params` and
+  :meth:`ExperimentSpec.fingerprint`,
+* the batch runner ships ``(experiment, params)`` cells to worker
+  processes by name, re-resolving the spec on the other side.
+
+Only JSON-representable knobs appear in a schema; programmatic-only
+arguments (prebuilt ``Chip`` objects, ``SweepRunner`` instances) stay
+as plain keyword arguments on the module ``run()`` functions and never
+participate in cache keys.
+
+``tests/test_registry.py`` asserts completeness: every module in the
+package registers exactly one spec.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import inspect
+import json
+from dataclasses import dataclass
+from typing import Any, Callable, Mapping, Optional, Sequence
+
+from repro.errors import ConfigurationError
+from repro.io import PAYLOAD_SCHEMA_VERSION
+
+
+class _Unset:
+    """Sentinel for 'no quick-mode override'."""
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return "UNSET"
+
+
+UNSET = _Unset()
+
+def _parse_bool(text: str) -> bool:
+    lowered = text.strip().lower()
+    if lowered in ("1", "true", "yes", "on"):
+        return True
+    if lowered in ("0", "false", "no", "off"):
+        return False
+    raise ValueError(f"not a boolean: {text!r}")
+
+
+#: Parameter kinds and their CLI-string coercions.
+_PARSERS: dict[str, Callable[[str], Any]] = {
+    "str": str,
+    "int": int,
+    "float": float,
+    "bool": _parse_bool,
+    "json": json.loads,
+}
+
+
+@dataclass(frozen=True)
+class Param:
+    """One experiment parameter.
+
+    Attributes:
+        name: canonical keyword passed to the runner.
+        kind: ``str`` / ``int`` / ``float`` / ``bool`` / ``json`` —
+            drives CLI ``key=value`` coercion (``json`` covers
+            sequences, mappings and nullable values).
+        default: full-fidelity default value.
+        quick: value substituted under ``--quick`` (UNSET: same as
+            default).
+        help: one-line description for ``describe``.
+        aliases: historical keyword names still accepted as overrides
+            (e.g. ``boost_duration`` for the standardized ``duration``).
+    """
+
+    name: str
+    kind: str
+    default: Any
+    quick: Any = UNSET
+    help: str = ""
+    aliases: tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.kind not in _PARSERS:
+            raise ConfigurationError(
+                f"unknown parameter kind {self.kind!r} for {self.name!r}"
+            )
+
+    def parse(self, text: str) -> Any:
+        """Coerce a CLI ``key=value`` string by this parameter's kind."""
+        try:
+            return _PARSERS[self.kind](text)
+        except (ValueError, json.JSONDecodeError) as exc:
+            raise ConfigurationError(
+                f"cannot parse {text!r} as {self.kind} for parameter "
+                f"{self.name!r}"
+            ) from exc
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """A registered experiment: name, schema, runner, result type.
+
+    Attributes:
+        name: CLI name (``fig1`` .. ``fig14``, ``runtime``, ...).
+        title: one-line human description.
+        module: dotted module path (``repro.experiments.fig10_tsp``).
+        runner: the module's ``run()`` callable; invoked with the
+            resolved parameters as keywords.
+        params: the typed parameter schema.
+        result_type: class of the returned result (payload-serialisable).
+        store_aware: True when the runner accepts ``store=`` / ``force=``
+            keywords to serve sub-results from an artifact store
+            (``summary`` composes sibling experiments this way).
+    """
+
+    name: str
+    title: str
+    module: str
+    runner: Callable[..., Any]
+    params: tuple[Param, ...] = ()
+    result_type: Optional[type] = None
+    store_aware: bool = False
+
+    def __post_init__(self) -> None:
+        seen: set[str] = set()
+        for p in self.params:
+            for key in (p.name, *p.aliases):
+                if key in seen:
+                    raise ConfigurationError(
+                        f"experiment {self.name!r}: duplicate parameter "
+                        f"name/alias {key!r}"
+                    )
+                seen.add(key)
+
+    def param(self, name: str) -> Param:
+        """Look a parameter up by canonical name or alias.
+
+        Raises:
+            ConfigurationError: on unknown names.
+        """
+        for p in self.params:
+            if name == p.name or name in p.aliases:
+                return p
+        known = ", ".join(p.name for p in self.params) or "(none)"
+        raise ConfigurationError(
+            f"experiment {self.name!r} has no parameter {name!r}; "
+            f"known: {known}"
+        )
+
+    def defaults(self, quick: bool = False) -> dict[str, Any]:
+        """The schema's default parameter values.
+
+        Args:
+            quick: substitute quick-mode overrides where declared.
+        """
+        out = {}
+        for p in self.params:
+            value = p.default
+            if quick and not isinstance(p.quick, _Unset):
+                value = p.quick
+            out[p.name] = value
+        return out
+
+    def resolve(
+        self,
+        overrides: Optional[Mapping[str, Any]] = None,
+        quick: bool = False,
+    ) -> dict[str, Any]:
+        """Full parameter dict: defaults, quick overrides, then user ones.
+
+        Alias keys in ``overrides`` are folded onto their canonical
+        names.
+
+        Raises:
+            ConfigurationError: on unknown override names, or when two
+                override keys (an alias and its canonical name) name the
+                same parameter.
+        """
+        params = self.defaults(quick=quick)
+        assigned: dict[str, str] = {}
+        for key, value in (overrides or {}).items():
+            canonical = self.param(key).name
+            if canonical in assigned:
+                raise ConfigurationError(
+                    f"experiment {self.name!r}: both {assigned[canonical]!r} "
+                    f"and {key!r} set parameter {canonical!r}"
+                )
+            assigned[canonical] = key
+            params[canonical] = value
+        return params
+
+    def parse_overrides(self, pairs: Sequence[str]) -> dict[str, Any]:
+        """Parse CLI ``key=value`` strings into typed overrides.
+
+        Raises:
+            ConfigurationError: on missing ``=`` or unknown keys.
+        """
+        out: dict[str, Any] = {}
+        for pair in pairs:
+            key, sep, text = pair.partition("=")
+            if not sep:
+                raise ConfigurationError(
+                    f"parameter override {pair!r} is not of the form "
+                    "key=value"
+                )
+            param = self.param(key.strip())
+            out[param.name] = param.parse(text)
+        return out
+
+    def canonical_params(self, params: Mapping[str, Any]) -> str:
+        """Deterministic JSON text of a resolved parameter dict.
+
+        Sorted keys, tuples serialised as arrays — two parameter dicts
+        describing the same cell produce identical text, which the
+        artifact store hashes into the cache key.
+
+        Raises:
+            ConfigurationError: when a value is not JSON-representable.
+        """
+        try:
+            return json.dumps(dict(params), sort_keys=True)
+        except (TypeError, ValueError) as exc:
+            raise ConfigurationError(
+                f"experiment {self.name!r}: parameters are not "
+                f"JSON-representable: {params!r}"
+            ) from exc
+
+    def fingerprint(self) -> str:
+        """Code fingerprint for store invalidation (first 16 hex chars).
+
+        Hashes the experiment module's source together with the payload
+        schema version: editing the module (or bumping the encoding)
+        invalidates its cached artifacts.  Changes in deeper layers
+        (thermal model, apps) are *not* tracked — clear the store or
+        pass ``--force`` after such edits (see docs/experiments.md).
+        """
+        source = inspect.getsource(_import_module(self.module))
+        digest = hashlib.sha256(
+            f"schema={PAYLOAD_SCHEMA_VERSION}\n{source}".encode()
+        )
+        return digest.hexdigest()[:16]
+
+    def run(
+        self,
+        params: Optional[Mapping[str, Any]] = None,
+        store: Any = None,
+        force: bool = False,
+    ) -> Any:
+        """Invoke the runner with resolved parameters.
+
+        Args:
+            params: a fully resolved dict (see :meth:`resolve`);
+                ``None`` uses the schema defaults.
+            store / force: forwarded to store-aware runners only.
+        """
+        kwargs = dict(params if params is not None else self.defaults())
+        if self.store_aware:
+            kwargs["store"] = store
+            kwargs["force"] = force
+        return self.runner(**kwargs)
+
+
+def _import_module(name: str):
+    import importlib
+
+    return importlib.import_module(name)
+
+
+#: Process-global registry, populated at experiment-module import time
+#: (importing :mod:`repro.experiments` pulls in every module).
+_REGISTRY: dict[str, ExperimentSpec] = {}
+
+
+def register(spec: ExperimentSpec) -> ExperimentSpec:
+    """Add a spec to the global registry; returns it for module export.
+
+    Raises:
+        ConfigurationError: when the name is already taken by a
+            different module.
+    """
+    existing = _REGISTRY.get(spec.name)
+    if existing is not None and existing.module != spec.module:
+        raise ConfigurationError(
+            f"experiment name {spec.name!r} registered twice "
+            f"({existing.module} and {spec.module})"
+        )
+    _REGISTRY[spec.name] = spec
+    return spec
+
+
+def get(name: str) -> ExperimentSpec:
+    """The spec registered under ``name``.
+
+    Raises:
+        ConfigurationError: when no such experiment exists (the package
+            is imported first, so lookup never depends on import order).
+    """
+    _ensure_loaded()
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown experiment {name!r}; known: {', '.join(names())}"
+        ) from None
+
+
+def names() -> list[str]:
+    """Registered experiment names, in registration (display) order."""
+    _ensure_loaded()
+    return list(_REGISTRY)
+
+
+def all_specs() -> list[ExperimentSpec]:
+    """Every registered spec, in registration order."""
+    _ensure_loaded()
+    return list(_REGISTRY.values())
+
+
+def _ensure_loaded() -> None:
+    """Import the experiments package so every module has registered."""
+    _import_module("repro.experiments")
+
+
+#: Shared schema fragments (the boosting experiments standardize on
+#: ``duration``; the historical keywords survive as aliases).
+def duration_param(
+    default: float, quick: float, help: str, aliases: tuple[str, ...] = ()
+) -> Param:
+    """A standardized transient-duration parameter."""
+    return Param(
+        name="duration",
+        kind="float",
+        default=default,
+        quick=quick,
+        help=help,
+        aliases=aliases,
+    )

@@ -3,30 +3,29 @@
 Recomputes the headline metric of every figure (shortened transients for
 Figures 11-13) and prints them next to the paper's published values —
 the quantitative core of EXPERIMENTS.md, regenerated live.
+
+Sibling figures are obtained through the experiment registry.  When an
+artifact store is supplied (``darksilicon summary --store DIR``, or a
+``batch`` run), each figure is served from its cached artifact instead
+of being recomputed — a warm store makes the summary nearly free.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Any, Optional
 
-from repro.experiments import (
-    fig03_power_fit,
-    fig04_speedup,
-    fig05_tdp_dark_silicon,
-    fig06_temperature_constraint,
-    fig07_dvfs,
-    fig08_patterning,
-    fig09_dsrem,
-    fig10_tsp,
-    fig11_boosting_transient,
-    fig13_boosting_apps,
-    fig14_ntc,
-)
 from repro.experiments.common import format_table
+from repro.experiments.registry import (
+    ExperimentSpec,
+    duration_param,
+    register,
+)
+from repro.io import PayloadSerializable
 
 
 @dataclass(frozen=True)
-class SummaryResult:
+class SummaryResult(PayloadSerializable):
     """(figure, metric, paper, measured) rows."""
 
     entries: tuple[tuple[str, str, str, str], ...]
@@ -40,22 +39,52 @@ class SummaryResult:
         return format_table(("figure", "metric", "paper", "measured"), self.rows())
 
 
-def run(transient_duration: float = 2.0) -> SummaryResult:
+def _sibling(name: str, store: Any, force: bool, **overrides: Any) -> Any:
+    """One sibling figure's result: from the store when warm, else run.
+
+    The parameters are the sibling's schema defaults plus ``overrides``
+    — exactly the cell a ``batch`` run stores, so a summary following a
+    batch with matching parameters recomputes nothing.
+    """
+    from repro.experiments import registry
+    from repro.store.batch import fetch_or_run
+
+    spec = registry.get(name)
+    result, _ = fetch_or_run(
+        spec, spec.resolve(overrides), store=store, force=force
+    )
+    return result
+
+
+def run(
+    duration: float = 2.0,
+    store: Any = None,
+    force: bool = False,
+    transient_duration: Optional[float] = None,
+) -> SummaryResult:
     """Recompute every figure's headline metric.
 
     Args:
-        transient_duration: seconds simulated for the boosting figures
-            (the paper runs 100 s; a short warm-started window preserves
-            the averages).
+        duration: seconds simulated for the boosting figures (the paper
+            runs 100 s; a short warm-started window preserves the
+            averages).
+        store: optional :class:`repro.store.ArtifactStore`; sibling
+            figures are served from it when their artifacts exist and
+            written to it when they do not.
+        force: recompute siblings even when the store has them.
+        transient_duration: deprecated alias of ``duration`` (wins when
+            given).
     """
+    if transient_duration is not None:
+        duration = transient_duration
     entries: list[tuple[str, str, str, str]] = []
 
-    f3 = fig03_power_fit.run()
+    f3 = _sibling("fig3", store, force)
     entries.append(
         ("fig3", "x264 1t @4GHz 22nm [W]", "~18", f"{f3.power_at_4ghz:.1f}")
     )
 
-    f4 = fig04_speedup.run()
+    f4 = _sibling("fig4", store, force)
     idx = f4.thread_counts.index(64)
     entries.append(
         (
@@ -67,7 +96,7 @@ def run(transient_duration: float = 2.0) -> SummaryResult:
         )
     )
 
-    f5 = fig05_tdp_dark_silicon.run()
+    f5 = _sibling("fig5", store, force)
     entries.append(
         (
             "fig5",
@@ -78,7 +107,7 @@ def run(transient_duration: float = 2.0) -> SummaryResult:
         )
     )
 
-    f6 = fig06_temperature_constraint.run()
+    f6 = _sibling("fig6", store, force)
     by6 = {n.node: n for n in f6.nodes}
     entries.append(
         (
@@ -90,7 +119,7 @@ def run(transient_duration: float = 2.0) -> SummaryResult:
         )
     )
 
-    f7 = fig07_dvfs.run()
+    f7 = _sibling("fig7", store, force)
     by7 = {n.node: n for n in f7.nodes}
     entries.append(
         (
@@ -101,7 +130,7 @@ def run(transient_duration: float = 2.0) -> SummaryResult:
         )
     )
 
-    f8 = fig08_patterning.run()
+    f8 = _sibling("fig8", store, force)
     entries.append(
         (
             "fig8",
@@ -111,18 +140,18 @@ def run(transient_duration: float = 2.0) -> SummaryResult:
         )
     )
 
-    f9 = fig09_dsrem.run()
+    f9 = _sibling("fig9", store, force)
     entries.append(
         ("fig9", "DsRem/TDPmap average speed-up", "~2x", f"{f9.average_speedup:.2f}x")
     )
 
-    f10 = fig10_tsp.run()
+    f10 = _sibling("fig10", store, force)
     gain = f10.node("8nm").average_gips / f10.node("11nm").average_gips - 1
     entries.append(
         ("fig10", "TSP perf increment 11nm -> 8nm [%]", "~60", f"{100 * gain:.0f}")
     )
 
-    f11 = fig11_boosting_transient.run(duration=transient_duration)
+    f11 = _sibling("fig11", store, force, duration=duration)
     entries.append(
         (
             "fig11",
@@ -133,7 +162,7 @@ def run(transient_duration: float = 2.0) -> SummaryResult:
         )
     )
 
-    f13 = fig13_boosting_apps.run(boost_duration=transient_duration)
+    f13 = _sibling("fig13", store, force, duration=duration)
     entries.append(
         (
             "fig13",
@@ -143,7 +172,7 @@ def run(transient_duration: float = 2.0) -> SummaryResult:
         )
     )
 
-    f14 = fig14_ntc.run()
+    f14 = _sibling("fig14", store, force)
     canneal = f14.by_app("canneal")
     swaptions = f14.by_app("swaptions")
     entries.append(
@@ -157,3 +186,23 @@ def run(transient_duration: float = 2.0) -> SummaryResult:
     )
 
     return SummaryResult(entries=tuple(entries))
+
+
+SPEC = register(
+    ExperimentSpec(
+        name="summary",
+        title="Paper-vs-measured headline metrics across all figures",
+        module=__name__,
+        runner=run,
+        params=(
+            duration_param(
+                5.0,
+                2.0,
+                "transient seconds for the boosting figures",
+                aliases=("transient_duration",),
+            ),
+        ),
+        result_type=SummaryResult,
+        store_aware=True,
+    )
+)

@@ -1,0 +1,197 @@
+"""The on-disk content-addressed artifact store.
+
+Layout (one directory per experiment, one envelope per cell)::
+
+    <root>/
+      fig10/
+        3f/3f9c2a....json      # sha256(experiment + canonical params)
+      summary/
+        ...
+
+Envelope schema (JSON)::
+
+    {
+      "schema_version": 1,          # payload-encoding version
+      "experiment": "fig10",
+      "params": "{...canonical json...}",
+      "fingerprint": "a3947f827703ebbf",
+      "payload": {...}              # repro.io encoded result
+    }
+
+The address hashes only ``(experiment, canonical-params)`` — the two
+coordinates a caller can name.  The code fingerprint is *verified on
+read* instead of being part of the address: when the experiment's code
+changes, the next ``get`` observes the mismatch, counts an
+**invalidation**, drops the stale envelope and reports a miss, so the
+cell is recomputed and overwritten in place (no orphaned entries
+accumulate under dead fingerprints).
+
+Writes go through a temp file in the target directory followed by
+``os.replace``, so readers never observe a torn envelope and concurrent
+writers of the same cell settle on one complete artifact.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Any, Optional
+
+from repro import obs
+from repro.errors import ConfigurationError
+from repro.io import PAYLOAD_SCHEMA_VERSION, decode_value
+
+#: Counter names mirrored into :mod:`repro.obs` (prefix ``store.``).
+COUNTER_NAMES = ("hits", "misses", "invalidations", "writes", "bypasses")
+
+
+class ArtifactStore:
+    """Content-addressed experiment-result store rooted at a directory.
+
+    Args:
+        root: store directory; created lazily on first write.
+    """
+
+    def __init__(self, root: str | Path) -> None:
+        self.root = Path(root)
+        #: Per-instance counts of hits/misses/invalidations/writes/bypasses
+        #: (the same events are mirrored to ``obs.store.*`` globally).
+        self.counters: dict[str, int] = {name: 0 for name in COUNTER_NAMES}
+
+    def _count(self, name: str) -> None:
+        self.counters[name] += 1
+        obs.incr(f"store.{name}")
+
+    @staticmethod
+    def address(experiment: str, canonical_params: str) -> str:
+        """SHA-256 hex address of one ``(experiment, params)`` cell."""
+        digest = hashlib.sha256(
+            f"{experiment}\n{canonical_params}".encode()
+        )
+        return digest.hexdigest()
+
+    def path_for(self, experiment: str, canonical_params: str) -> Path:
+        """On-disk path of the cell's envelope (existing or not)."""
+        address = self.address(experiment, canonical_params)
+        return self.root / experiment / address[:2] / f"{address}.json"
+
+    def get_payload(
+        self,
+        experiment: str,
+        canonical_params: str,
+        fingerprint: str,
+        force: bool = False,
+    ) -> Optional[dict]:
+        """The cell's stored payload, or ``None`` on miss.
+
+        A schema-version or fingerprint mismatch counts as an
+        invalidation (the stale envelope is removed) and reports a miss;
+        ``force`` bypasses the store entirely.
+        """
+        if force:
+            self._count("bypasses")
+            return None
+        path = self.path_for(experiment, canonical_params)
+        try:
+            with path.open() as handle:
+                envelope = json.load(handle)
+        except FileNotFoundError:
+            self._count("misses")
+            return None
+        except (OSError, json.JSONDecodeError):
+            # Unreadable/torn envelope: drop and recompute.
+            self._invalidate(path)
+            return None
+        if (
+            envelope.get("schema_version") != PAYLOAD_SCHEMA_VERSION
+            or envelope.get("fingerprint") != fingerprint
+            or envelope.get("experiment") != experiment
+            or envelope.get("params") != canonical_params
+        ):
+            self._invalidate(path)
+            return None
+        self._count("hits")
+        return envelope["payload"]
+
+    def _invalidate(self, path: Path) -> None:
+        self._count("invalidations")
+        self._count("misses")
+        try:
+            path.unlink()
+        except OSError:  # pragma: no cover - already gone / read-only
+            pass
+
+    def get(
+        self,
+        experiment: str,
+        canonical_params: str,
+        fingerprint: str,
+        force: bool = False,
+    ) -> Optional[Any]:
+        """The cell's decoded result, or ``None`` on miss."""
+        payload = self.get_payload(
+            experiment, canonical_params, fingerprint, force=force
+        )
+        if payload is None:
+            return None
+        return decode_value(payload)
+
+    def put_payload(
+        self,
+        experiment: str,
+        canonical_params: str,
+        fingerprint: str,
+        payload: dict,
+    ) -> Path:
+        """Atomically write one cell's envelope; returns its path."""
+        path = self.path_for(experiment, canonical_params)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        envelope = {
+            "schema_version": PAYLOAD_SCHEMA_VERSION,
+            "experiment": experiment,
+            "params": canonical_params,
+            "fingerprint": fingerprint,
+            "payload": payload,
+        }
+        fd, tmp_name = tempfile.mkstemp(
+            dir=path.parent, prefix=path.name, suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "w") as handle:
+                json.dump(envelope, handle)
+                handle.write("\n")
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+        self._count("writes")
+        return path
+
+    def put(
+        self,
+        experiment: str,
+        canonical_params: str,
+        fingerprint: str,
+        result: Any,
+    ) -> Path:
+        """Encode and atomically write one cell's result."""
+        if not hasattr(result, "to_payload"):
+            raise ConfigurationError(
+                f"result of {experiment!r} is not payload-serialisable "
+                f"({type(result).__name__} has no to_payload())"
+            )
+        return self.put_payload(
+            experiment, canonical_params, fingerprint, result.to_payload()
+        )
+
+    def entries(self) -> list[Path]:
+        """Every envelope currently in the store, sorted by path."""
+        if not self.root.is_dir():
+            return []
+        return sorted(self.root.glob("*/*/*.json"))

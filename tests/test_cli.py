@@ -150,3 +150,167 @@ class TestSummary:
         for fig in ("fig3", "fig5", "fig9", "fig10", "fig11", "fig14"):
             assert fig in rows
         assert "x264" in result.table() or "fig3" in result.table()
+
+
+class TestRegistrySubcommands:
+    """The registry-backed run/batch/describe/list surface."""
+
+    def test_run_subcommand_equals_legacy_spelling(self, capsys):
+        assert main(["run", "fig1"]) == 0
+        out = capsys.readouterr().out
+        assert "16nm" in out
+
+    def test_run_with_params_override(self, capsys):
+        assert main(
+            ["run", "fig12", "--params", "duration=0.3", "core_counts=[8]"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "=== fig12" in out
+
+    def test_run_rejects_bad_param(self, capsys):
+        assert main(["run", "fig12", "--params", "duration=abc"]) == 2
+        assert "cannot parse" in capsys.readouterr().err
+
+    def test_run_rejects_unknown_param(self, capsys):
+        assert main(["run", "fig1", "--params", "bogus=1"]) == 2
+        assert "has no parameter" in capsys.readouterr().err
+
+    def test_run_with_store_caches(self, tmp_path, capsys):
+        store = str(tmp_path / "store")
+        assert main(["run", "fig1", "--store", store]) == 0
+        capsys.readouterr()
+        assert main(["run", "fig1", "--store", store]) == 0
+        assert ", cached" in capsys.readouterr().out
+
+    def test_describe_prints_schema(self, capsys):
+        assert main(["describe", "fig12"]) == 0
+        out = capsys.readouterr().out
+        assert "duration" in out
+        assert "boost_duration" in out
+        assert "fingerprint" in out
+
+    def test_describe_unknown(self, capsys):
+        assert main(["describe", "fig99"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_list_long_titles(self, capsys):
+        assert main(["list", "--long"]) == 0
+        out = capsys.readouterr().out
+        assert "fig11" in out
+        assert "Transient boosting" in out
+
+    def test_batch_cold_then_warm_expect_cached(self, tmp_path, capsys):
+        store = str(tmp_path / "store")
+        argv = ["batch", "fig1", "fig2", "--quick", "--store", store]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "2 executed" in out
+        assert main([*argv, "--expect-cached"]) == 0
+        out = capsys.readouterr().out
+        assert "2 cached" in out
+        assert "hits=2" in out
+
+    def test_batch_expect_cached_fails_cold(self, tmp_path, capsys):
+        argv = [
+            "batch", "fig1", "--quick",
+            "--store", str(tmp_path / "store"), "--expect-cached",
+        ]
+        assert main(argv) == 3
+        assert "--expect-cached" in capsys.readouterr().err
+
+    def test_batch_unknown_experiment(self, capsys):
+        assert main(["batch", "fig99"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_batch_reports_cell_failure(self, tmp_path, capsys, monkeypatch):
+        from repro.experiments import registry as reg
+
+        spec = reg.get("fig2")
+        broken = [
+            "batch", "fig1", "fig2", "--quick",
+            "--store", str(tmp_path / "store"),
+        ]
+        monkeypatch.setitem(
+            reg._REGISTRY,
+            "fig2",
+            type(spec)(
+                name="fig2",
+                title=spec.title,
+                module=spec.module,
+                runner=lambda **kw: (_ for _ in ()).throw(
+                    ValueError("boom")
+                ),
+                params=spec.params,
+                result_type=spec.result_type,
+            ),
+        )
+        assert main(broken) == 1
+        out = capsys.readouterr().out
+        assert "FAILED" in out
+        assert "1 failed" in out
+
+
+class TestKeepGoing:
+    def test_keep_going_reports_and_fails_nonzero(self, capsys, monkeypatch):
+        from repro.experiments import registry as reg
+
+        for name in reg.names():
+            if name in ("fig1", "fig2"):
+                continue
+            spec = reg.get(name)
+            monkeypatch.setitem(
+                reg._REGISTRY,
+                name,
+                type(spec)(
+                    name=spec.name,
+                    title=spec.title,
+                    module=spec.module,
+                    runner=lambda **kw: __import__(
+                        "repro.experiments.fig01_scaling",
+                        fromlist=["run"],
+                    ).run(),
+                    params=(),
+                    result_type=spec.result_type,
+                ),
+            )
+        spec2 = reg.get("fig2")
+        monkeypatch.setitem(
+            reg._REGISTRY,
+            "fig2",
+            type(spec2)(
+                name="fig2",
+                title=spec2.title,
+                module=spec2.module,
+                runner=lambda **kw: (_ for _ in ()).throw(
+                    ValueError("exploded")
+                ),
+                params=(),
+                result_type=spec2.result_type,
+            ),
+        )
+        assert main(["run", "all", "--keep-going"]) == 1
+        out = capsys.readouterr().out
+        assert "=== fig2 FAILED (ValueError: exploded) ===" in out
+        assert "=== run report ===" in out
+        assert "FAIL" in out
+
+    def test_without_keep_going_failure_raises(self, monkeypatch):
+        from repro.experiments import registry as reg
+
+        spec = reg.get("fig1")
+        monkeypatch.setitem(
+            reg._REGISTRY,
+            "fig1",
+            type(spec)(
+                name="fig1",
+                title=spec.title,
+                module=spec.module,
+                runner=lambda **kw: (_ for _ in ()).throw(
+                    ValueError("exploded")
+                ),
+                params=(),
+                result_type=spec.result_type,
+            ),
+        )
+        with pytest.raises(ValueError, match="exploded"):
+            main(["run", "fig1"])

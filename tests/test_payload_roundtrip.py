@@ -1,0 +1,82 @@
+"""Satellite: every registered experiment's result survives
+``to_payload -> json -> from_payload`` losslessly, and ``--csv`` export
+works, in (reduced) quick mode.
+
+One result per experiment is computed once per test session and shared
+across the round-trip and CSV tests via a session-scoped cache.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.experiments import registry
+from repro.io import encode_value, payload_equal, result_to_csv
+
+#: Cost-reducing overrides on top of each experiment's quick-mode
+#: defaults — small enough that the whole sweep stays test-suite sized,
+#: rich enough that every result type exercises its full field set.
+_REDUCED: dict[str, dict] = {
+    "fig2": {"n_samples": 8},
+    "fig3": {"n_samples": 5},
+    "fig4": {"app_names": ["x264", "swaptions"], "thread_counts": [1, 4]},
+    "fig5": {
+        "app_names": ["x264", "swaptions"],
+        "frequencies": [3.0e9, 3.4e9],
+    },
+    "fig6": {"node_names": ["16nm"], "app_names": ["x264", "swaptions"]},
+    "fig7": {"node_names": ["16nm"], "app_names": ["x264"]},
+    "fig9": {"workloads": [["x264"], ["x264", "canneal"]]},
+    "fig10": {"dark_shares": {"16nm": 0.2}, "app_names": ["x264"]},
+    "fig11": {"duration": 0.5, "n_instances": 4, "record_interval": 0.25},
+    "fig12": {"duration": 0.5, "core_counts": [4, 8]},
+    "fig13": {
+        "duration": 0.5,
+        "app_names": ["x264"],
+        "instance_counts": [4],
+    },
+    "fig14": {"app_names": ["x264", "swaptions"], "n_instances": 8},
+    "runtime": {"n_jobs": 6},
+    "projection": {"node_names": ["16nm"]},
+    "sensitivity": {"scales": [1.1]},
+    "summary": {"duration": 0.5},
+}
+
+_CACHE: dict[str, object] = {}
+
+
+def _result(name: str):
+    if name not in _CACHE:
+        spec = registry.get(name)
+        params = spec.resolve(_REDUCED.get(name, {}), quick=True)
+        _CACHE[name] = spec.run(params)
+    return _CACHE[name]
+
+
+@pytest.mark.parametrize("name", registry.names())
+def test_payload_round_trip_is_lossless(name):
+    result = _result(name)
+    spec = registry.get(name)
+    assert isinstance(result, spec.result_type)
+
+    payload = result.to_payload()
+    text = json.dumps(payload)  # must be pure JSON
+    restored = spec.result_type.from_payload(json.loads(text))
+
+    assert type(restored) is type(result)
+    assert payload_equal(payload, restored.to_payload())
+    # Derived views agree too, not just the raw fields.
+    assert json.dumps(encode_value(restored.rows())) == json.dumps(
+        encode_value(result.rows())
+    )
+    assert restored.table() == result.table()
+
+
+@pytest.mark.parametrize("name", registry.names())
+def test_csv_export_works(name, tmp_path):
+    result = _result(name)
+    target = result_to_csv(result, tmp_path / f"{name}.csv")
+    lines = target.read_text().strip().splitlines()
+    assert len(lines) == len(result.rows()) >= 1
