@@ -3,7 +3,7 @@
 # Make every target work from a plain checkout (no editable install).
 export PYTHONPATH := src:$(PYTHONPATH)
 
-.PHONY: install test figures-smoke bench bench-smoke bench-track experiments examples clean
+.PHONY: install test figures-smoke bench bench-smoke bench-track report experiments examples clean
 
 install:
 	pip install -e . || python setup.py develop
@@ -37,6 +37,11 @@ bench-smoke:
 # committed benchmarks/bench_baseline.json.
 bench-track:
 	python benchmarks/track.py
+
+# Render BENCH_TRACK.json (+ any runs.jsonl ledger passed via
+# REPORT_STORE=DIR) into the markdown dashboard at reports/performance.md.
+report:
+	python -m repro.cli report $(if $(REPORT_STORE),--store $(REPORT_STORE))
 
 experiments:
 	python -m repro.cli run all

@@ -6,10 +6,13 @@ enabled, then
 
 * appends one entry — wall-clock plus the per-bench registry snapshot
   (solver calls, cache hit/miss, TSP table builds, sweep stages,
-  runtime/DTM events) — to ``BENCH_TRACK.json`` at the repo root, and
+  runtime/DTM events, gauges, histograms), a compact span-timeline
+  digest from the trace recorder, and the repo-wide code fingerprint —
+  to ``BENCH_TRACK.json`` at the repo root, and
 * compares wall-clock against the committed baseline
-  (``benchmarks/bench_baseline.json``), exiting non-zero when any bench
-  regressed by more than :data:`REGRESSION_LIMIT`.
+  (``benchmarks/bench_baseline.json``), printing the per-bench delta
+  table and exiting non-zero when any bench regressed by more than
+  :data:`REGRESSION_LIMIT`.
 
 Usage::
 
@@ -83,8 +86,13 @@ def run_benches() -> dict[str, dict]:
     round pays the full cold path (model build, influence solve, TSP
     tables) — sub-millisecond warm-path timings would drown a 20 % gate
     in scheduler noise.
+
+    Tracing is on, so every entry also carries a compact span-timeline
+    digest (event count plus the hottest paired spans) next to the
+    snapshot's counters, gauges and histograms.
     """
     from repro.experiments.common import get_chip
+    from repro.obs.trace import pair_spans
 
     results: dict[str, dict] = {}
     for name, fn in BENCHES.items():
@@ -95,9 +103,23 @@ def run_benches() -> dict[str, dict]:
             start = time.perf_counter()
             fn()
             best = min(best, time.perf_counter() - start)
+        events = obs.trace_events()
+        totals: dict[str, list[float]] = {}
+        for span in pair_spans(events):
+            agg = totals.setdefault(span["name"], [0, 0.0])
+            agg[0] += 1
+            agg[1] += span["duration_us"] / 1e3
+        top = sorted(totals.items(), key=lambda kv: -kv[1][1])[:5]
         results[name] = {
             "wall_s": round(best, 4),
             "obs": obs.snapshot(),
+            "trace": {
+                "events": len(events),
+                "top_spans": [
+                    {"name": n, "count": c, "total_ms": round(ms, 3)}
+                    for n, (c, ms) in top
+                ],
+            },
         }
         print(f"{name}: {best:.3f} s")
     return results
@@ -109,9 +131,12 @@ def append_entry(results: dict[str, dict]) -> None:
         trajectory = json.loads(TRACK_FILE.read_text())
     else:
         trajectory = []
+    from repro.obs.manifest import code_fingerprint
+
     trajectory.append(
         {
             "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+            "fingerprint": code_fingerprint(),
             "benches": results,
         }
     )
@@ -129,16 +154,20 @@ def check_regressions(results: dict[str, dict]) -> int:
         return 1
     baseline = json.loads(BASELINE_FILE.read_text())
     failed = False
+    width = max(len(n) for n in results)
+    print(f"{'bench':<{width}}  {'current':>9}  {'baseline':>9}  "
+          f"{'delta':>7}  status")
     for name, result in results.items():
         base = baseline.get(name)
         if base is None:
-            print(f"{name}: no baseline entry (add with --rebaseline)")
+            print(f"{name:<{width}}  {result['wall_s']:>8.3f}s  "
+                  f"{'—':>9}  {'—':>7}  no baseline (add with --rebaseline)")
             continue
         ratio = result["wall_s"] / base["wall_s"]
         status = "ok" if ratio <= 1.0 + REGRESSION_LIMIT else "REGRESSION"
         print(
-            f"{name}: {result['wall_s']:.3f} s vs baseline "
-            f"{base['wall_s']:.3f} s ({ratio:.2f}x) [{status}]"
+            f"{name:<{width}}  {result['wall_s']:>8.3f}s  "
+            f"{base['wall_s']:>8.3f}s  {(ratio - 1) * 100:>+6.1f}%  {status}"
         )
         if status == "REGRESSION":
             failed = True
@@ -162,6 +191,7 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
 
     obs.enable()
+    obs.enable_trace()
     results = run_benches()
 
     if args.rebaseline:

@@ -13,6 +13,8 @@ Usage::
     darksilicon batch --quick --store .cache   # all cells, cached
     darksilicon batch --quick --store .cache --expect-cached
     darksilicon obs                      # instrumented demo (pure JSON)
+    darksilicon run fig10 --profile --trace-out trace.json  # span timeline
+    darksilicon report                   # render the markdown dashboard
 
 Every experiment is dispatched through
 :mod:`repro.experiments.registry`: ``--params key=value`` overrides are
@@ -33,6 +35,15 @@ makes a warm run a testable assertion (used by ``make figures-smoke``).
 appends its snapshot (solver calls, cache traffic, store hits/misses,
 sweep stages) after the tables; ``--profile-out`` additionally writes
 it to a file (``.csv`` suffix selects CSV, anything else JSON).
+``--trace-out PATH`` (implies ``--profile``) records the span timeline
+— begin/end events with pid/tid, worker events re-based onto the parent
+clock — writes it as Chrome trace-event JSON to PATH and prints a
+plain-text flame summary.
+
+Every ``run``/``batch`` with ``--store`` also appends one
+:class:`repro.obs.manifest.RunManifest` line per cell to the store's
+``runs.jsonl`` ledger; ``darksilicon report`` renders that ledger plus
+``BENCH_TRACK.json`` into a markdown dashboard under ``reports/``.
 """
 
 from __future__ import annotations
@@ -144,6 +155,21 @@ def _export_snapshot(
             print(f"[observability snapshot written to {target}]")
 
 
+def _export_trace(trace_out: Optional[str], quiet: bool = False) -> None:
+    """Write the collected span timeline as Chrome trace-event JSON.
+
+    Also prints the plain-text flame summary, unless the caller needs
+    stdout kept clean (``obs``'s pure-JSON contract).
+    """
+    if not trace_out:
+        return
+    events = obs.trace_events()
+    obs.to_chrome_trace(events, trace_out)
+    if not quiet:
+        print(f"=== trace ({len(events)} events -> {trace_out}) ===")
+        print(obs.flame_summary(events))
+
+
 def _open_store(args):
     """The artifact store named by ``--store``, or ``None``."""
     if not getattr(args, "store", None):
@@ -232,6 +258,8 @@ def _cmd_run(args) -> int:
 
     if args.profile:
         obs.enable()
+    if args.trace_out:
+        obs.enable_trace()
     store = _open_store(args)
     csv_dir = _csv_dir(args)
 
@@ -250,7 +278,11 @@ def _cmd_run(args) -> int:
         try:
             with experiment_span(name):
                 result, cached = fetch_or_run(
-                    spec, params, store=store, force=args.force
+                    spec,
+                    params,
+                    store=store,
+                    force=args.force,
+                    trace_path=args.trace_out,
                 )
         except Exception as exc:  # noqa: BLE001 - per-experiment report
             if not args.keep_going:
@@ -275,6 +307,7 @@ def _cmd_run(args) -> int:
             print(f"[{name}] {reason}")
     if args.profile:
         _export_snapshot(obs.snapshot(), args.profile_out)
+    _export_trace(args.trace_out)
     return 1 if failures else 0
 
 
@@ -291,6 +324,8 @@ def _cmd_batch(args) -> int:
         return 2
     if args.profile:
         obs.enable()
+    if args.trace_out:
+        obs.enable_trace()
     store = _open_store(args)
     csv_dir = _csv_dir(args)
 
@@ -303,7 +338,7 @@ def _cmd_batch(args) -> int:
     ]
     runner = BatchRunner(store=store, sweep=SweepRunner(args.workers))
     started = time.time()
-    outcomes = runner.run(cells, force=args.force)
+    outcomes = runner.run(cells, force=args.force, trace_path=args.trace_out)
     elapsed = time.time() - started
 
     for o in outcomes:
@@ -329,6 +364,7 @@ def _cmd_batch(args) -> int:
         print(f"[store] {stats}")
     if args.profile:
         _export_snapshot(obs.snapshot(), args.profile_out)
+    _export_trace(args.trace_out)
     if failed:
         return 1
     if args.expect_cached and cached != len(outcomes):
@@ -343,8 +379,29 @@ def _cmd_batch(args) -> int:
 
 def _cmd_obs(args) -> int:
     """``obs``: the instrumented demo; stdout stays pure JSON."""
+    if args.trace_out:
+        # The demo's reset() clears events but keeps the tracing switch,
+        # so enabling here is enough to capture the demo's own spans.
+        obs.enable_trace()
     snap = _run_obs_demo()
     _export_snapshot(snap, args.profile_out, banner=False)
+    _export_trace(args.trace_out, quiet=True)
+    return 0
+
+
+def _cmd_report(args) -> int:
+    """``report``: render the markdown performance dashboard."""
+    from repro import report
+
+    out = report.generate(
+        args.track,
+        args.baseline,
+        store_root=args.store,
+        out_path=args.out,
+        top=args.top,
+        recent=args.recent,
+    )
+    print(f"[report written to {out}]")
     return 0
 
 
@@ -386,6 +443,13 @@ def _add_profile(parser: argparse.ArgumentParser) -> None:
         metavar="PATH",
         help="write the observability snapshot to PATH (.csv for CSV, "
         "anything else for JSON); implies --profile",
+    )
+    parser.add_argument(
+        "--trace-out",
+        metavar="PATH",
+        help="record the span timeline and write it as Chrome "
+        "trace-event JSON (chrome://tracing / Perfetto) to PATH; "
+        "implies --profile",
     )
 
 
@@ -465,11 +529,57 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_profile(p_obs)
 
+    p_report = sub.add_parser(
+        "report",
+        help="render BENCH_TRACK.json + the store's runs.jsonl ledger "
+        "into a markdown performance dashboard",
+    )
+    p_report.add_argument(
+        "--track",
+        metavar="PATH",
+        default="BENCH_TRACK.json",
+        help="bench trajectory file (default: BENCH_TRACK.json)",
+    )
+    p_report.add_argument(
+        "--baseline",
+        metavar="PATH",
+        default=str(Path("benchmarks") / "bench_baseline.json"),
+        help="committed bench baseline "
+        "(default: benchmarks/bench_baseline.json)",
+    )
+    p_report.add_argument(
+        "--store",
+        metavar="DIR",
+        help="artifact-store root whose runs.jsonl ledger feeds the "
+        "store-activity and recent-runs sections",
+    )
+    p_report.add_argument(
+        "--out",
+        metavar="PATH",
+        default=str(Path("reports") / "performance.md"),
+        help="where to write the report (default: reports/performance.md)",
+    )
+    p_report.add_argument(
+        "--top",
+        type=int,
+        default=5,
+        metavar="N",
+        help="hottest spans to show (default: 5)",
+    )
+    p_report.add_argument(
+        "--recent",
+        type=int,
+        default=10,
+        metavar="N",
+        help="ledger lines to show (default: 10)",
+    )
+
     p_run.set_defaults(func=_cmd_run)
     p_batch.set_defaults(func=_cmd_batch)
     p_list.set_defaults(func=_cmd_list)
     p_desc.set_defaults(func=_cmd_describe)
     p_obs.set_defaults(func=_cmd_obs)
+    p_report.set_defaults(func=_cmd_report)
     return parser
 
 
@@ -481,12 +591,12 @@ def main(argv: Optional[list[str]] = None) -> int:
     working next to ``darksilicon run fig5 --quick``.
     """
     argv = list(sys.argv[1:] if argv is None else argv)
-    commands = {"run", "batch", "list", "describe", "obs"}
+    commands = {"run", "batch", "list", "describe", "obs", "report"}
     if argv and not argv[0].startswith("-") and argv[0] not in commands:
         argv = ["run", *argv]
     parser = build_parser()
     args = parser.parse_args(argv)
-    if getattr(args, "profile_out", None):
+    if getattr(args, "profile_out", None) or getattr(args, "trace_out", None):
         args.profile = True
     return args.func(args)
 

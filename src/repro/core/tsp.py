@@ -35,6 +35,7 @@ from typing import Optional, Sequence
 
 import numpy as np
 
+from repro import obs
 from repro.chip import Chip
 from repro.errors import ConfigurationError, InfeasibleError
 
@@ -118,6 +119,9 @@ class ThermalSafePower:
             raise InfeasibleError(
                 "inactive-core power alone already violates T_DTM"
             )
+        # The distribution of granted budgets across counts/queries —
+        # the spread a runtime actually sees, not just the full table's.
+        obs.histogram("tsp.budget_w", budget)
         return budget
 
     def worst_case_mapping(self, m: int) -> list[int]:
@@ -145,7 +149,13 @@ class ThermalSafePower:
             counts = range(1, self._chip.n_cores + 1)
             # One vectorised pass beats n selection matmuls.
             self._engine.tsp_table(self.headroom, self._inactive_power)
-        return {m: self.worst_case(m) for m in counts}
+        result = {m: self.worst_case(m) for m in counts}
+        if result:
+            budgets = list(result.values())
+            obs.gauge(
+                "tsp.table_budget_spread_w", max(budgets) - min(budgets)
+            )
+        return result
 
     def safe_frequency(
         self,

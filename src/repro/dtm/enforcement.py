@@ -103,6 +103,10 @@ def enforce(
         steps += 1
         obs.incr("dtm.steps")
 
+    # The per-run distribution: how many interventions this mapping
+    # actually took (counters only keep the total across runs).
+    obs.histogram("dtm.steps_per_enforcement", steps)
+
     powers = np.zeros(chip.n_cores)
     for p in placed:
         powers[list(p.cores)] += p.core_power

@@ -6,14 +6,25 @@ visible without perturbing it.  A single process-global
 :class:`~repro.obs.registry.Registry` collects
 
 * counters (``obs.incr("thermal.model.solves")``),
-* flat timers (``with obs.timer("runtime.run"): ...``), and
+* flat timers (``with obs.timer("runtime.run"): ...``),
 * hierarchical spans (``with obs.span("experiment.fig10"): ...``),
+* gauges (``obs.gauge("perf.batched.cache_hit_rate", 0.93)``), and
+* histograms (``obs.histogram("thermal.transient.steps_per_sim", n)``),
 
 and is **disabled by default**: every recording call short-circuits on
 one boolean, so instrumentation stays in place permanently at effectively
 zero cost.  Enable it per process (:func:`enable`), per CLI run
 (``darksilicon fig10 --profile``) or via the environment
 (``REPRO_OBS=1``, used by ``make bench-track``).
+
+A second switch, :func:`enable_trace` (CLI ``--trace-out``), makes every
+span additionally record begin/end *timeline events* with pid/tid and
+optional attributes; :mod:`repro.obs.trace` exports them as Chrome
+trace-event JSON plus a plain-text flame summary, and
+:class:`repro.perf.sweep.SweepRunner` re-bases worker-process events
+onto the parent's timeline.  :mod:`repro.obs.manifest` writes one
+provenance line per experiment run to ``runs.jsonl`` under the artifact
+store root.
 
 Instrumented subsystems and their name prefixes:
 
@@ -42,6 +53,7 @@ import os
 
 from repro.obs.export import to_csv, to_json
 from repro.obs.registry import NULL_SPAN, Registry, SNAPSHOT_VERSION
+from repro.obs.trace import flame_summary, to_chrome_trace
 
 #: Environment variable that enables the registry at import time.
 ENV_ENABLE = "REPRO_OBS"
@@ -84,14 +96,63 @@ def observe(name: str, seconds: float) -> None:
     REGISTRY.observe(name, seconds)
 
 
+def gauge(name: str, value: float) -> None:
+    """Set global gauge ``name`` to ``value`` (last writer wins)."""
+    REGISTRY.gauge(name, value)
+
+
+def histogram(name: str, value: float) -> None:
+    """Record one sample into global histogram ``name``."""
+    REGISTRY.histogram(name, value)
+
+
 def timer(name: str):
     """Context manager timing its body into global timer ``name``."""
     return REGISTRY.timer(name)
 
 
-def span(name: str):
-    """Context manager timing its body under the global span stack."""
-    return REGISTRY.span(name)
+def span(name: str, attrs=None):
+    """Context manager timing its body under the global span stack.
+
+    ``attrs`` (a mapping) is attached to the begin trace event when
+    tracing is on.
+    """
+    return REGISTRY.span(name, attrs)
+
+
+def trace_enabled() -> bool:
+    """Whether the global registry records timeline events."""
+    return REGISTRY.trace_enabled
+
+
+def enable_trace() -> None:
+    """Record begin/end timeline events for every global span."""
+    REGISTRY.enable_trace()
+
+
+def disable_trace() -> None:
+    """Stop recording timeline events (collected events kept)."""
+    REGISTRY.disable_trace()
+
+
+def trace_mark() -> int:
+    """Current global event count (slice handle for trace_state)."""
+    return REGISTRY.trace_mark()
+
+
+def trace_events() -> list[dict]:
+    """Copy of every collected global trace event, by timestamp."""
+    return REGISTRY.trace_events()
+
+
+def trace_state(since: int = 0) -> dict:
+    """Global events from ``since`` on, with this process's anchor."""
+    return REGISTRY.trace_state(since)
+
+
+def merge_trace(state: dict | None) -> None:
+    """Re-base and fold a worker's trace events into the timeline."""
+    REGISTRY.merge_trace(state)
 
 
 def snapshot() -> dict:
@@ -122,16 +183,27 @@ __all__ = [
     "SNAPSHOT_VERSION",
     "diff",
     "disable",
+    "disable_trace",
     "enable",
+    "enable_trace",
     "enabled",
+    "flame_summary",
+    "gauge",
+    "histogram",
     "incr",
     "merge",
+    "merge_trace",
     "observe",
     "reset",
     "snapshot",
     "span",
     "subsystems",
     "timer",
+    "to_chrome_trace",
     "to_csv",
     "to_json",
+    "trace_enabled",
+    "trace_events",
+    "trace_mark",
+    "trace_state",
 ]

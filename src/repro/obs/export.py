@@ -2,9 +2,12 @@
 
 A snapshot (see :meth:`repro.obs.registry.Registry.snapshot`) is already
 a JSON-serialisable dict; :func:`to_json` adds deterministic formatting
-and optional file output, :func:`to_csv` flattens the three aggregate
+and optional file output, :func:`to_csv` flattens the five aggregate
 kinds into one ``kind,name,count,total_s,value`` table so spreadsheet
-tooling can consume a run without JSON wrangling.
+tooling can consume a run without JSON wrangling.  (Histogram rows put
+the sample *sum* in the ``total_s`` column — for duration histograms it
+is seconds, for count histograms it is the summed counts; the bucket
+breakdown only exists in the JSON form.)
 """
 
 from __future__ import annotations
@@ -35,9 +38,10 @@ def to_json(snapshot: dict, path: Optional[Union[str, Path]] = None) -> str:
 def to_csv(snapshot: dict, path: Optional[Union[str, Path]] = None) -> str:
     """Flatten a snapshot into CSV rows.
 
-    Counters emit ``(kind="counter", value)`` rows; timers and spans
-    emit ``(count, total_s)`` rows.  Rows are sorted by (kind, name) so
-    the output is diff-stable across runs.
+    Counters and gauges emit ``(kind, value)`` rows; timers and spans
+    emit ``(count, total_s)`` rows; histograms emit ``(count, sum)``
+    rows (sum in the ``total_s`` column).  Rows are sorted by
+    (kind, name) so the output is diff-stable across runs.
 
     Returns:
         The CSV text (also written to ``path`` when given).
@@ -48,9 +52,13 @@ def to_csv(snapshot: dict, path: Optional[Union[str, Path]] = None) -> str:
     rows = []
     for name, value in snapshot.get("counters", {}).items():
         rows.append(["counter", name, "", "", value])
+    for name, value in snapshot.get("gauges", {}).items():
+        rows.append(["gauge", name, "", "", value])
     for kind in ("timers", "spans"):
         for name, agg in snapshot.get(kind, {}).items():
             rows.append([kind[:-1], name, agg["count"], agg["total_s"], ""])
+    for name, agg in snapshot.get("histograms", {}).items():
+        rows.append(["histogram", name, agg["count"], agg["sum"], ""])
     rows.sort(key=lambda r: (r[0], r[1]))
     writer.writerows(rows)
     text = buffer.getvalue()

@@ -1,6 +1,6 @@
 """The process-global observability registry.
 
-One :class:`Registry` per process collects three kinds of measurements:
+One :class:`Registry` per process collects five kinds of measurements:
 
 * **counters** — monotone event counts (``incr``): solver calls, cache
   hits, admissions, DTM interventions;
@@ -9,28 +9,68 @@ One :class:`Registry` per process collects three kinds of measurements:
 * **spans** — *hierarchical* duration aggregates (``span``): nested
   spans accumulate under their dot-joined path, so a sweep stage running
   inside an experiment lands under ``experiment.fig10.sweep.fig10_nodes``
-  while the same stage run standalone lands under ``sweep.fig10_nodes``.
+  while the same stage run standalone lands under ``sweep.fig10_nodes``;
+* **gauges** — last-value-wins samples (``gauge``): cache hit rates,
+  table spreads — "what was it at the end", not "how much in total";
+* **histograms** — value *distributions* (``histogram``): count, sum,
+  min, max plus fixed log2 buckets, so per-run signals (transient step
+  counts, DTM throttle runs, store latencies) keep their shape instead
+  of vanishing into a total.
 
 The registry is **disabled by default** and every recording call begins
 with one boolean check — the null fast path.  Instrumented hot loops
 (the batched engine's cache, the event loop, the transient integrator)
 therefore pay a single predictable branch per event when observability
 is off; measured overhead on the tier-1 benchmarks is below the noise
-floor (see ``docs/observability.md``).
+floor (see ``docs/observability.md`` and ``tests/test_obs_overhead.py``).
 
-All aggregates are plain sums, so two snapshots can be subtracted
-(:meth:`Registry.diff`) and merged (:meth:`Registry.merge`) exactly —
-the mechanism :class:`repro.perf.sweep.SweepRunner` uses to fold
-worker-process measurements back into the parent registry.
+Counters, timers, spans and histogram count/sum/buckets are plain sums,
+so two snapshots can be subtracted (:meth:`Registry.diff`) and merged
+(:meth:`Registry.merge`) exactly — the mechanism
+:class:`repro.perf.sweep.SweepRunner` uses to fold worker-process
+measurements back into the parent registry.  Gauges merge last-writer-
+wins and histogram min/max merge by min/max (a ``diff`` reports the
+min/max of the *current* state, since extremes cannot be subtracted).
+
+**Tracing** is a second, independent switch (:meth:`enable_trace`): when
+on, every span additionally records begin/end wall-clock *events* with
+pid, tid and optional ``key=value`` attributes, building a per-process
+timeline that :mod:`repro.obs.trace` exports as Chrome trace-event JSON
+(loadable in Perfetto / ``chrome://tracing``).  Event timestamps are
+microseconds since the registry's *origin* — a ``perf_counter`` anchor
+captured at construction and paired with an epoch anchor, so a worker
+process's events can be re-based onto the parent's timeline
+(:meth:`merge_trace`) using the shared epoch clock.
 """
 
 from __future__ import annotations
 
+import math
+import os
+import threading
 import time
-from typing import Optional
+from typing import Mapping, Optional
 
-#: Snapshot schema version, recorded in every export.
-SNAPSHOT_VERSION = 1
+#: Snapshot schema version, recorded in every export.  Version 2 added
+#: the ``gauges`` and ``histograms`` aggregate kinds (version-1
+#: snapshots still diff/merge cleanly — absent kinds read as empty).
+SNAPSHOT_VERSION = 2
+
+#: Histogram bucket key for non-positive values.
+_HIST_UNDERFLOW = "le0"
+
+
+def _hist_bucket(value: float) -> str:
+    """The fixed log2 bucket key of ``value``.
+
+    Bucket ``"e"`` holds values in ``(2**(e-1), 2**e]``; non-positive
+    values land in ``"le0"``.  String keys keep buckets JSON-stable
+    across snapshot/diff/merge.
+    """
+    if value <= 0:
+        return _HIST_UNDERFLOW
+    mantissa, exponent = math.frexp(value)  # value = mantissa * 2**exponent
+    return str(exponent - 1 if mantissa == 0.5 else exponent)
 
 
 class _NullSpan:
@@ -69,40 +109,63 @@ class _Timer:
 class _Span:
     """Context manager recording one duration under the span stack."""
 
-    __slots__ = ("_registry", "_name", "_start")
+    __slots__ = ("_registry", "_name", "_attrs", "_start")
 
-    def __init__(self, registry: "Registry", name: str) -> None:
+    def __init__(
+        self,
+        registry: "Registry",
+        name: str,
+        attrs: Optional[Mapping] = None,
+    ) -> None:
         self._registry = registry
         self._name = name
+        self._attrs = attrs
 
     def __enter__(self) -> "_Span":
-        self._registry._stack.append(self._name)
+        registry = self._registry
+        # Record the begin event *before* pushing, so a failure while
+        # recording cannot leave a name on the stack that no __exit__
+        # will ever pop (the `with` body is not entered when __enter__
+        # raises).
+        if registry._tracing:
+            path = ".".join((*registry._stack, self._name))
+            registry._trace_record("B", path, self._attrs)
+        registry._stack.append(self._name)
         self._start = time.perf_counter()
         return self
 
     def __exit__(self, *exc) -> bool:
         elapsed = time.perf_counter() - self._start
         registry = self._registry
-        path = ".".join(registry._stack)
-        registry._stack.pop()
-        bucket = registry._spans.get(path)
-        if bucket is None:
-            registry._spans[path] = [1, elapsed]
-        else:
-            bucket[0] += 1
-            bucket[1] += elapsed
+        try:
+            registry._finish_span(".".join(registry._stack), elapsed)
+        finally:
+            # Pop unconditionally: whatever the bookkeeping above did,
+            # the stack must unwind or every later span in the process
+            # records under a corrupt path.
+            registry._stack.pop()
         return False
 
 
 class Registry:
-    """Counters, timers and hierarchical spans with exact merge/diff."""
+    """Counters, timers, spans, gauges and histograms with exact merge/diff."""
 
     def __init__(self, enabled: bool = False) -> None:
         self._enabled = enabled
         self._counters: dict[str, float] = {}
         self._timers: dict[str, list[float]] = {}  # name -> [count, total_s]
         self._spans: dict[str, list[float]] = {}  # path -> [count, total_s]
+        self._gauges: dict[str, float] = {}
+        # name -> [count, sum, min, max, {bucket: count}]
+        self._hists: dict[str, list] = {}
         self._stack: list[str] = []
+        self._tracing = False
+        self._trace_events: list[dict] = []
+        # Clock anchors pairing the event clock (perf_counter) with the
+        # cross-process epoch clock: merge_trace() re-bases a worker's
+        # events onto this registry's timeline via the epoch difference.
+        self._trace_origin_perf = time.perf_counter()
+        self._trace_origin_epoch = time.time()
 
     # -- state --------------------------------------------------------
 
@@ -119,12 +182,33 @@ class Registry:
         """Stop recording (accumulated data is kept until ``reset``)."""
         self._enabled = False
 
+    @property
+    def trace_enabled(self) -> bool:
+        """Whether spans additionally record timeline events."""
+        return self._tracing
+
+    def enable_trace(self) -> None:
+        """Record begin/end timeline events for every span.
+
+        Implies :meth:`enable` — a trace without aggregates would
+        describe a run nothing else can see.
+        """
+        self._enabled = True
+        self._tracing = True
+
+    def disable_trace(self) -> None:
+        """Stop recording timeline events (collected events are kept)."""
+        self._tracing = False
+
     def reset(self) -> None:
         """Drop every accumulated measurement (enabled state unchanged)."""
         self._counters.clear()
         self._timers.clear()
         self._spans.clear()
+        self._gauges.clear()
+        self._hists.clear()
         self._stack.clear()
+        self._trace_events.clear()
 
     # -- recording ----------------------------------------------------
 
@@ -145,21 +229,119 @@ class Registry:
             bucket[0] += 1
             bucket[1] += seconds
 
+    def gauge(self, name: str, value: float) -> None:
+        """Set gauge ``name`` to ``value`` (last writer wins)."""
+        if not self._enabled:
+            return
+        self._gauges[name] = value
+
+    def histogram(self, name: str, value: float) -> None:
+        """Record one sample into histogram ``name``."""
+        if not self._enabled:
+            return
+        value = float(value)
+        hist = self._hists.get(name)
+        if hist is None:
+            self._hists[name] = [1, value, value, value, {_hist_bucket(value): 1}]
+            return
+        hist[0] += 1
+        hist[1] += value
+        if value < hist[2]:
+            hist[2] = value
+        if value > hist[3]:
+            hist[3] = value
+        key = _hist_bucket(value)
+        hist[4][key] = hist[4].get(key, 0) + 1
+
     def timer(self, name: str):
         """Context manager timing its body into flat timer ``name``."""
         if not self._enabled:
             return NULL_SPAN
         return _Timer(self, name)
 
-    def span(self, name: str):
+    def span(self, name: str, attrs: Optional[Mapping] = None):
         """Context manager timing its body under the hierarchical path.
 
         Nested spans join with dots: ``span("a")`` containing
         ``span("b")`` records under ``"a"`` and ``"a.b"``.
+
+        Args:
+            name: span name (one path component).
+            attrs: optional ``key=value`` attributes attached to the
+                begin trace event when tracing is on (e.g.
+                ``{"node": "8nm", "cells": 96}``); ignored otherwise.
         """
         if not self._enabled:
             return NULL_SPAN
-        return _Span(self, name)
+        return _Span(self, name, attrs)
+
+    def _finish_span(self, path: str, elapsed: float) -> None:
+        """Record one completed span (aggregate + optional trace event)."""
+        if self._tracing:
+            self._trace_record("E", path)
+        bucket = self._spans.get(path)
+        if bucket is None:
+            self._spans[path] = [1, elapsed]
+        else:
+            bucket[0] += 1
+            bucket[1] += elapsed
+
+    # -- trace timeline -----------------------------------------------
+
+    def _trace_record(
+        self, ph: str, path: str, attrs: Optional[Mapping] = None
+    ) -> None:
+        event = {
+            "name": path,
+            "ph": ph,
+            "ts": (time.perf_counter() - self._trace_origin_perf) * 1e6,
+            "pid": os.getpid(),
+            "tid": threading.get_native_id(),
+        }
+        if attrs:
+            event["args"] = dict(attrs)
+        self._trace_events.append(event)
+
+    def trace_mark(self) -> int:
+        """Current event count — pass to :meth:`trace_state` to slice."""
+        return len(self._trace_events)
+
+    def trace_events(self) -> list[dict]:
+        """A copy of every collected event, sorted by timestamp."""
+        return sorted(
+            (dict(e) for e in self._trace_events), key=lambda e: e["ts"]
+        )
+
+    def trace_state(self, since: int = 0) -> dict:
+        """Events from index ``since`` on, with this registry's anchor.
+
+        The returned ``{"origin_epoch", "events"}`` dict is what a
+        worker ships back to its parent; :meth:`merge_trace` on the
+        parent re-bases the events using the epoch difference.
+        """
+        return {
+            "origin_epoch": self._trace_origin_epoch,
+            "events": [dict(e) for e in self._trace_events[since:]],
+        }
+
+    def merge_trace(self, state: Optional[dict]) -> None:
+        """Fold another registry's trace events into this timeline.
+
+        Timestamps are shifted by the difference of the two epoch
+        anchors, landing the worker's events where they actually
+        happened on this registry's clock.  Under a forked worker both
+        anchors are copies of the parent's, so the shift is zero and
+        the (process-shared) monotonic clock already agrees.  ``None``
+        merges nothing; merging ignores the tracing flag — like
+        :meth:`merge`, this is bookkeeping, not measurement.
+        """
+        if not state:
+            return
+        offset_us = (state["origin_epoch"] - self._trace_origin_epoch) * 1e6
+        for event in state["events"]:
+            shifted = dict(event)
+            shifted["ts"] = event["ts"] + offset_us
+            self._trace_events.append(shifted)
 
     # -- aggregation --------------------------------------------------
 
@@ -176,12 +358,26 @@ class Registry:
                 path: {"count": int(c), "total_s": t}
                 for path, (c, t) in self._spans.items()
             },
+            "gauges": dict(self._gauges),
+            "histograms": {
+                name: {
+                    "count": int(h[0]),
+                    "sum": h[1],
+                    "min": h[2],
+                    "max": h[3],
+                    "buckets": dict(h[4]),
+                }
+                for name, h in self._hists.items()
+            },
         }
 
     def diff(self, before: dict) -> dict:
         """The measurements accumulated *since* ``before`` was taken.
 
-        All aggregates are sums, so the delta is exact.  Entries absent
+        Counters, timers, spans and histogram count/sum/buckets are
+        sums, so their deltas are exact; a histogram delta carries the
+        *current* min/max (extremes cannot be subtracted).  Gauges are
+        included when their value changed or is new.  Entries absent
         from ``before`` are returned whole; unchanged entries are
         omitted.
         """
@@ -191,6 +387,8 @@ class Registry:
             "counters": {},
             "timers": {},
             "spans": {},
+            "gauges": {},
+            "histograms": {},
         }
         prior_counters = before.get("counters", {})
         for name, value in now["counters"].items():
@@ -207,14 +405,41 @@ class Registry:
                         "count": d_count,
                         "total_s": agg["total_s"] - prev["total_s"],
                     }
+        prior_gauges = before.get("gauges", {})
+        for name, value in now["gauges"].items():
+            if name not in prior_gauges or prior_gauges[name] != value:
+                out["gauges"][name] = value
+        prior_hists = before.get("histograms", {})
+        for name, agg in now["histograms"].items():
+            prev = prior_hists.get(name)
+            if prev is None:
+                out["histograms"][name] = agg
+                continue
+            d_count = agg["count"] - prev["count"]
+            if not d_count:
+                continue
+            prev_buckets = prev.get("buckets", {})
+            buckets = {
+                key: n - prev_buckets.get(key, 0)
+                for key, n in agg["buckets"].items()
+                if n - prev_buckets.get(key, 0)
+            }
+            out["histograms"][name] = {
+                "count": d_count,
+                "sum": agg["sum"] - prev["sum"],
+                "min": agg["min"],
+                "max": agg["max"],
+                "buckets": buckets,
+            }
         return out
 
     def merge(self, snapshot: Optional[dict]) -> None:
         """Fold a snapshot (typically a worker's diff) into this registry.
 
-        Merging is additive and ignores the enabled flag: results
-        gathered by worker processes must not be lost just because the
-        parent toggled recording meanwhile.  ``None`` merges nothing.
+        Merging is additive (gauges: last writer wins; histogram
+        min/max: min/max) and ignores the enabled flag: results gathered
+        by worker processes must not be lost just because the parent
+        toggled recording meanwhile.  ``None`` merges nothing.
         """
         if not snapshot:
             return
@@ -228,6 +453,24 @@ class Registry:
                 else:
                     bucket[0] += agg["count"]
                     bucket[1] += agg["total_s"]
+        self._gauges.update(snapshot.get("gauges", {}))
+        for name, agg in snapshot.get("histograms", {}).items():
+            hist = self._hists.get(name)
+            if hist is None:
+                self._hists[name] = [
+                    agg["count"],
+                    agg["sum"],
+                    agg["min"],
+                    agg["max"],
+                    dict(agg.get("buckets", {})),
+                ]
+                continue
+            hist[0] += agg["count"]
+            hist[1] += agg["sum"]
+            hist[2] = min(hist[2], agg["min"])
+            hist[3] = max(hist[3], agg["max"])
+            for key, n in agg.get("buckets", {}).items():
+                hist[4][key] = hist[4].get(key, 0) + n
 
     def subsystems(self) -> set[str]:
         """First dotted components of every recorded name.
@@ -235,5 +478,11 @@ class Registry:
         The acceptance handle for "how many subsystems are instrumented
         in this snapshot": ``{"thermal", "tsp", "sweep", "runtime", ...}``.
         """
-        names = list(self._counters) + list(self._timers) + list(self._spans)
+        names = (
+            list(self._counters)
+            + list(self._timers)
+            + list(self._spans)
+            + list(self._gauges)
+            + list(self._hists)
+        )
         return {name.split(".", 1)[0] for name in names}

@@ -1,0 +1,125 @@
+"""Trace-timeline export: Chrome trace-event JSON and flame summaries.
+
+When tracing is on (:meth:`repro.obs.registry.Registry.enable_trace`,
+or ``darksilicon run ... --trace-out trace.json``) every span records a
+begin ("B") and end ("E") event with a microsecond timestamp, the
+recording process id and thread id, and optional ``key=value``
+attributes.  This module turns that event list into
+
+* **Chrome trace-event JSON** (:func:`to_chrome_trace`) — the
+  ``{"traceEvents": [...]}`` document that Perfetto and
+  ``chrome://tracing`` load directly, one track per (pid, tid), and
+* a **plain-text flame summary** (:func:`flame_summary`) — total time
+  and call count per span path, hottest first, for terminal triage.
+
+Events merged from worker processes (see
+:meth:`~repro.obs.registry.Registry.merge_trace`) arrive already
+re-based onto the parent's clock, so the exported timeline shows worker
+spans at their true position under the parent's, on their own pid
+track.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Optional, Sequence, Union
+
+#: Event category stamped on every exported trace event.
+TRACE_CATEGORY = "repro"
+
+
+def to_chrome_trace(
+    events: Sequence[dict], path: Optional[Union[str, Path]] = None
+) -> str:
+    """Serialise trace events as a Chrome trace-event JSON document.
+
+    Events are sorted by timestamp (the format requires non-decreasing
+    ``ts`` per track for correct nesting) and stamped with the shared
+    category.  The output loads in Perfetto / ``chrome://tracing``.
+
+    Args:
+        events: trace events (e.g. ``obs.trace_events()``).
+        path: when given, the JSON is also written to this file.
+
+    Returns:
+        The JSON text.
+    """
+    # Stable sort: same-timestamp events keep their recording order
+    # (each process appends B before E chronologically).
+    ordered = sorted(events, key=lambda e: e["ts"])
+    doc = {
+        "traceEvents": [{**event, "cat": TRACE_CATEGORY} for event in ordered],
+        "displayTimeUnit": "ms",
+    }
+    text = json.dumps(doc, indent=2, sort_keys=True)
+    if path is not None:
+        Path(path).write_text(text + "\n")
+    return text
+
+
+def pair_spans(events: Sequence[dict]) -> list[dict]:
+    """Match begin/end events into completed spans.
+
+    Pairing is per (pid, tid) track with a name-checked stack — the
+    discipline :class:`~repro.obs.registry.Registry` records with.
+    Unbalanced events (an end without a begin, or begins left open at
+    the end of the trace) are dropped rather than guessed at.
+
+    Returns:
+        ``[{"name", "pid", "tid", "start_us", "duration_us", "args"}]``
+        in start order.
+    """
+    stacks: dict[tuple, list[dict]] = {}
+    spans: list[dict] = []
+    for event in sorted(events, key=lambda e: e["ts"]):
+        track = (event["pid"], event["tid"])
+        stack = stacks.setdefault(track, [])
+        if event["ph"] == "B":
+            stack.append(event)
+        elif event["ph"] == "E" and stack and stack[-1]["name"] == event["name"]:
+            begin = stack.pop()
+            spans.append(
+                {
+                    "name": begin["name"],
+                    "pid": begin["pid"],
+                    "tid": begin["tid"],
+                    "start_us": begin["ts"],
+                    "duration_us": event["ts"] - begin["ts"],
+                    "args": begin.get("args", {}),
+                }
+            )
+    spans.sort(key=lambda s: s["start_us"])
+    return spans
+
+
+def flame_summary(events: Sequence[dict], top: int = 15) -> str:
+    """A plain-text hottest-spans table from a trace-event list.
+
+    Aggregates completed spans by their (already dot-joined) path and
+    renders total time, call count and mean, hottest path first — the
+    terminal companion to loading the JSON in Perfetto.
+
+    Args:
+        events: trace events.
+        top: number of paths shown.
+    """
+    totals: dict[str, list[float]] = {}
+    for span in pair_spans(events):
+        agg = totals.setdefault(span["name"], [0, 0.0])
+        agg[0] += 1
+        agg[1] += span["duration_us"]
+    if not totals:
+        return "(no completed spans in trace)"
+    ranked = sorted(totals.items(), key=lambda kv: -kv[1][1])[:top]
+    width = max(len(name) for name, _ in ranked)
+    lines = [
+        f"{'span':<{width}}  {'count':>6}  {'total_ms':>10}  {'mean_ms':>9}",
+        f"{'-' * width}  {'-' * 6}  {'-' * 10}  {'-' * 9}",
+    ]
+    for name, (count, total_us) in ranked:
+        lines.append(
+            f"{name:<{width}}  {count:>6d}  {total_us / 1e3:>10.3f}  "
+            f"{total_us / 1e3 / count:>9.3f}"
+        )
+    return "\n".join(lines)

@@ -172,6 +172,12 @@ class BatchedSteadyState:
             return cached
         self._misses += 1
         obs.incr("perf.batched.cache_misses")
+        # Miss path already pays a matmul; keep the hit-rate gauge fresh
+        # here so snapshots carry it without taxing the hit path.
+        obs.gauge(
+            "perf.batched.cache_hit_rate",
+            self._hits / (self._hits + self._misses),
+        )
         peak = float((self._ambient + self._b @ p).max())
         self._cache[key] = peak
         if len(self._cache) > self._cache_size:
@@ -196,10 +202,12 @@ class BatchedSteadyState:
         ``tsp_singles`` single-count entries).
         """
         queries = self._hits + self._misses
+        hit_rate = self._hits / queries if queries else 0.0
+        obs.gauge("perf.batched.cache_hit_rate", hit_rate)
         return {
             "hits": self._hits,
             "misses": self._misses,
-            "hit_rate": self._hits / queries if queries else 0.0,
+            "hit_rate": hit_rate,
             "size": len(self._cache),
             "maxsize": self._cache_size,
             "tsp_tables": len(self._tsp_tables),

@@ -13,7 +13,10 @@ the stage's end-to-end wall clock lands under the span
 crucially — measurements taken *inside worker processes* (solver calls,
 cache hits, TSP builds) are captured as exact per-cell snapshot deltas
 and merged back into the parent registry, so a parallel sweep reports
-the same totals as a serial one.
+the same totals as a serial one.  Under tracing, each worker also ships
+the timeline events it recorded during the cell, and the parent
+re-bases them onto its own clock — the exported Chrome trace shows
+worker spans on their own pid tracks at their true wall-clock position.
 
 Parallel execution uses :mod:`concurrent.futures`; the cell function and
 its inputs must then be picklable (module-level functions, or
@@ -45,23 +48,32 @@ def _timed_cell(fn: Callable[[K], V], cell: K) -> tuple[V, float]:
     return result, time.perf_counter() - start
 
 
-def _worker_cell(fn: Callable[[K], V], cell: K) -> tuple[V, float, Optional[dict]]:
-    """Worker-side cell evaluation: result, wall time, registry delta.
+def _worker_cell(
+    fn: Callable[[K], V], cell: K
+) -> tuple[V, float, Optional[dict], Optional[dict]]:
+    """Worker-side cell evaluation: result, wall time, registry delta,
+    trace state.
 
     The delta is the worker's global-registry diff across the cell, so
     whatever state the worker inherited (a forked parent's counts, a
-    previous cell on the same worker) cancels exactly.
+    previous cell on the same worker) cancels exactly.  When tracing is
+    on, the events recorded *during this cell* ship back alongside the
+    worker's epoch anchor, which the parent uses to re-base them onto
+    its own timeline (inherited/previous events are sliced off the same
+    way the diff cancels inherited counts).
     """
     before = obs.snapshot() if obs.enabled() else None
+    mark = obs.trace_mark() if obs.trace_enabled() else None
     start = time.perf_counter()
     result = fn(cell)
     elapsed = time.perf_counter() - start
     delta = obs.diff(before) if before is not None else None
-    return result, elapsed, delta
+    trace = obs.trace_state(mark) if mark is not None else None
+    return result, elapsed, delta, trace
 
 
-def _init_worker(parent_obs_enabled: bool) -> None:
-    """Worker initialiser: mirror the parent's observability switch.
+def _init_worker(parent_obs_enabled: bool, parent_trace_enabled: bool = False) -> None:
+    """Worker initialiser: mirror the parent's observability switches.
 
     Needed wherever the pool uses the ``spawn`` start method (fresh
     interpreters do not inherit the parent's registry state); harmless
@@ -69,6 +81,8 @@ def _init_worker(parent_obs_enabled: bool) -> None:
     """
     if parent_obs_enabled:
         obs.enable()
+    if parent_trace_enabled:
+        obs.enable_trace()
 
 
 class SweepRunner:
@@ -134,22 +148,25 @@ class SweepRunner:
         Returns:
             ``[fn(cell) for cell in cells]``.
         """
-        with obs.span(f"sweep.{stage}"):
+        attrs = {"cells": len(cells), "workers": self._max_workers or 1}
+        with obs.span(f"sweep.{stage}", attrs=attrs):
             start = time.perf_counter()
             if self.parallel and len(cells) > 1:
                 with ProcessPoolExecutor(
                     max_workers=self._max_workers,
                     initializer=_init_worker,
-                    initargs=(obs.enabled(),),
+                    initargs=(obs.enabled(), obs.trace_enabled()),
                 ) as pool:
                     timed = list(
                         pool.map(_worker_cell, itertools.repeat(fn), cells)
                     )
                 # Worker measurements would otherwise die with the pool:
-                # fold every cell's exact delta into the parent registry.
-                for _, _, delta in timed:
+                # fold every cell's exact delta into the parent registry,
+                # and re-base its trace events onto the parent timeline.
+                for _, _, delta, trace in timed:
                     obs.merge(delta)
-                timed = [(r, t) for r, t, _ in timed]
+                    obs.merge_trace(trace)
+                timed = [(r, t) for r, t, _, _ in timed]
             else:
                 timed = [_timed_cell(fn, cell) for cell in cells]
             wall = time.perf_counter() - start

@@ -182,27 +182,28 @@ class OnlineSimulator:
                 )
                 heapq.heappush(running, (finish, job.job_id, record))
 
-        while arrivals or queue or running:
-            next_arrival = arrivals[0].arrival if arrivals else np.inf
-            next_finish = running[0][0] if running else np.inf
-            if next_arrival == np.inf and next_finish == np.inf:
-                # Idle chip, jobs queued, nothing admitted: the policy
-                # can never place the head job.
-                raise ConfigurationError(
-                    f"job {queue[0].job_id} ({queue[0].app.name}) is never "
-                    f"admissible; the stream cannot finish"
-                )
-            if next_arrival <= next_finish:
-                advance(next_arrival)
-                queue.append(arrivals.pop(0))
-            else:
-                advance(next_finish)
-                _, _, record = heapq.heappop(running)
-                records.append(record)
-                obs.incr("runtime.completions")
-                core_powers[list(record.cores)] = 0.0
-                occupied.difference_update(record.cores)
-            try_admissions()
+        with obs.span("runtime.run", attrs={"jobs": len(jobs)}):
+            while arrivals or queue or running:
+                next_arrival = arrivals[0].arrival if arrivals else np.inf
+                next_finish = running[0][0] if running else np.inf
+                if next_arrival == np.inf and next_finish == np.inf:
+                    # Idle chip, jobs queued, nothing admitted: the policy
+                    # can never place the head job.
+                    raise ConfigurationError(
+                        f"job {queue[0].job_id} ({queue[0].app.name}) is "
+                        f"never admissible; the stream cannot finish"
+                    )
+                if next_arrival <= next_finish:
+                    advance(next_arrival)
+                    queue.append(arrivals.pop(0))
+                else:
+                    advance(next_finish)
+                    _, _, record = heapq.heappop(running)
+                    records.append(record)
+                    obs.incr("runtime.completions")
+                    core_powers[list(record.cores)] = 0.0
+                    occupied.difference_update(record.cores)
+                try_admissions()
 
         obs.incr("runtime.simulations")
         # Simulated (not wall) seconds; the timer aggregate gives the

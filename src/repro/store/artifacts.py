@@ -37,6 +37,7 @@ import hashlib
 import json
 import os
 import tempfile
+import time
 from pathlib import Path
 from typing import Any, Optional
 
@@ -89,17 +90,24 @@ class ArtifactStore:
 
         A schema-version or fingerprint mismatch counts as an
         invalidation (the stale envelope is removed) and reports a miss;
-        ``force`` bypasses the store entirely.
+        ``force`` bypasses the store entirely.  Lookup latency lands in
+        the ``store.hit_latency_s`` / ``store.miss_latency_s``
+        histograms, so a profiled run shows what serving from disk
+        actually costs next to the hit/miss counts.
         """
         if force:
             self._count("bypasses")
             return None
+        started = time.perf_counter()
         path = self.path_for(experiment, canonical_params)
         try:
             with path.open() as handle:
                 envelope = json.load(handle)
         except FileNotFoundError:
             self._count("misses")
+            obs.histogram(
+                "store.miss_latency_s", time.perf_counter() - started
+            )
             return None
         except (OSError, json.JSONDecodeError):
             # Unreadable/torn envelope: drop and recompute.
@@ -114,6 +122,7 @@ class ArtifactStore:
             self._invalidate(path)
             return None
         self._count("hits")
+        obs.histogram("store.hit_latency_s", time.perf_counter() - started)
         return envelope["payload"]
 
     def _invalidate(self, path: Path) -> None:

@@ -17,6 +17,12 @@ encoded payloads, which the parent persists and decodes.
 Store-aware experiments (``summary``) run in a second wave, after every
 ordinary cell's artifact has been written, so their sibling lookups hit
 the store even on a cold batch.
+
+Every store-routed run — served or executed, single or batched — also
+appends a :class:`repro.obs.manifest.RunManifest` line to the store's
+``runs.jsonl`` ledger, so the provenance trail (which run produced which
+artifact, at what cost, under which code fingerprint) accumulates next
+to the artifacts themselves.
 """
 
 from __future__ import annotations
@@ -28,6 +34,7 @@ from typing import Any, Mapping, Optional, Sequence
 
 from repro.experiments.registry import ExperimentSpec
 from repro.io import decode_value
+from repro.obs.manifest import append_manifest, build_manifest
 from repro.perf.sweep import SweepRunner
 from repro.store.artifacts import ArtifactStore
 
@@ -37,27 +44,47 @@ def fetch_or_run(
     params: Mapping[str, Any],
     store: Optional[ArtifactStore] = None,
     force: bool = False,
+    trace_path: Optional[str] = None,
 ) -> tuple[Any, bool]:
     """One cell through the store: ``(result, served_from_cache)``.
+
+    When a store is given, a :class:`~repro.obs.manifest.RunManifest`
+    line is appended to its ``runs.jsonl`` ledger whether the cell was
+    served or executed.
 
     Args:
         spec: the experiment.
         params: fully resolved parameters (see ``ExperimentSpec.resolve``).
         store: artifact store; ``None`` always executes (and never
-            persists).
+            persists or records provenance).
         force: execute even when the store holds the cell, then
             overwrite its artifact.
+        trace_path: recorded in the manifest when the caller is writing
+            a trace for this run.
     """
     if store is None:
         return spec.run(params), False
     canonical = spec.canonical_params(params)
     fingerprint = spec.fingerprint()
+    started = time.perf_counter()
     cached = store.get(spec.name, canonical, fingerprint, force=force)
-    if cached is not None:
-        return cached, True
-    result = spec.run(params, store=store, force=force)
-    store.put(spec.name, canonical, fingerprint, result)
-    return result, False
+    if cached is None:
+        result, was_cached = spec.run(params, store=store, force=force), False
+        store.put(spec.name, canonical, fingerprint, result)
+    else:
+        result, was_cached = cached, True
+    append_manifest(
+        store.root,
+        build_manifest(
+            spec.name,
+            canonical,
+            fingerprint,
+            cached=was_cached,
+            wall_s=time.perf_counter() - started,
+            trace_path=trace_path,
+        ),
+    )
+    return result, was_cached
 
 
 @dataclass(frozen=True)
@@ -149,12 +176,18 @@ class BatchRunner:
         self.sweep = sweep or SweepRunner()
 
     def run(
-        self, cells: Sequence[BatchCell], force: bool = False
+        self,
+        cells: Sequence[BatchCell],
+        force: bool = False,
+        trace_path: Optional[str] = None,
     ) -> list[BatchOutcome]:
         """Execute every cell; returns outcomes in input order.
 
         Cell failures are captured per-outcome (``error`` set), never
-        raised — callers decide whether a partial batch is fatal.
+        raised — callers decide whether a partial batch is fatal.  With
+        a store, one manifest line per cell (including failed ones)
+        lands in ``runs.jsonl``; ``trace_path`` is recorded on each
+        when the caller is tracing the batch.
         """
         from repro.experiments import registry
 
@@ -199,7 +232,22 @@ class BatchRunner:
             raw = self.sweep.map(items, _execute_cell, stage=stage)
             for i, out in zip(cold, raw):
                 outcomes[i] = self._finish_cold(specs[i], cells[i], out)
-        return [outcomes[i] for i in range(len(cells))]
+        ordered = [outcomes[i] for i in range(len(cells))]
+        if self.store is not None:
+            for i, outcome in enumerate(ordered):
+                append_manifest(
+                    self.store.root,
+                    build_manifest(
+                        outcome.cell.experiment,
+                        specs[i].canonical_params(outcome.cell.params),
+                        specs[i].fingerprint(),
+                        cached=outcome.cached,
+                        wall_s=outcome.seconds,
+                        trace_path=trace_path,
+                        error=outcome.error,
+                    ),
+                )
+        return ordered
 
     def _try_serve(
         self, spec: ExperimentSpec, cell: BatchCell, force: bool

@@ -180,6 +180,7 @@ class TransientSimulator:
             every = max(1, int(round(record_interval / self._dt)))
 
         obs.incr("thermal.transient.simulations")
+        obs.histogram("thermal.transient.steps_per_sim", n_steps)
         times: list[float] = []
         temps: list[np.ndarray] = []
         powers: list[np.ndarray] = []

@@ -12,8 +12,11 @@ from repro.cli import main
 def restore_obs():
     """Run a CLI profiling command, then restore global registry state."""
     was_enabled = obs.enabled()
+    was_tracing = obs.trace_enabled()
     yield
     obs.reset()
+    if not was_tracing:
+        obs.disable_trace()
     if not was_enabled:
         obs.disable()
 
@@ -58,7 +61,7 @@ class TestObservabilityCli:
     ):
         assert main(["obs"]) == 0
         snap = json.loads(capsys.readouterr().out)
-        assert snap["version"] == 1
+        assert snap["version"] == 2
         subsystems = {
             name.split(".", 1)[0]
             for kind in ("counters", "timers", "spans")
@@ -76,7 +79,7 @@ class TestObservabilityCli:
         target = tmp_path / "snap.json"
         assert main(["obs", "--profile-out", str(target)]) == 0
         capsys.readouterr()
-        assert json.loads(target.read_text())["version"] == 1
+        assert json.loads(target.read_text())["version"] == 2
 
     def test_profile_flag_appends_snapshot(self, capsys, restore_obs):
         assert main(["fig1", "--profile"]) == 0
@@ -102,6 +105,141 @@ class TestObservabilityCli:
         assert obs.enabled() == was_enabled
         if not was_enabled:
             assert obs.snapshot() == before
+
+
+def _assert_chrome_trace_valid(doc: dict, expect_pids: int = 1) -> None:
+    """Schema checks the acceptance criteria pin down: B/E pairing per
+    (pid, tid) track, non-decreasing timestamps, pid/tid on every event."""
+    events = doc["traceEvents"]
+    assert events, "trace must contain events"
+    ts = [e["ts"] for e in events]
+    assert ts == sorted(ts)
+    stacks: dict[tuple, list] = {}
+    for e in events:
+        assert e["ph"] in ("B", "E")
+        assert isinstance(e["pid"], int) and isinstance(e["tid"], int)
+        stack = stacks.setdefault((e["pid"], e["tid"]), [])
+        if e["ph"] == "B":
+            stack.append(e["name"])
+        else:
+            assert stack and stack[-1] == e["name"], (
+                f"unbalanced E for {e['name']!r}"
+            )
+            stack.pop()
+    assert all(not s for s in stacks.values()), "unclosed B events"
+    assert len(stacks) >= expect_pids
+
+
+class TestTraceCli:
+    def test_trace_out_writes_schema_valid_chrome_trace(
+        self, capsys, tmp_path, restore_obs
+    ):
+        target = tmp_path / "trace.json"
+        assert main(
+            ["run", "fig10", "--profile", "--trace-out", str(target)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "=== trace" in out
+        assert "experiment.fig10" in out
+        doc = json.loads(target.read_text())
+        assert doc["displayTimeUnit"] == "ms"
+        _assert_chrome_trace_valid(doc)
+        names = {e["name"] for e in doc["traceEvents"]}
+        assert any(n.startswith("experiment.fig10") for n in names)
+
+    def test_trace_out_implies_profile(self, capsys, tmp_path, restore_obs):
+        target = tmp_path / "trace.json"
+        assert main(["run", "fig1", "--trace-out", str(target)]) == 0
+        out = capsys.readouterr().out
+        # --profile was implied, so the snapshot banner appears too.
+        assert "=== observability ===" in out
+        assert target.exists()
+
+    def test_batch_trace_with_workers_rebases_worker_events(
+        self, capsys, tmp_path, restore_obs
+    ):
+        target = tmp_path / "batch_trace.json"
+        # fig5 sweeps frequencies through a nested SweepRunner, so its
+        # worker records spans that must come home on the worker's pid.
+        assert main(
+            [
+                "batch", "fig1", "fig5", "--quick", "--workers", "2",
+                "--trace-out", str(target),
+            ]
+        ) == 0
+        capsys.readouterr()
+        doc = json.loads(target.read_text())
+        # Worker spans come home on their own pid track, re-based onto
+        # the parent clock (monotonic ts across the merged timeline).
+        _assert_chrome_trace_valid(doc, expect_pids=2)
+
+    def test_obs_with_trace_out_keeps_stdout_pure_json(
+        self, capsys, tmp_path, restore_obs
+    ):
+        target = tmp_path / "obs_trace.json"
+        assert main(["obs", "--trace-out", str(target)]) == 0
+        snap = json.loads(capsys.readouterr().out)
+        assert snap["version"] == 2
+        _assert_chrome_trace_valid(json.loads(target.read_text()))
+
+
+class TestManifestCli:
+    def test_run_with_store_appends_manifest_lines(self, tmp_path, capsys):
+        from repro.obs.manifest import read_manifests
+
+        store = str(tmp_path / "store")
+        assert main(["run", "fig1", "--store", store]) == 0
+        assert main(["run", "fig1", "--store", store]) == 0
+        capsys.readouterr()
+        manifests = read_manifests(store)
+        assert [m.cached for m in manifests] == [False, True]
+        assert all(m.experiment == "fig1" for m in manifests)
+
+    def test_batch_with_store_appends_manifest_lines(self, tmp_path, capsys):
+        from repro.obs.manifest import read_manifests
+
+        store = str(tmp_path / "store")
+        assert main(["batch", "fig1", "fig2", "--quick", "--store", store]) == 0
+        capsys.readouterr()
+        manifests = read_manifests(store)
+        assert sorted(m.experiment for m in manifests) == ["fig1", "fig2"]
+        assert all(not m.cached and m.error is None for m in manifests)
+
+
+class TestReportCli:
+    def test_report_renders_dashboard(self, tmp_path, capsys):
+        track = tmp_path / "track.json"
+        track.write_text(json.dumps([
+            {
+                "timestamp": "2026-08-01T00:00:00+0000",
+                "benches": {"bench_a": {"wall_s": 0.5, "obs": {"spans": {}}}},
+            }
+        ]))
+        baseline = tmp_path / "baseline.json"
+        baseline.write_text(json.dumps({"bench_a": {"wall_s": 0.5}}))
+        out = tmp_path / "reports" / "perf.md"
+        assert main([
+            "report", "--track", str(track), "--baseline", str(baseline),
+            "--out", str(out),
+        ]) == 0
+        assert "report written" in capsys.readouterr().out
+        text = out.read_text()
+        assert "# Performance report" in text
+        assert "bench_a" in text
+
+    def test_report_includes_store_ledger(self, tmp_path, capsys):
+        store = str(tmp_path / "store")
+        assert main(["run", "fig1", "--store", store]) == 0
+        capsys.readouterr()
+        out = tmp_path / "perf.md"
+        assert main([
+            "report", "--track", str(tmp_path / "no-track.json"),
+            "--baseline", str(tmp_path / "no-base.json"),
+            "--store", store, "--out", str(out),
+        ]) == 0
+        text = out.read_text()
+        assert "runs recorded: **1**" in text
+        assert "fig1" in text
 
 
 class TestExperimentsTableApi:

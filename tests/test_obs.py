@@ -90,6 +90,112 @@ class TestTimersAndSpans:
         registry = Registry()
         assert registry.span("x") is registry.timer("y")
 
+    def test_stack_unwinds_when_span_bookkeeping_raises(self, registry):
+        # Regression: __exit__ must pop the stack even when recording
+        # the aggregate fails, or every later span lands under a corrupt
+        # path.
+        original = Registry._finish_span
+
+        def exploding(self, path, elapsed):
+            raise RuntimeError("bookkeeping boom")
+
+        Registry._finish_span = exploding
+        try:
+            with pytest.raises(RuntimeError, match="bookkeeping boom"):
+                with registry.span("broken"):
+                    pass
+        finally:
+            Registry._finish_span = original
+        assert registry._stack == []
+        with registry.span("after"):
+            pass
+        assert "after" in registry.snapshot()["spans"]
+
+
+class TestGauges:
+    def test_last_writer_wins(self, registry):
+        registry.gauge("g.x", 1.0)
+        registry.gauge("g.x", 7.5)
+        assert registry.snapshot()["gauges"] == {"g.x": 7.5}
+
+    def test_disabled_records_nothing(self):
+        registry = Registry()
+        registry.gauge("g.x", 1.0)
+        assert registry.snapshot()["gauges"] == {}
+
+    def test_diff_reports_changed_and_new_only(self, registry):
+        registry.gauge("g.same", 1.0)
+        registry.gauge("g.moves", 2.0)
+        before = registry.snapshot()
+        registry.gauge("g.same", 1.0)
+        registry.gauge("g.moves", 3.0)
+        registry.gauge("g.fresh", 9.0)
+        delta = registry.diff(before)
+        assert delta["gauges"] == {"g.moves": 3.0, "g.fresh": 9.0}
+
+    def test_merge_overwrites(self, registry):
+        registry.gauge("g.x", 1.0)
+        registry.merge({"gauges": {"g.x": 5.0, "g.y": 2.0}})
+        assert registry.snapshot()["gauges"] == {"g.x": 5.0, "g.y": 2.0}
+
+
+class TestHistograms:
+    def test_aggregates_count_sum_min_max(self, registry):
+        for v in (1.0, 4.0, 0.5):
+            registry.histogram("h.x", v)
+        agg = registry.snapshot()["histograms"]["h.x"]
+        assert agg["count"] == 3
+        assert agg["sum"] == pytest.approx(5.5)
+        assert agg["min"] == 0.5
+        assert agg["max"] == 4.0
+
+    def test_log2_buckets(self, registry):
+        # Bucket "e" holds (2**(e-1), 2**e]: 1.0 -> "0", 1.5/2.0 -> "1",
+        # 4.0 -> "2", 0 and negatives -> "le0".
+        for v in (1.0, 1.5, 2.0, 4.0, 0.0, -3.0):
+            registry.histogram("h.b", v)
+        buckets = registry.snapshot()["histograms"]["h.b"]["buckets"]
+        assert buckets == {"0": 1, "1": 2, "2": 1, "le0": 2}
+
+    def test_diff_is_exact_on_sums_and_buckets(self, registry):
+        registry.histogram("h.d", 2.0)
+        before = registry.snapshot()
+        registry.histogram("h.d", 8.0)
+        registry.histogram("h.d", 8.0)
+        delta = registry.diff(before)["histograms"]["h.d"]
+        assert delta["count"] == 2
+        assert delta["sum"] == pytest.approx(16.0)
+        assert delta["buckets"] == {"3": 2}
+
+    def test_diff_omits_unchanged(self, registry):
+        registry.histogram("h.u", 1.0)
+        before = registry.snapshot()
+        assert registry.diff(before)["histograms"] == {}
+
+    def test_merge_adds_counts_and_extremes(self, registry):
+        registry.histogram("h.m", 4.0)
+        other = Registry(enabled=True)
+        other.histogram("h.m", 0.5)
+        other.histogram("h.m", 16.0)
+        registry.merge(other.snapshot())
+        agg = registry.snapshot()["histograms"]["h.m"]
+        assert agg["count"] == 3
+        assert agg["min"] == 0.5
+        assert agg["max"] == 16.0
+        assert agg["buckets"] == {"2": 1, "-1": 1, "4": 1}
+
+    def test_roundtrip_through_worker_protocol(self, registry):
+        # The sweep-runner path: worker diff -> parent merge must be
+        # lossless for histograms, like counters.
+        worker = Registry(enabled=True)
+        before = worker.snapshot()
+        worker.histogram("h.w", 3.0)
+        worker.histogram("h.w", 5.0)
+        registry.merge(worker.diff(before))
+        agg = registry.snapshot()["histograms"]["h.w"]
+        assert agg["count"] == 2
+        assert agg["sum"] == pytest.approx(8.0)
+
 
 class TestMergeDiff:
     def test_diff_is_exact_delta(self, registry):
@@ -172,10 +278,12 @@ class TestExport:
             pass
         with registry.span("s"):
             pass
+        registry.gauge("g", 0.5)
+        registry.histogram("h", 3.0)
         target = tmp_path / "snap.csv"
         text = obs.to_csv(registry.snapshot(), target)
         lines = text.strip().splitlines()
         assert lines[0] == "kind,name,count,total_s,value"
         kinds = {line.split(",")[0] for line in lines[1:]}
-        assert kinds == {"counter", "timer", "span"}
+        assert kinds == {"counter", "timer", "span", "gauge", "histogram"}
         assert target.read_text() == text

@@ -1,0 +1,215 @@
+"""repro.obs trace timeline: events, re-basing, Chrome export, flame."""
+
+import json
+
+import pytest
+
+from repro import obs
+from repro.obs import Registry
+from repro.obs.trace import (
+    TRACE_CATEGORY,
+    flame_summary,
+    pair_spans,
+    to_chrome_trace,
+)
+
+
+@pytest.fixture()
+def traced():
+    registry = Registry()
+    registry.enable_trace()
+    return registry
+
+
+class TestEventRecording:
+    def test_enable_trace_implies_enable(self):
+        registry = Registry()
+        registry.enable_trace()
+        assert registry.enabled
+        assert registry.trace_enabled
+
+    def test_span_records_begin_end_pair(self, traced):
+        with traced.span("work"):
+            pass
+        events = traced.trace_events()
+        assert [e["ph"] for e in events] == ["B", "E"]
+        assert all(e["name"] == "work" for e in events)
+        assert all("pid" in e and "tid" in e for e in events)
+        assert events[0]["ts"] <= events[1]["ts"]
+
+    def test_nested_spans_record_dotted_paths(self, traced):
+        with traced.span("outer"):
+            with traced.span("inner"):
+                pass
+        names = [e["name"] for e in traced.trace_events()]
+        assert names == ["outer", "outer.inner", "outer.inner", "outer"]
+
+    def test_attrs_land_on_begin_event_only(self, traced):
+        with traced.span("stage", attrs={"cells": 4}):
+            pass
+        begin, end = traced.trace_events()
+        assert begin["args"] == {"cells": 4}
+        assert "args" not in end
+
+    def test_tracing_off_records_no_events(self):
+        registry = Registry(enabled=True)
+        with registry.span("silent"):
+            pass
+        assert registry.trace_events() == []
+        assert registry.snapshot()["spans"]["silent"]["count"] == 1
+
+    def test_disable_trace_keeps_collected_events(self, traced):
+        with traced.span("kept"):
+            pass
+        traced.disable_trace()
+        with traced.span("untraced"):
+            pass
+        assert len(traced.trace_events()) == 2
+
+    def test_reset_drops_events(self, traced):
+        with traced.span("gone"):
+            pass
+        traced.reset()
+        assert traced.trace_events() == []
+
+    def test_trace_mark_slices_state(self, traced):
+        with traced.span("before"):
+            pass
+        mark = traced.trace_mark()
+        with traced.span("after"):
+            pass
+        state = traced.trace_state(mark)
+        assert [e["name"] for e in state["events"]] == ["after", "after"]
+        assert "origin_epoch" in state
+
+
+class TestMergeTrace:
+    def test_rebases_onto_parent_epoch(self, traced):
+        worker = Registry()
+        worker.enable_trace()
+        with worker.span("cell"):
+            pass
+        state = worker.trace_state()
+        # Pretend the worker's registry was born 2 s after the parent's:
+        # its local timestamps must shift forward by 2e6 us.
+        state["origin_epoch"] = traced._trace_origin_epoch + 2.0
+        raw_ts = [e["ts"] for e in state["events"]]
+        traced.merge_trace(state)
+        merged = sorted(traced.trace_events(), key=lambda e: e["ts"])
+        assert [e["ts"] for e in merged] == pytest.approx(
+            [t + 2e6 for t in raw_ts]
+        )
+
+    def test_merge_none_is_noop(self, traced):
+        traced.merge_trace(None)
+        assert traced.trace_events() == []
+
+    def test_forked_worker_offset_is_zero(self, traced):
+        # Under fork both anchors are copies, so the shift vanishes.
+        worker = Registry()
+        worker._trace_origin_epoch = traced._trace_origin_epoch
+        worker.enable_trace()
+        with worker.span("cell"):
+            pass
+        state = worker.trace_state()
+        raw_ts = [e["ts"] for e in state["events"]]
+        traced.merge_trace(state)
+        assert [e["ts"] for e in traced.trace_events()] == pytest.approx(
+            sorted(raw_ts)
+        )
+
+
+class TestChromeExport:
+    def test_document_shape_and_category(self, traced, tmp_path):
+        with traced.span("outer"):
+            with traced.span("inner"):
+                pass
+        target = tmp_path / "trace.json"
+        text = to_chrome_trace(traced.trace_events(), target)
+        doc = json.loads(text)
+        assert doc["displayTimeUnit"] == "ms"
+        events = doc["traceEvents"]
+        assert len(events) == 4
+        assert all(e["cat"] == TRACE_CATEGORY for e in events)
+        assert all(e["ph"] in ("B", "E") for e in events)
+        ts = [e["ts"] for e in events]
+        assert ts == sorted(ts)
+        assert json.loads(target.read_text()) == doc
+
+    def test_sorts_merged_out_of_order_events(self):
+        events = [
+            {"name": "b", "ph": "B", "ts": 50.0, "pid": 2, "tid": 2},
+            {"name": "a", "ph": "B", "ts": 10.0, "pid": 1, "tid": 1},
+            {"name": "b", "ph": "E", "ts": 60.0, "pid": 2, "tid": 2},
+            {"name": "a", "ph": "E", "ts": 90.0, "pid": 1, "tid": 1},
+        ]
+        doc = json.loads(to_chrome_trace(events))
+        assert [e["ts"] for e in doc["traceEvents"]] == [10.0, 50.0, 60.0, 90.0]
+
+
+class TestPairSpans:
+    def test_pairs_nested_spans(self, traced):
+        with traced.span("outer", attrs={"k": 1}):
+            with traced.span("inner"):
+                pass
+        spans = pair_spans(traced.trace_events())
+        assert [s["name"] for s in spans] == ["outer", "outer.inner"]
+        outer, inner = spans
+        assert outer["args"] == {"k": 1}
+        assert inner["start_us"] >= outer["start_us"]
+        assert inner["duration_us"] <= outer["duration_us"]
+
+    def test_drops_unbalanced_events(self):
+        events = [
+            {"name": "open", "ph": "B", "ts": 1.0, "pid": 1, "tid": 1},
+            {"name": "stray", "ph": "E", "ts": 2.0, "pid": 9, "tid": 9},
+        ]
+        assert pair_spans(events) == []
+
+    def test_tracks_are_per_pid_tid(self):
+        events = [
+            {"name": "x", "ph": "B", "ts": 1.0, "pid": 1, "tid": 1},
+            {"name": "x", "ph": "B", "ts": 2.0, "pid": 2, "tid": 2},
+            {"name": "x", "ph": "E", "ts": 3.0, "pid": 1, "tid": 1},
+            {"name": "x", "ph": "E", "ts": 4.0, "pid": 2, "tid": 2},
+        ]
+        spans = pair_spans(events)
+        assert len(spans) == 2
+        assert {s["pid"] for s in spans} == {1, 2}
+
+
+class TestFlameSummary:
+    def test_hottest_first_with_counts(self, traced):
+        for _ in range(3):
+            with traced.span("hot"):
+                pass
+        summary = flame_summary(traced.trace_events())
+        assert "hot" in summary
+        assert "count" in summary.splitlines()[0]
+
+    def test_empty_trace_message(self):
+        assert flame_summary([]) == "(no completed spans in trace)"
+
+
+class TestGlobalHelpers:
+    @pytest.fixture()
+    def global_trace(self):
+        was_enabled = obs.enabled()
+        was_tracing = obs.trace_enabled()
+        obs.enable_trace()
+        obs.reset()
+        yield obs
+        obs.reset()
+        obs.disable_trace()
+        if not was_enabled:
+            obs.disable()
+        if was_tracing:
+            obs.enable_trace()
+
+    def test_module_level_trace_roundtrip(self, global_trace):
+        with obs.span("global", attrs={"n": 2}):
+            pass
+        events = obs.trace_events()
+        assert [e["ph"] for e in events] == ["B", "E"]
+        doc = json.loads(obs.to_chrome_trace(events))
+        assert doc["traceEvents"][0]["args"] == {"n": 2}

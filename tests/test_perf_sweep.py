@@ -18,6 +18,14 @@ def _instrumented_square(x):
     return x * x
 
 
+def _traced_square(x):
+    """Picklable cell recording a histogram sample and a span."""
+    obs.histogram("testsweep.values", float(x))
+    with obs.span("cell"):
+        pass
+    return x * x
+
+
 class TestGrid:
     def test_cartesian_product(self):
         cells = SweepRunner.grid([1, 2], ["a", "b"])
@@ -137,3 +145,67 @@ class TestConcurrencyObservability:
         assert not obs.enabled()
         runner = SweepRunner(max_workers=4)
         assert runner.map([2, 3, 4], _square) == [4, 9, 16]
+
+
+class TestTracingAcrossWorkers:
+    """workers=1 vs workers=4 under tracing: lossless event/hist merge."""
+
+    @pytest.fixture()
+    def global_trace(self):
+        was_enabled = obs.enabled()
+        was_tracing = obs.trace_enabled()
+        obs.enable_trace()
+        obs.reset()
+        yield obs
+        obs.reset()
+        obs.disable_trace()
+        if not was_enabled:
+            obs.disable()
+        if was_tracing:
+            obs.enable_trace()
+
+    CELLS = list(range(8))
+
+    def test_parallel_trace_merges_losslessly(self, global_trace):
+        from collections import Counter
+
+        from repro.obs.trace import pair_spans
+
+        serial = SweepRunner(max_workers=1)
+        serial.map(self.CELLS, _traced_square, stage="tr")
+        serial_events = obs.trace_events()
+        serial_hist = obs.snapshot()["histograms"]["testsweep.values"]
+
+        obs.reset()
+        par = SweepRunner(max_workers=4)
+        par.map(self.CELLS, _traced_square, stage="tr")
+        par_events = obs.trace_events()
+        par_hist = obs.snapshot()["histograms"]["testsweep.values"]
+
+        # Same events, same structure: every worker's B/E pair came home.
+        assert Counter(
+            (e["name"], e["ph"]) for e in par_events
+        ) == Counter((e["name"], e["ph"]) for e in serial_events)
+        assert Counter(s["name"] for s in pair_spans(par_events)) == Counter(
+            s["name"] for s in pair_spans(serial_events)
+        )
+        # Worker events carry their own pid track.
+        assert len({e["pid"] for e in par_events}) >= 2
+        # Histogram merge is exact: count, sum, extremes and buckets.
+        assert par_hist == serial_hist
+
+    def test_worker_spans_rebase_inside_parent_stage(self, global_trace):
+        par = SweepRunner(max_workers=4)
+        par.map(self.CELLS, _traced_square, stage="rebase")
+        events = obs.trace_events()
+        stage = [e for e in events if e["name"] == "sweep.rebase"]
+        assert [e["ph"] for e in stage] == ["B", "E"]
+        begin, end = (e["ts"] for e in stage)
+        cell_events = [e for e in events if e["name"].endswith(".cell")]
+        assert cell_events, "worker span events must be merged back"
+        # Re-based worker timestamps land within the parent stage span
+        # (generous slack: fork anchors are copies, offset is ~0).
+        slack = 0.5e6
+        assert all(
+            begin - slack <= e["ts"] <= end + slack for e in cell_events
+        )
