@@ -3,14 +3,21 @@
 # Make every target work from a plain checkout (no editable install).
 export PYTHONPATH := src:$(PYTHONPATH)
 
-.PHONY: install test figures-smoke bench bench-smoke bench-track report experiments examples clean
+.PHONY: install test lint figures-smoke bench bench-smoke bench-track report experiments examples clean
 
 install:
 	pip install -e . || python setup.py develop
 
 test:
+	$(MAKE) lint
 	pytest tests/
 	$(MAKE) figures-smoke
+
+# Project-specific static analysis (repro.lint): unit-literal, float-eq,
+# exception, metric-name and spawn-safety invariants.  Exits non-zero on
+# any finding not ratified in lint_baseline.json; see docs/linting.md.
+lint:
+	python -m repro.cli lint src tests
 
 # Cold + warm batch pass against a throwaway artifact store: the first
 # run computes every registered experiment in quick mode, the second

@@ -79,6 +79,28 @@ BENCHES = {
 }
 
 
+def lint_status() -> dict:
+    """Run the repro.lint pass and summarise it for the track entry.
+
+    A trajectory point from a tree that does not lint clean is not a
+    trustworthy measurement (e.g. stray nondeterminism in model code
+    skews counters), so :func:`main` also gates on ``clean``.
+    """
+    from repro import lint
+
+    report = lint.lint_paths(
+        [REPO_ROOT / "src", REPO_ROOT / "tests"],
+        manifest=lint.MetricManifest.load(REPO_ROOT / "docs" / "metrics.txt"),
+        baseline=lint.Baseline.load_if_exists(REPO_ROOT / "lint_baseline.json"),
+    )
+    return {
+        "clean": report.clean,
+        "files": report.files,
+        "findings": report.counts(),
+        "baseline_suppressed": report.baseline_suppressed,
+    }
+
+
 def run_benches() -> dict[str, dict]:
     """Time every bench (best-of-ROUNDS) with a fresh registry snapshot.
 
@@ -125,7 +147,7 @@ def run_benches() -> dict[str, dict]:
     return results
 
 
-def append_entry(results: dict[str, dict]) -> None:
+def append_entry(results: dict[str, dict], lint: dict) -> None:
     """Append one trajectory entry to BENCH_TRACK.json."""
     if TRACK_FILE.exists():
         trajectory = json.loads(TRACK_FILE.read_text())
@@ -137,6 +159,7 @@ def append_entry(results: dict[str, dict]) -> None:
         {
             "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
             "fingerprint": code_fingerprint(),
+            "lint": lint,
             "benches": results,
         }
     )
@@ -192,6 +215,7 @@ def main(argv: list[str] | None = None) -> int:
 
     obs.enable()
     obs.enable_trace()
+    obs.validate_names()
     results = run_benches()
 
     if args.rebaseline:
@@ -206,7 +230,18 @@ def main(argv: list[str] | None = None) -> int:
         print(f"[baseline written to {BASELINE_FILE}]")
         return 0
 
-    append_entry(results)
+    lint = lint_status()
+    counts = ", ".join(f"{k}: {v}" for k, v in sorted(lint["findings"].items()))
+    print(f"lint: {'clean' if lint['clean'] else counts} "
+          f"({lint['files']} files)")
+    append_entry(results, lint)
+    if not lint["clean"]:
+        print(
+            "tree does not lint clean; fix or ratify findings "
+            "(see docs/linting.md) before trusting this entry",
+            file=sys.stderr,
+        )
+        return 1
     return check_regressions(results)
 
 

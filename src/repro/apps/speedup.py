@@ -65,11 +65,11 @@ def saturation_threads(parallel_fraction: float, sync_overhead: float) -> int:
     :class:`ConfigurationError` is raised.
     """
     _check(parallel_fraction, 1, sync_overhead)
-    if sync_overhead == 0.0:
+    if sync_overhead == 0.0:  # repro-lint: disable=DS102 - exact user-supplied zero, range-checked above
         raise ConfigurationError(
             "pure Amdahl speed-up is monotone; no finite saturation point"
         )
-    if parallel_fraction == 0.0:
+    if parallel_fraction == 0.0:  # repro-lint: disable=DS102 - exact user-supplied zero, range-checked above
         return 1
     n_star = (parallel_fraction / sync_overhead) ** 0.5
     lo = max(1, int(n_star))

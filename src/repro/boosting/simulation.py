@@ -27,7 +27,7 @@ from repro.errors import ConfigurationError, MappingError
 from repro.mapping.base import Placer
 from repro.mapping.contiguous import ContiguousPlacer
 from repro.thermal.transient import TransientSimulator
-from repro.units import gips as to_gips
+from repro.units import gips as to_gips, is_gated
 
 
 class PlacedWorkload:
@@ -104,7 +104,7 @@ class PlacedWorkload:
 
     def base_powers(self, frequency: float) -> np.ndarray:
         """Per-core dynamic + independent power at ``frequency``, W."""
-        if frequency == 0.0 or not self.placements:
+        if is_gated(frequency) or not self.placements:
             return np.zeros(self.chip.n_cores)
         v = self._curve.voltage(frequency)
         powers = self._dyn_coeff * (v * v * frequency)
@@ -115,7 +115,7 @@ class PlacedWorkload:
         self, frequency: float, core_temperatures: np.ndarray
     ) -> np.ndarray:
         """Per-core leakage power at ``frequency`` and given temperatures, W."""
-        if frequency == 0.0 or not self.placements:
+        if is_gated(frequency) or not self.placements:
             return np.zeros(self.chip.n_cores)
         shape = self._leak_shape
         v = self._curve.voltage(frequency)
@@ -163,7 +163,7 @@ class PlacedWorkload:
         fs = self._check_frequencies(frequencies)
         powers = np.zeros(self.chip.n_cores)
         for (inst, cores), f in zip(self.placements, fs):
-            if f == 0.0:
+            if is_gated(f):
                 continue
             v = self._curve.voltage(f)
             for c in cores:
@@ -178,7 +178,7 @@ class PlacedWorkload:
         powers = np.zeros(self.chip.n_cores)
         shape = self._leak_shape
         for (inst, cores), f in zip(self.placements, fs):
-            if f == 0.0:
+            if is_gated(f):
                 continue
             v = self._curve.voltage(f)
             v_term = (

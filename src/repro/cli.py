@@ -93,6 +93,7 @@ def _run_obs_demo() -> dict:
 
     obs.enable()
     obs.reset()
+    obs.validate_names()
     chip = Chip.grid_chip(node_by_name("16nm"), 4, 4)
     with experiment_span("obs-demo"):
         # TSP tables + batched-engine solves through a sweep stage.
@@ -274,7 +275,7 @@ def _cmd_run(args) -> int:
         except ConfigurationError as exc:
             print(str(exc), file=sys.stderr)
             return 2
-        started = time.time()
+        started = time.perf_counter()
         try:
             with experiment_span(name):
                 result, cached = fetch_or_run(
@@ -291,7 +292,7 @@ def _cmd_run(args) -> int:
             print(f"=== {name} FAILED ({type(exc).__name__}: {exc}) ===")
             print()
             continue
-        elapsed = time.time() - started
+        elapsed = time.perf_counter() - started
         origin = ", cached" if cached else ""
         print(f"=== {name} ({elapsed:.1f} s{origin}) ===")
         print(result.table())
@@ -337,9 +338,9 @@ def _cmd_batch(args) -> int:
         for name in names
     ]
     runner = BatchRunner(store=store, sweep=SweepRunner(args.workers))
-    started = time.time()
+    started = time.perf_counter()
     outcomes = runner.run(cells, force=args.force, trace_path=args.trace_out)
-    elapsed = time.time() - started
+    elapsed = time.perf_counter() - started
 
     for o in outcomes:
         status = "cached" if o.cached else ("ran" if o.ok else "FAILED")
@@ -387,6 +388,58 @@ def _cmd_obs(args) -> int:
     _export_snapshot(snap, args.profile_out, banner=False)
     _export_trace(args.trace_out, quiet=True)
     return 0
+
+
+def _cmd_lint(args) -> int:
+    """``lint``: the project-specific static analysis pass."""
+    from repro import lint
+    from repro.lint.engine import iter_python_files
+    from repro.lint.rules import collect_metric_names
+
+    paths = args.paths or ["src"]
+    select = args.select.split(",") if args.select else None
+
+    if args.emit_manifest:
+        import ast as ast_mod
+
+        trees = [
+            (str(f), ast_mod.parse(f.read_text(), filename=str(f)))
+            for f in iter_python_files(paths)
+        ]
+        names, prefixes = collect_metric_names(trees)
+        print("# Metric-name manifest (generated by "
+              "`darksilicon lint --emit-manifest`, then curated).")
+        print("# One name per line; a trailing `*` is a prefix wildcard.")
+        for name in sorted(names):
+            print(name)
+        for prefix in sorted(prefixes):
+            print(f"{prefix}*")
+        return 0
+
+    manifest = None
+    if args.manifest and Path(args.manifest).exists():
+        manifest = lint.MetricManifest.load(args.manifest)
+    elif args.manifest and args.manifest != str(Path("docs") / "metrics.txt"):
+        print(f"no metric manifest at {args.manifest}", file=sys.stderr)
+        return 2
+
+    if args.write_baseline:
+        report = lint.lint_paths(paths, manifest=manifest, select=select)
+        count = lint.write_baseline(args.baseline, report.findings)
+        print(f"[baseline: ratified {count} finding(s) to {args.baseline}]")
+        return 0
+
+    baseline = lint.Baseline.load_if_exists(args.baseline)
+    report = lint.lint_paths(
+        paths, manifest=manifest, baseline=baseline, select=select
+    )
+    if args.format == "json":
+        import json
+
+        print(json.dumps(report.to_dict(), indent=2))
+    else:
+        print(report.render_text())
+    return 0 if report.clean else 1
 
 
 def _cmd_report(args) -> int:
@@ -529,6 +582,53 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_profile(p_obs)
 
+    p_lint = sub.add_parser(
+        "lint",
+        help="run the project-specific static analysis pass "
+        "(DS rules; see docs/linting.md)",
+    )
+    p_lint.add_argument(
+        "paths",
+        nargs="*",
+        help="files or directories to lint (default: src)",
+    )
+    p_lint.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="output format (default: text)",
+    )
+    p_lint.add_argument(
+        "--baseline",
+        metavar="PATH",
+        default="lint_baseline.json",
+        help="ratified-baseline file; matching findings do not gate "
+        "(default: lint_baseline.json, ignored when absent)",
+    )
+    p_lint.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="ratify the current findings into the baseline file and exit",
+    )
+    p_lint.add_argument(
+        "--manifest",
+        metavar="PATH",
+        default=str(Path("docs") / "metrics.txt"),
+        help="metric-name manifest for DS301 "
+        "(default: docs/metrics.txt, grammar-only when absent)",
+    )
+    p_lint.add_argument(
+        "--select",
+        metavar="CODES",
+        help="comma-separated DS codes to run (default: all)",
+    )
+    p_lint.add_argument(
+        "--emit-manifest",
+        action="store_true",
+        help="print the statically discovered metric names as manifest "
+        "lines and exit (seed for docs/metrics.txt)",
+    )
+
     p_report = sub.add_parser(
         "report",
         help="render BENCH_TRACK.json + the store's runs.jsonl ledger "
@@ -574,6 +674,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="ledger lines to show (default: 10)",
     )
 
+    p_lint.set_defaults(func=_cmd_lint)
     p_run.set_defaults(func=_cmd_run)
     p_batch.set_defaults(func=_cmd_batch)
     p_list.set_defaults(func=_cmd_list)
@@ -591,7 +692,7 @@ def main(argv: Optional[list[str]] = None) -> int:
     working next to ``darksilicon run fig5 --quick``.
     """
     argv = list(sys.argv[1:] if argv is None else argv)
-    commands = {"run", "batch", "list", "describe", "obs", "report"}
+    commands = {"run", "batch", "list", "describe", "obs", "report", "lint"}
     if argv and not argv[0].startswith("-") and argv[0] not in commands:
         argv = ["run", *argv]
     parser = build_parser()

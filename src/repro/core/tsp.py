@@ -38,6 +38,7 @@ import numpy as np
 from repro import obs
 from repro.chip import Chip
 from repro.errors import ConfigurationError, InfeasibleError
+from repro.units import F_GATED, is_gated
 
 
 class ThermalSafePower:
@@ -189,7 +190,7 @@ class ThermalSafePower:
         )
         cached = self._safe_frequencies.get(key)
         if cached is not None:
-            if cached == 0.0:
+            if is_gated(cached):
                 raise InfeasibleError(
                     f"no DVFS level of {app.name} fits TSP({m}) = "
                     f"{self.worst_case(m):.3f} W/core"
@@ -201,7 +202,7 @@ class ThermalSafePower:
             if frequencies is not None
             else self._chip.node.frequency_ladder()
         )
-        chosen = 0.0
+        chosen = F_GATED
         for f in ladder:
             power = app.core_power(
                 self._chip.node, threads, f, temperature=self._t_dtm
@@ -209,7 +210,7 @@ class ThermalSafePower:
             if power <= budget:
                 chosen = f
         self._safe_frequencies[key] = chosen
-        if chosen == 0.0:
+        if is_gated(chosen):
             raise InfeasibleError(
                 f"no DVFS level of {app.name} fits TSP({m}) = {budget:.3f} W/core"
             )

@@ -18,6 +18,7 @@ from repro.core.tsp import ThermalSafePower
 from repro.experiments.common import format_table, get_chip
 from repro.experiments.registry import ExperimentSpec, Param, register
 from repro.io import PayloadSerializable
+from repro.units import KILO
 from repro.runtime import (
     OnlineSimulator,
     RuntimeResult,
@@ -47,7 +48,7 @@ class RuntimeComparison(PayloadSerializable):
                     round(r.throughput_gips, 1),
                     round(100 * r.utilisation, 1),
                     round(r.max_peak_temperature, 1),
-                    round(r.energy / 1e3, 2),
+                    round(r.energy / KILO, 2),
                 ]
             )
         return out

@@ -22,7 +22,7 @@ from repro.power.calibration import fit_power_model
 from repro.power.leakage import LeakageModel
 from repro.power.vf_curve import VFCurve
 from repro.tech.library import NODE_22NM
-from repro.units import GIGA
+from repro.units import GIGA, NANO
 
 
 @dataclass(frozen=True)
@@ -98,7 +98,7 @@ def run(
     return PowerFitResult(
         app=app_name,
         samples=samples,
-        ceff_nf=fit.model.ceff * 1e9,
+        ceff_nf=fit.model.ceff / NANO,
         pind_w=fit.model.pind,
         i0_a=fit.model.leakage.i0,
         rms_error=fit.rms_error,

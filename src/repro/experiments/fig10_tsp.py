@@ -22,7 +22,7 @@ from repro.experiments.common import format_table, get_chip
 from repro.experiments.registry import ExperimentSpec, Param, register
 from repro.io import PayloadSerializable
 from repro.perf.sweep import SweepRunner
-from repro.units import GIGA, gips as to_gips
+from repro.units import F_GATED, GIGA, gips as to_gips, is_gated
 
 #: The paper's per-node dark-silicon percentages.
 PAPER_DARK_SHARES: Mapping[str, float] = {
@@ -119,13 +119,13 @@ def _node_cell(
     apps = []
     for name in app_names:
         app = app_by_name(name)
-        chosen_f = 0.0
+        chosen_f = F_GATED
         chosen_p = 0.0
         for f in chip.node.frequency_ladder():
             p = app.core_power(chip.node, threads, f, temperature=chip.t_dtm)
             if p <= budget:
                 chosen_f, chosen_p = f, p
-        if chosen_f == 0.0:
+        if is_gated(chosen_f):
             raise InfeasibleError(
                 f"no DVFS level of {name} fits TSP({active}) = "
                 f"{budget:.2f} W/core at {node_name}"

@@ -50,7 +50,7 @@ def _parse_bool(text: str) -> bool:
         return True
     if lowered in ("0", "false", "no", "off"):
         return False
-    raise ValueError(f"not a boolean: {text!r}")
+    raise ConfigurationError(f"not a boolean: {text!r}")
 
 
 #: Parameter kinds and their CLI-string coercions.
@@ -97,7 +97,7 @@ class Param:
         """Coerce a CLI ``key=value`` string by this parameter's kind."""
         try:
             return _PARSERS[self.kind](text)
-        except (ValueError, json.JSONDecodeError) as exc:
+        except (ValueError, json.JSONDecodeError, ConfigurationError) as exc:
             raise ConfigurationError(
                 f"cannot parse {text!r} as {self.kind} for parameter "
                 f"{self.name!r}"

@@ -22,6 +22,7 @@ from repro.experiments.registry import (
     register,
 )
 from repro.io import PayloadSerializable
+from repro.units import to_ghz
 
 
 @dataclass(frozen=True)
@@ -168,7 +169,7 @@ def run(
             "fig13",
             "min constant (V, f) across cases",
             "0.92 V / 3.0 GHz (STC)",
-            f"{f13.min_voltage:.2f} V / {f13.min_frequency / 1e9:.1f} GHz (STC)",
+            f"{f13.min_voltage:.2f} V / {to_ghz(f13.min_frequency):.1f} GHz (STC)",
         )
     )
 

@@ -1,0 +1,80 @@
+"""Ratified-baseline support: gate only *new* violations.
+
+A baseline file (``lint_baseline.json`` at the repo root) records the
+fingerprints of findings the project has explicitly accepted, so the
+lint gate stays green on legacy debt while failing on anything new.
+Fingerprints are line-independent (path + code + message — see
+:meth:`repro.lint.engine.Finding.fingerprint`) and matched *with
+multiplicity*: a baseline entry absorbs exactly one matching finding,
+so duplicating a ratified violation still fails the gate.
+
+``darksilicon lint --write-baseline`` ratifies the current findings;
+this repository's checked-in baseline is empty — every pre-existing
+finding was fixed or inline-suppressed instead.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from pathlib import Path
+from typing import Optional, Sequence
+
+from repro.errors import ConfigurationError
+
+#: Baseline file schema version.
+BASELINE_VERSION = 1
+
+
+class Baseline:
+    """A multiset of ratified finding fingerprints."""
+
+    def __init__(self, fingerprints: Sequence[str] = ()) -> None:
+        self.fingerprints = Counter(fingerprints)
+
+    @classmethod
+    def load(cls, path: str | Path) -> "Baseline":
+        try:
+            doc = json.loads(Path(path).read_text())
+        except (OSError, json.JSONDecodeError) as exc:
+            raise ConfigurationError(f"cannot read baseline {path}: {exc}") from exc
+        if not isinstance(doc, dict) or doc.get("version") != BASELINE_VERSION:
+            raise ConfigurationError(
+                f"baseline {path} has unsupported schema "
+                f"{doc.get('version') if isinstance(doc, dict) else doc!r}"
+            )
+        return cls(doc.get("findings", []))
+
+    @classmethod
+    def load_if_exists(cls, path: str | Path) -> Optional["Baseline"]:
+        return cls.load(path) if Path(path).exists() else None
+
+    def filter(self, findings: Sequence) -> tuple[list, int]:
+        """Drop baselined findings; return (kept, suppressed_count).
+
+        Each ratified fingerprint absorbs at most its recorded
+        multiplicity, in source order.
+        """
+        budget = Counter(self.fingerprints)
+        kept = []
+        suppressed = 0
+        for finding in findings:
+            fp = finding.fingerprint()
+            if budget.get(fp, 0) > 0:
+                budget[fp] -= 1
+                suppressed += 1
+            else:
+                kept.append(finding)
+        return kept, suppressed
+
+
+def write_baseline(path: str | Path, findings: Sequence) -> int:
+    """Ratify ``findings`` into the baseline file at ``path``.
+
+    Returns the number of fingerprints written.  Writing an empty
+    baseline is meaningful: it asserts the repository lints clean.
+    """
+    fingerprints = sorted(f.fingerprint() for f in findings)
+    doc = {"version": BASELINE_VERSION, "findings": fingerprints}
+    Path(path).write_text(json.dumps(doc, indent=2) + "\n")
+    return len(fingerprints)

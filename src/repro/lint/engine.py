@@ -1,0 +1,384 @@
+"""The rule engine: one AST pass per file, rules as plugins.
+
+A :class:`Rule` subclass declares the node types it wants
+(:attr:`Rule.visits`); :func:`lint_source` parses the file once, walks
+the tree once, and dispatches each node to every subscribed rule.  Rules
+yield :class:`Finding` objects; the engine then drops findings silenced
+by an inline ``# repro-lint: disable=DSxxx`` comment on the same line,
+and — at the :func:`lint_paths` level — findings ratified in the
+baseline file (see :mod:`repro.lint.baseline`).
+
+Scoping: conventions like "no magic unit literals" only bind *library*
+code, not tests or fixtures, so every rule sees a :class:`FileContext`
+that knows whether the file lives under ``src/repro`` and its path
+relative to the package root (``ctx.library_rel``), letting rules skip
+``units.py`` (the one place unit literals are defined) or the
+:mod:`repro.obs` implementation (the one place metric names are plumbed
+rather than emitted).
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Iterator, Optional, Sequence
+
+from repro.errors import ConfigurationError
+
+#: Inline suppression comment grammar.  ``disable`` with no codes
+#: silences every rule on the line; a comma-separated code list
+#: silences only those.  Anything after the codes (``- reason``) is the
+#: site's documentation of intent.
+_SUPPRESS_RE = re.compile(
+    r"#\s*repro-lint:\s*disable(?:=(?P<codes>[A-Z0-9,\s]+?))?(?:\s+-.*)?$"
+)
+
+#: Marker meaning "every code" in a suppression set.
+SUPPRESS_ALL = "*"
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    code: str
+    path: str
+    line: int
+    col: int
+    message: str
+
+    def fingerprint(self) -> str:
+        """Line-independent identity used for baseline matching.
+
+        Line numbers drift with every unrelated edit, so the baseline
+        matches on path + code + message instead.
+        """
+        return f"{self.path}:{self.code}:{self.message}"
+
+    def to_dict(self) -> dict:
+        return {
+            "code": self.code,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+        }
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.code} {self.message}"
+
+
+class MetricManifest:
+    """The checked-in metric-name registry (``docs/metrics.txt``).
+
+    One name per line; ``#`` starts a comment; a trailing ``*`` makes
+    the entry a prefix wildcard (``experiment.*`` covers every
+    hierarchical span path rooted at ``experiment.``).
+    """
+
+    def __init__(self, names: Iterable[str]) -> None:
+        self.names: set[str] = set()
+        self.prefixes: list[str] = []
+        for entry in names:
+            if entry.endswith("*"):
+                self.prefixes.append(entry[:-1])
+            else:
+                self.names.add(entry)
+
+    @classmethod
+    def load(cls, path: str | Path) -> "MetricManifest":
+        entries = []
+        for raw in Path(path).read_text().splitlines():
+            line = raw.split("#", 1)[0].strip()
+            if line:
+                entries.append(line)
+        return cls(entries)
+
+    def covers(self, name: str) -> bool:
+        """Whether a concrete metric name is registered."""
+        if name in self.names:
+            return True
+        return any(name.startswith(p) for p in self.prefixes)
+
+    def covers_prefix(self, prefix: str) -> bool:
+        """Whether any registered name could start with ``prefix``.
+
+        The static check for f-string names (``f"store.{name}"``): true
+        when a concrete entry starts with the prefix, or a wildcard
+        overlaps it in either direction.
+        """
+        if any(name.startswith(prefix) for name in self.names):
+            return True
+        return any(
+            p.startswith(prefix) or prefix.startswith(p) for p in self.prefixes
+        )
+
+
+@dataclass
+class FileContext:
+    """Everything a rule may need about the file being linted."""
+
+    path: str
+    tree: ast.AST
+    source: str
+    in_library: bool
+    #: Path relative to the ``repro`` package root when ``in_library``
+    #: (``"power/model.py"``), else ``None``.
+    library_rel: Optional[str]
+    manifest: Optional[MetricManifest] = None
+    #: Scratch space for per-file rule state (keyed by rule code).
+    state: dict = field(default_factory=dict)
+
+
+class Rule:
+    """Base class for one DS rule.
+
+    Subclasses set :attr:`code`, :attr:`summary` and :attr:`visits`, and
+    implement :meth:`visit`.  One instance is created per file, so
+    per-file state can live on ``self``.
+    """
+
+    code: str = ""
+    summary: str = ""
+    #: AST node classes this rule wants dispatched to :meth:`visit`.
+    visits: tuple = ()
+
+    def applies(self, ctx: FileContext) -> bool:
+        """Whether this rule runs on ``ctx`` at all (default: library)."""
+        return ctx.in_library
+
+    def begin_file(self, ctx: FileContext) -> None:
+        """Per-file setup (e.g. a name-collection prepass)."""
+
+    def visit(self, node: ast.AST, ctx: FileContext) -> Iterator[Finding]:
+        """Yield findings for one dispatched node."""
+        return iter(())
+
+
+#: The plugin registry, in registration order.
+_RULES: list[type[Rule]] = []
+
+
+def rule(cls: type[Rule]) -> type[Rule]:
+    """Class decorator registering a rule plugin."""
+    if not cls.code:
+        raise ConfigurationError(f"rule {cls.__name__} has no code")
+    if any(existing.code == cls.code for existing in _RULES):
+        raise ConfigurationError(f"duplicate rule code {cls.code}")
+    _RULES.append(cls)
+    return cls
+
+
+def all_rules() -> list[type[Rule]]:
+    """Every registered rule class, in registration order."""
+    return list(_RULES)
+
+
+def _suppressions(source: str) -> dict[int, set[str]]:
+    """Map line number -> codes silenced by an inline comment there."""
+    silenced: dict[int, set[str]] = {}
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        for tok in tokens:
+            if tok.type != tokenize.COMMENT:
+                continue
+            match = _SUPPRESS_RE.search(tok.string)
+            if not match:
+                continue
+            codes = match.group("codes")
+            if codes is None:
+                silenced.setdefault(tok.start[0], set()).add(SUPPRESS_ALL)
+            else:
+                silenced.setdefault(tok.start[0], set()).update(
+                    c.strip() for c in codes.split(",") if c.strip()
+                )
+    except tokenize.TokenError:  # pragma: no cover - truncated source
+        pass
+    return silenced
+
+
+def _library_rel(path: Path) -> Optional[str]:
+    """Path relative to the ``repro`` package when under ``src/repro``."""
+    parts = path.parts
+    for i in range(len(parts) - 1):
+        if parts[i] == "src" and parts[i + 1] == "repro":
+            return "/".join(parts[i + 2 :])
+    return None
+
+
+def lint_source(
+    source: str,
+    path: str | Path,
+    *,
+    manifest: Optional[MetricManifest] = None,
+    library: Optional[bool] = None,
+    select: Optional[Sequence[str]] = None,
+) -> list[Finding]:
+    """Lint one file's text through every registered rule.
+
+    Args:
+        source: the file's contents.
+        path: its (reported) path; also drives library scoping.
+        manifest: the metric manifest for DS301 (``None``: DS301 checks
+            grammar only).
+        library: force library scoping on/off (``None``: infer from the
+            path containing ``src/repro``).
+        select: restrict to these rule codes (``None``: all).
+
+    Returns:
+        Findings not silenced by inline suppressions, in source order.
+    """
+    path = Path(path)
+    rel = _library_rel(path)
+    in_library = rel is not None if library is None else library
+    try:
+        tree = ast.parse(source, filename=str(path))
+    except SyntaxError as exc:
+        raise ConfigurationError(f"cannot parse {path}: {exc}") from exc
+    ctx = FileContext(
+        path=path.as_posix(),
+        tree=tree,
+        source=source,
+        in_library=in_library,
+        library_rel=rel if rel is not None else (path.name if in_library else None),
+        manifest=manifest,
+    )
+    active: list[Rule] = []
+    dispatch: dict[type, list[Rule]] = {}
+    for cls in _RULES:
+        if select is not None and cls.code not in select:
+            continue
+        instance = cls()
+        if not instance.applies(ctx):
+            continue
+        instance.begin_file(ctx)
+        active.append(instance)
+        for node_type in instance.visits:
+            dispatch.setdefault(node_type, []).append(instance)
+    findings: list[Finding] = []
+    if dispatch:
+        for node in ast.walk(tree):
+            for instance in dispatch.get(type(node), ()):
+                findings.extend(instance.visit(node, ctx))
+    silenced = _suppressions(source)
+    kept = [
+        f
+        for f in findings
+        if not (
+            f.line in silenced
+            and (SUPPRESS_ALL in silenced[f.line] or f.code in silenced[f.line])
+        )
+    ]
+    kept.sort(key=lambda f: (f.line, f.col, f.code))
+    return kept
+
+
+#: Directories containing this marker file are excluded from directory
+#: walks — used by the lint fixture corpus (``tests/data/lint``), whose
+#: files violate rules on purpose.
+IGNORE_MARKER = ".repro-lint-ignore"
+
+
+def iter_python_files(paths: Sequence[str | Path]) -> list[Path]:
+    """Every ``.py`` file under ``paths`` (files accepted verbatim).
+
+    Skips ``__pycache__`` and any directory holding an
+    :data:`IGNORE_MARKER` file.
+    """
+    out: list[Path] = []
+    for entry in paths:
+        p = Path(entry)
+        if p.is_dir():
+            ignored = {marker.parent for marker in p.rglob(IGNORE_MARKER)}
+            out.extend(
+                f
+                for f in sorted(p.rglob("*.py"))
+                if "__pycache__" not in f.parts
+                and not ignored.intersection(f.parents)
+            )
+        elif p.suffix == ".py":
+            out.append(p)
+        else:
+            raise ConfigurationError(f"not a python file or directory: {p}")
+    return out
+
+
+@dataclass
+class LintReport:
+    """The outcome of one :func:`lint_paths` run."""
+
+    findings: list[Finding]
+    files: int
+    baseline_suppressed: int = 0
+
+    @property
+    def clean(self) -> bool:
+        return not self.findings
+
+    def counts(self) -> dict[str, int]:
+        out: dict[str, int] = {}
+        for f in self.findings:
+            out[f.code] = out.get(f.code, 0) + 1
+        return dict(sorted(out.items()))
+
+    def to_dict(self) -> dict:
+        """The ``--format json`` document (schema version 1)."""
+        return {
+            "version": 1,
+            "files": self.files,
+            "counts": self.counts(),
+            "baseline_suppressed": self.baseline_suppressed,
+            "findings": [f.to_dict() for f in self.findings],
+        }
+
+    def render_text(self) -> str:
+        lines = [f.render() for f in self.findings]
+        counts = ", ".join(f"{c}: {n}" for c, n in self.counts().items())
+        verdict = (
+            f"{len(self.findings)} finding(s) ({counts})"
+            if self.findings
+            else "clean"
+        )
+        suffix = (
+            f", {self.baseline_suppressed} baselined"
+            if self.baseline_suppressed
+            else ""
+        )
+        lines.append(f"[lint] {self.files} file(s): {verdict}{suffix}")
+        return "\n".join(lines)
+
+
+def lint_paths(
+    paths: Sequence[str | Path],
+    *,
+    manifest: Optional[MetricManifest] = None,
+    baseline: Optional["Baseline"] = None,
+    select: Optional[Sequence[str]] = None,
+) -> LintReport:
+    """Lint every python file under ``paths``.
+
+    Baseline-ratified findings are dropped (counted in
+    :attr:`LintReport.baseline_suppressed`); inline suppressions are
+    handled per file by :func:`lint_source`.
+    """
+    files = iter_python_files(paths)
+    findings: list[Finding] = []
+    for f in files:
+        findings.extend(
+            lint_source(
+                f.read_text(), f, manifest=manifest, select=select
+            )
+        )
+    suppressed = 0
+    if baseline is not None:
+        findings, suppressed = baseline.filter(findings)
+    return LintReport(
+        findings=findings, files=len(files), baseline_suppressed=suppressed
+    )
+
+
+from repro.lint.baseline import Baseline  # noqa: E402  (cycle-free tail import)

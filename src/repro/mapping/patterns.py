@@ -84,7 +84,7 @@ class NeighbourhoodSpreadPlacer(Placer):
         # the scalar greedy walk) only ever selects free ones; +inf
         # absorbs the incremental neighbour updates.
         scores = adjacency @ taken
-        scores[taken == 1.0] = np.inf
+        scores[taken == 1.0] = np.inf  # repro-lint: disable=DS102 - taken is an exact 0/1 indicator array
         chosen: list[int] = []
         for _ in range(n_cores):
             best = int(scores.argmin())

@@ -25,7 +25,7 @@ from repro.apps.profile import AppProfile
 from repro.errors import ConfigurationError, InfeasibleError
 from repro.power.vf_curve import Region, VFCurve
 from repro.tech.node import TechNode
-from repro.units import GIGA, gips as to_gips
+from repro.units import GIGA, KILO, gips as to_gips
 
 
 @dataclass(frozen=True)
@@ -171,7 +171,7 @@ def _evaluate(
     # A feasible scheme matches ISO performance and finishes in exactly
     # reference_time; a capped scheme takes proportionally longer.
     time = reference_time * iso_performance / perf
-    energy_kj = total_power * time / 1e3
+    energy_kj = total_power * time / KILO
     return IsoPerformancePoint(
         app=app.name,
         scheme=scheme,

@@ -52,7 +52,12 @@ from __future__ import annotations
 import os
 
 from repro.obs.export import to_csv, to_json
-from repro.obs.registry import NULL_SPAN, Registry, SNAPSHOT_VERSION
+from repro.obs.registry import (
+    METRIC_NAME_RE,
+    NULL_SPAN,
+    Registry,
+    SNAPSHOT_VERSION,
+)
 from repro.obs.trace import flame_summary, to_chrome_trace
 
 #: Environment variable that enables the registry at import time.
@@ -84,9 +89,20 @@ def reset() -> None:
     REGISTRY.reset()
 
 
+def validate_names(validate: bool = True) -> None:
+    """Reject malformed metric names on the global registry.
+
+    See :meth:`repro.obs.registry.Registry.set_name_validation` — the
+    runtime arm of lint rule DS301.
+    """
+    REGISTRY.set_name_validation(validate)
+
+
 def incr(name: str, n: float = 1) -> None:
     """Add ``n`` to global counter ``name`` (no-op when disabled)."""
     if REGISTRY._enabled:
+        if REGISTRY._validate_names:
+            REGISTRY._check_name(name)
         counters = REGISTRY._counters
         counters[name] = counters.get(name, 0) + n
 
@@ -177,6 +193,7 @@ def subsystems() -> set[str]:
 
 __all__ = [
     "ENV_ENABLE",
+    "METRIC_NAME_RE",
     "NULL_SPAN",
     "REGISTRY",
     "Registry",
@@ -206,4 +223,5 @@ __all__ = [
     "trace_events",
     "trace_mark",
     "trace_state",
+    "validate_names",
 ]

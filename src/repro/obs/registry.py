@@ -47,14 +47,23 @@ from __future__ import annotations
 
 import math
 import os
+import re
 import threading
 import time
 from typing import Mapping, Optional
+
+from repro.units import MICRO
 
 #: Snapshot schema version, recorded in every export.  Version 2 added
 #: the ``gauges`` and ``histograms`` aggregate kinds (version-1
 #: snapshots still diff/merge cleanly — absent kinds read as empty).
 SNAPSHOT_VERSION = 2
+
+#: Grammar every metric/span name must satisfy when name validation is
+#: on: lowercase dotted components (digits, underscores and dashes
+#: allowed inside a component).  The same grammar backs the static
+#: DS301 lint rule; the manifest contract lives in ``docs/metrics.txt``.
+METRIC_NAME_RE = re.compile(r"^[a-z][a-z0-9_-]*(\.[a-z0-9][a-z0-9_-]*)*$")
 
 #: Histogram bucket key for non-positive values.
 _HIST_UNDERFLOW = "le0"
@@ -70,7 +79,10 @@ def _hist_bucket(value: float) -> str:
     if value <= 0:
         return _HIST_UNDERFLOW
     mantissa, exponent = math.frexp(value)  # value = mantissa * 2**exponent
-    return str(exponent - 1 if mantissa == 0.5 else exponent)
+    # frexp returns mantissa in [0.5, 1): exactly 0.5 iff the value
+    # is a power of two, which belongs in the lower bucket.
+    exact_power_of_two = mantissa == 0.5  # repro-lint: disable=DS102 - frexp mantissa is exact
+    return str(exponent - 1 if exact_power_of_two else exponent)
 
 
 class _NullSpan:
@@ -150,8 +162,12 @@ class _Span:
 class Registry:
     """Counters, timers, spans, gauges and histograms with exact merge/diff."""
 
-    def __init__(self, enabled: bool = False) -> None:
+    def __init__(
+        self, enabled: bool = False, validate_names: bool = False
+    ) -> None:
         self._enabled = enabled
+        self._validate_names = validate_names
+        self._names_seen: set[str] = set()
         self._counters: dict[str, float] = {}
         self._timers: dict[str, list[float]] = {}  # name -> [count, total_s]
         self._spans: dict[str, list[float]] = {}  # path -> [count, total_s]
@@ -173,6 +189,35 @@ class Registry:
     def enabled(self) -> bool:
         """Whether recording calls take effect."""
         return self._enabled
+
+    @property
+    def validates_names(self) -> bool:
+        """Whether recorded names are checked against the grammar."""
+        return self._validate_names
+
+    def set_name_validation(self, validate: bool = True) -> None:
+        """Reject metric/span names outside :data:`METRIC_NAME_RE`.
+
+        Off by default: the hot path pays only for what it uses.  When
+        on, the first recording under a malformed name raises
+        :class:`repro.errors.ConfigurationError` instead of silently
+        forking a time series; validated names are cached, so steady-
+        state cost is one set lookup.  Enabled by the test suite, the
+        ``darksilicon obs`` demo and ``benchmarks/track.py``.
+        """
+        self._validate_names = validate
+
+    def _check_name(self, name: str) -> None:
+        if name in self._names_seen:
+            return
+        if not METRIC_NAME_RE.match(name):
+            from repro.errors import ConfigurationError
+
+            raise ConfigurationError(
+                f"metric name {name!r} violates the dotted lowercase "
+                "grammar (see docs/linting.md, rule DS301)"
+            )
+        self._names_seen.add(name)
 
     def enable(self) -> None:
         """Start recording."""
@@ -216,12 +261,16 @@ class Registry:
         """Add ``n`` to counter ``name`` (no-op when disabled)."""
         if not self._enabled:
             return
+        if self._validate_names:
+            self._check_name(name)
         self._counters[name] = self._counters.get(name, 0) + n
 
     def observe(self, name: str, seconds: float) -> None:
         """Record one duration into flat timer ``name``."""
         if not self._enabled:
             return
+        if self._validate_names:
+            self._check_name(name)
         bucket = self._timers.get(name)
         if bucket is None:
             self._timers[name] = [1, seconds]
@@ -233,12 +282,16 @@ class Registry:
         """Set gauge ``name`` to ``value`` (last writer wins)."""
         if not self._enabled:
             return
+        if self._validate_names:
+            self._check_name(name)
         self._gauges[name] = value
 
     def histogram(self, name: str, value: float) -> None:
         """Record one sample into histogram ``name``."""
         if not self._enabled:
             return
+        if self._validate_names:
+            self._check_name(name)
         value = float(value)
         hist = self._hists.get(name)
         if hist is None:
@@ -257,6 +310,8 @@ class Registry:
         """Context manager timing its body into flat timer ``name``."""
         if not self._enabled:
             return NULL_SPAN
+        if self._validate_names:
+            self._check_name(name)
         return _Timer(self, name)
 
     def span(self, name: str, attrs: Optional[Mapping] = None):
@@ -273,6 +328,8 @@ class Registry:
         """
         if not self._enabled:
             return NULL_SPAN
+        if self._validate_names:
+            self._check_name(name)
         return _Span(self, name, attrs)
 
     def _finish_span(self, path: str, elapsed: float) -> None:
@@ -294,7 +351,7 @@ class Registry:
         event = {
             "name": path,
             "ph": ph,
-            "ts": (time.perf_counter() - self._trace_origin_perf) * 1e6,
+            "ts": (time.perf_counter() - self._trace_origin_perf) / MICRO,
             "pid": os.getpid(),
             "tid": threading.get_native_id(),
         }
@@ -337,7 +394,7 @@ class Registry:
         """
         if not state:
             return
-        offset_us = (state["origin_epoch"] - self._trace_origin_epoch) * 1e6
+        offset_us = (state["origin_epoch"] - self._trace_origin_epoch) / MICRO
         for event in state["events"]:
             shifted = dict(event)
             shifted["ts"] = event["ts"] + offset_us

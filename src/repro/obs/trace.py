@@ -25,6 +25,8 @@ import json
 from pathlib import Path
 from typing import Optional, Sequence, Union
 
+from repro.units import KILO
+
 #: Event category stamped on every exported trace event.
 TRACE_CATEGORY = "repro"
 
@@ -119,7 +121,7 @@ def flame_summary(events: Sequence[dict], top: int = 15) -> str:
     ]
     for name, (count, total_us) in ranked:
         lines.append(
-            f"{name:<{width}}  {count:>6d}  {total_us / 1e3:>10.3f}  "
-            f"{total_us / 1e3 / count:>9.3f}"
+            f"{name:<{width}}  {count:>6d}  {total_us / KILO:>10.3f}  "
+            f"{total_us / KILO / count:>9.3f}"
         )
     return "\n".join(lines)

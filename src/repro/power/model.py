@@ -23,6 +23,7 @@ from repro.errors import ConfigurationError
 from repro.power.leakage import LeakageModel
 from repro.power.vf_curve import VFCurve
 from repro.tech.node import TechNode
+from repro.units import is_gated
 
 
 @dataclass(frozen=True)
@@ -91,7 +92,7 @@ class CorePowerModel:
         """
         if not 0.0 <= alpha <= 1.0:
             raise ConfigurationError(f"alpha must be in [0, 1], got {alpha}")
-        if frequency == 0.0:
+        if is_gated(frequency):
             return 0.0
         v = self.voltage_for(frequency) if vdd is None else vdd
         return alpha * self.ceff * v * v * frequency
@@ -115,7 +116,7 @@ class CorePowerModel:
         A core at ``frequency == 0`` is treated as power-gated and draws
         only ``inactive_power``.
         """
-        if frequency == 0.0:
+        if is_gated(frequency):
             return self.inactive_power
         v = self.voltage_for(frequency) if vdd is None else vdd
         return (
@@ -132,7 +133,7 @@ class CorePowerModel:
     ) -> dict[str, float]:
         """Per-term decomposition of :meth:`power` (keys: dynamic,
         leakage, independent, total), in W."""
-        if frequency == 0.0:
+        if is_gated(frequency):
             return {
                 "dynamic": 0.0,
                 "leakage": 0.0,

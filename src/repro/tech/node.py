@@ -12,7 +12,7 @@ from dataclasses import dataclass
 
 from repro.errors import ConfigurationError
 from repro.tech.itrs import ScalingFactors
-from repro.units import GIGA
+from repro.units import GIGA, to_mm2
 
 
 @dataclass(frozen=True)
@@ -76,6 +76,6 @@ class TechNode:
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic
         return (
-            f"TechNode({self.name}: core {self.core_area * 1e6:.1f} mm^2, "
+            f"TechNode({self.name}: core {to_mm2(self.core_area):.1f} mm^2, "
             f"f_max {self.f_max / GIGA:.1f} GHz, Vdd {self.vdd_nominal:.2f} V)"
         )

@@ -36,6 +36,7 @@ from repro.floorplan.floorplan import Floorplan
 from repro.thermal.config import PAPER_THERMAL_CONFIG, ThermalConfig
 from repro.thermal.model import ThermalModel
 from repro.thermal.rc_network import NodeSpec, RCNetwork
+from repro.units import MILLI
 
 #: Geometric tolerance (m) for "block edge lies on the die boundary".
 _EDGE_TOL = 1e-9
@@ -130,8 +131,8 @@ def build_thermal_model(
     die_h = floorplan.height
     if die_w > config.spreader_side + _EDGE_TOL or die_h > config.spreader_side + _EDGE_TOL:
         raise ConfigurationError(
-            f"die ({die_w * 1e3:.1f} x {die_h * 1e3:.1f} mm) exceeds the "
-            f"heat spreader ({config.spreader_side * 1e3:.1f} mm square)"
+            f"die ({die_w / MILLI:.1f} x {die_h / MILLI:.1f} mm) exceeds the "
+            f"heat spreader ({config.spreader_side / MILLI:.1f} mm square)"
         )
 
     net = RCNetwork()

@@ -164,7 +164,7 @@ class TransientSimulator:
             raise ConfigurationError(
                 f"duration {duration} s is shorter than one step ({self._dt} s)"
             )
-        if abs(n_steps * self._dt - duration) > 1e-9 * max(duration, self._dt):
+        if abs(n_steps * self._dt - duration) > 1e-9 * max(duration, self._dt):  # repro-lint: disable=DS101 - relative tolerance, not a unit
             raise ConfigurationError(
                 f"duration {duration} s is not a whole number of {self._dt} s "
                 f"steps (nearest is {n_steps} steps = {n_steps * self._dt} s); "

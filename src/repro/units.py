@@ -52,6 +52,23 @@ MEGA = 1e6
 GIGA = 1e9
 
 
+#: Sentinel frequency (Hz) marking a power-gated (dark) core, or "no
+#: feasible DVFS level" in ladder searches.  Assign it by name and test
+#: it with :func:`is_gated` — never with a bare ``== 0.0``, which reads
+#: as an accidental float-equality bug (lint rule DS102).
+F_GATED = 0.0
+
+
+def is_gated(frequency: float) -> bool:
+    """True when ``frequency`` is exactly the power-gated sentinel.
+
+    The comparison is exact on purpose: :data:`F_GATED` is only ever
+    *assigned*, never computed, so no rounding can occur between the
+    assignment and the test.
+    """
+    return frequency == F_GATED  # repro-lint: disable=DS102 - sentinel definition
+
+
 def ghz(value: float) -> float:
     """Convert a frequency in gigahertz to hertz."""
     return value * GIGA

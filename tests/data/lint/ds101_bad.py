@@ -1,0 +1,13 @@
+"""DS101 true positives: raw unit literals in multiply/divide position."""
+
+
+def to_ghz(frequency):
+    return frequency * 1e-9
+
+
+def power_mw(power):
+    return power / 1e-3
+
+
+def to_kelvin(celsius):
+    return celsius + 273.15 * 1.0

@@ -1,0 +1,12 @@
+"""DS101 clean pass: named constants, additive tolerances, definitions."""
+
+GIGA = 1e9
+ZERO_CELSIUS_K = 273.15
+
+
+def to_ghz(frequency):
+    return frequency / GIGA
+
+
+def close_enough(a, b):
+    return abs(a - b) <= 1e-9

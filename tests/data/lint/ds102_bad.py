@@ -1,0 +1,9 @@
+"""DS102 true positives: float-literal equality on quantities."""
+
+
+def is_idle(frequency):
+    return frequency == 0.0
+
+
+def off_nominal(voltage):
+    return voltage != 1.0

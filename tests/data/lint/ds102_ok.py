@@ -1,0 +1,15 @@
+"""DS102 clean pass: named sentinels and integer comparisons."""
+
+F_GATED = 0.0
+
+
+def is_idle(frequency):
+    return frequency == F_GATED
+
+
+def count_gated(frequencies):
+    return sum(1 for f in frequencies if f == F_GATED)
+
+
+def empty(items):
+    return len(items) == 0

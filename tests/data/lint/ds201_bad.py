@@ -1,0 +1,9 @@
+"""DS201 true positives: bare stdlib exceptions raised in library code."""
+
+
+def parse(text):
+    if not text:
+        raise ValueError("empty input")
+    if text == "?":
+        raise RuntimeError("unparseable")
+    return text

@@ -1,0 +1,12 @@
+"""DS201 clean pass: the ReproError hierarchy, and bare re-raises."""
+
+from repro.errors import ConfigurationError
+
+
+def parse(text):
+    if not text:
+        raise ConfigurationError("empty input")
+    try:
+        return int(text)
+    except ConfigurationError:
+        raise

@@ -1,0 +1,9 @@
+"""DS301 true positives: malformed, unregistered and prefix-less names."""
+
+from repro import obs
+
+
+def record(kind, n):
+    obs.incr("BadName")
+    obs.incr("thermal.unregistered_metric")
+    obs.gauge(f"{kind}.dynamic", n)

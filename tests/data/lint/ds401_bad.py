@@ -1,0 +1,27 @@
+"""DS401 true positives: spawn-unsafe callables handed to pools."""
+
+from concurrent.futures import ProcessPoolExecutor
+from functools import partial
+
+from repro.perf.sweep import SweepRunner
+
+TOTAL = 0
+
+
+def accumulate(x):
+    global TOTAL
+    TOTAL += x
+    return TOTAL
+
+
+def run(cells):
+    runner = SweepRunner()
+    runner.map(cells, lambda c: c * 2, stage="lambda")
+
+    def closure(c):
+        return c + len(cells)
+
+    runner.map(cells, closure, stage="closure")
+    runner.map(cells, accumulate, stage="global")
+    with ProcessPoolExecutor() as pool:
+        pool.submit(partial(closure, 1))

@@ -1,0 +1,15 @@
+"""DS401 clean pass: a module-level, side-effect-free worker."""
+
+from functools import partial
+
+from repro.perf.sweep import SweepRunner
+
+
+def scale(factor, x):
+    return factor * x
+
+
+def run(cells):
+    runner = SweepRunner()
+    doubled = runner.map(cells, partial(scale, 2), stage="scaled")
+    return doubled

@@ -1,0 +1,15 @@
+"""DS402 true positives: wall clock and unseeded randomness."""
+
+import random
+import time
+from datetime import datetime
+
+import numpy as np
+
+
+def sample():
+    started_at = time.time()
+    jitter = random.random()
+    stamp = datetime.now()
+    noise = np.random.normal(0.0, 1.0)
+    return started_at, jitter, stamp, noise

@@ -1,0 +1,12 @@
+"""DS402 clean pass: perf_counter durations and seeded generators."""
+
+import time
+
+import numpy as np
+
+
+def sample(seed):
+    start = time.perf_counter()
+    rng = np.random.default_rng(seed)
+    noise = rng.normal(0.0, 1.0)
+    return time.perf_counter() - start, noise
