@@ -3,7 +3,7 @@
 # Make every target work from a plain checkout (no editable install).
 export PYTHONPATH := src:$(PYTHONPATH)
 
-.PHONY: install test lint figures-smoke bench bench-smoke bench-track report experiments examples clean
+.PHONY: install test lint figures-smoke bench bench-smoke bench-track bench-backends report experiments examples clean
 
 install:
 	pip install -e . || python setup.py develop
@@ -44,6 +44,11 @@ bench-smoke:
 # committed benchmarks/bench_baseline.json.
 bench-track:
 	python benchmarks/track.py
+
+# Smoke-run the Figure 10 TSP bench under every thermal solver backend
+# (dense, sparse, compiled) and print the wall-clock comparison.
+bench-backends:
+	python benchmarks/track.py --backends
 
 # Render BENCH_TRACK.json (+ any runs.jsonl ledger passed via
 # REPORT_STORE=DIR) into the markdown dashboard at reports/performance.md.

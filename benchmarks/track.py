@@ -18,6 +18,12 @@ Usage::
 
     make bench-track                # append + regression gate
     python benchmarks/track.py --rebaseline   # refresh the baseline
+    make bench-backends             # fig10 smoke under every backend
+
+Entries record the active thermal solver backend, so trajectory points
+taken under different backends (``REPRO_THERMAL_BACKEND``) stay
+attributable.  ``--backends`` times ``bench_fig10_tsp`` once under each
+registered backend and prints the comparison without appending.
 
 Each bench is timed best-of-N (default 2) to damp scheduler noise; the
 registry snapshot is taken from the *last* round, after a reset, so
@@ -155,10 +161,13 @@ def append_entry(results: dict[str, dict], lint: dict) -> None:
         trajectory = []
     from repro.obs.manifest import code_fingerprint
 
+    from repro.thermal.backends import default_backend_name
+
     trajectory.append(
         {
             "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
             "fingerprint": code_fingerprint(),
+            "thermal_backend": default_backend_name(),
             "lint": lint,
             "benches": results,
         }
@@ -204,6 +213,44 @@ def check_regressions(results: dict[str, dict]) -> int:
     return 0
 
 
+def compare_backends() -> int:
+    """Time ``bench_fig10_tsp`` once per registered solver backend.
+
+    A smoke comparison, not a trajectory point: nothing is appended to
+    BENCH_TRACK.json.  Exit code is non-zero if any backend fails to
+    complete the bench.
+    """
+    from repro.experiments.common import get_chip
+    from repro.thermal import backends
+
+    rows = []
+    for name in backends.backend_names():
+        backends.set_default_backend(name)
+        try:
+            best = float("inf")
+            for _ in range(ROUNDS):
+                get_chip.cache_clear()
+                obs.reset()
+                start = time.perf_counter()
+                _bench_fig10_tsp()
+                best = min(best, time.perf_counter() - start)
+            rows.append((name, best, None))
+        except Exception as exc:  # noqa: BLE001 - smoke report, keep going
+            rows.append((name, None, f"{type(exc).__name__}: {exc}"))
+        finally:
+            backends.set_default_backend(None)
+    width = max(len(n) for n, _, _ in rows)
+    print(f"{'backend':<{width}}  bench_fig10_tsp")
+    failed = False
+    for name, wall, error in rows:
+        if wall is None:
+            print(f"{name:<{width}}  FAILED ({error})")
+            failed = True
+        else:
+            print(f"{name:<{width}}  {wall:.3f} s")
+    return 1 if failed else 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -211,11 +258,19 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="write benchmarks/bench_baseline.json from this run and exit",
     )
+    parser.add_argument(
+        "--backends",
+        action="store_true",
+        help="smoke-run bench_fig10_tsp under every thermal solver "
+        "backend and print the comparison (no entry appended)",
+    )
     args = parser.parse_args(argv)
 
     obs.enable()
     obs.enable_trace()
     obs.validate_names()
+    if args.backends:
+        return compare_backends()
     results = run_benches()
 
     if args.rebaseline:

@@ -49,6 +49,7 @@ Every ``run``/``batch`` with ``--store`` also appends one
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 import time
 from pathlib import Path
@@ -59,6 +60,12 @@ from repro.errors import ConfigurationError
 from repro.experiments import registry
 from repro.experiments.common import experiment_span
 from repro.io import result_to_csv
+from repro.thermal.backends import (
+    BACKEND_ENV_VAR,
+    backend_names,
+    default_backend_name,
+    set_default_backend,
+)
 
 #: Pseudo-experiment names the CLI accepts beyond the registry.
 _PSEUDO = ("all", "obs")
@@ -477,6 +484,15 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
         "content-addressed artifact store rooted at DIR",
     )
     parser.add_argument(
+        "--thermal-backend",
+        choices=backend_names(),
+        default=None,
+        metavar="NAME",
+        help="solver backend for every thermal factorisation "
+        f"({', '.join(backend_names())}; default: "
+        f"{default_backend_name()})",
+    )
+    parser.add_argument(
         "--force",
         action="store_true",
         help="bypass the store and overwrite its artifacts",
@@ -699,6 +715,11 @@ def main(argv: Optional[list[str]] = None) -> int:
     args = parser.parse_args(argv)
     if getattr(args, "profile_out", None) or getattr(args, "trace_out", None):
         args.profile = True
+    if getattr(args, "thermal_backend", None):
+        # Both the in-process default and the environment: spawned
+        # worker processes re-read the variable on interpreter start.
+        set_default_backend(args.thermal_backend)
+        os.environ[BACKEND_ENV_VAR] = args.thermal_backend
     return args.func(args)
 
 

@@ -14,6 +14,7 @@ safe, quantifying how many extra cores patterning switches on.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import partial
 from typing import Optional
 
 import numpy as np
@@ -29,7 +30,8 @@ from repro.io import PayloadSerializable
 from repro.mapping.base import Placer
 from repro.mapping.contiguous import ContiguousPlacer
 from repro.mapping.patterns import NeighbourhoodSpreadPlacer
-from repro.thermal.analysis import temperature_map
+from repro.perf.sweep import SweepRunner
+from repro.thermal.analysis import temperature_maps
 
 
 @dataclass(frozen=True)
@@ -91,25 +93,30 @@ class Fig8Result(PayloadSerializable):
         )
 
 
-def _outcome(
-    chip: Chip, workload: Workload, placer: Placer, name: str
-) -> PatternOutcome:
-    # Capacity-only mapping: the point of this figure is to observe the
-    # temperature a mapping *produces*, so no constraint filters it.
-    result = map_workload(
+def _realise(chip: Chip, workload: Workload, placer: Placer):
+    """Realise a fixed mapping, capacity-only.
+
+    The point of this figure is to observe the temperature a mapping
+    *produces*, so no constraint filters it.
+    """
+    return map_workload(
         chip,
         workload,
         constraint=_Unconstrained(),
         placer=placer,
     )
-    rows, cols = chip.grid
+
+
+def _outcome(
+    chip: Chip, result, name: str, thermal_map: np.ndarray
+) -> PatternOutcome:
     return PatternOutcome(
         name=name,
         active_cores=result.active_cores,
         total_power=result.total_power,
         peak_temperature=result.peak_temperature,
         exceeds_t_dtm=result.peak_temperature > chip.t_dtm + 1e-6,
-        thermal_map=temperature_map(chip.thermal, result.core_powers, rows, cols),
+        thermal_map=thermal_map,
     )
 
 
@@ -144,23 +151,37 @@ def run(
     )
 
     n_patterned = len(safe_patterned.placed)
-    patterned = _outcome(
-        chip,
-        Workload.replicate(app, n_patterned, threads, f),
-        spread,
-        "patterned",
+    realised = [
+        (
+            "patterned",
+            _realise(chip, Workload.replicate(app, n_patterned, threads, f), spread),
+        ),
+        (
+            "contiguous (same workload)",
+            _realise(
+                chip, Workload.replicate(app, n_patterned, threads, f), contiguous
+            ),
+        ),
+        (
+            "contiguous (largest safe)",
+            _realise(
+                chip,
+                Workload.replicate(app, len(safe_contiguous.placed), threads, f),
+                contiguous,
+            ),
+        ),
+    ]
+    # All three thermal maps come from one multi-RHS steady-state solve,
+    # routed through the runner's batched stage.
+    rows, cols = chip.grid
+    maps = SweepRunner().map_batched(
+        [result.core_powers for _, result in realised],
+        partial(temperature_maps, chip.thermal, rows=rows, cols=cols),
+        stage="fig8_thermal_maps",
     )
-    forced = _outcome(
-        chip,
-        Workload.replicate(app, n_patterned, threads, f),
-        contiguous,
-        "contiguous (same workload)",
-    )
-    safe = _outcome(
-        chip,
-        Workload.replicate(app, len(safe_contiguous.placed), threads, f),
-        contiguous,
-        "contiguous (largest safe)",
+    patterned, forced, safe = (
+        _outcome(chip, result, name, thermal_map)
+        for (name, result), thermal_map in zip(realised, maps)
     )
     return Fig8Result(
         app=app_name,

@@ -58,6 +58,9 @@ class Floorplan:
         self._y2 = np.array([b.rect.y2 for b in self._blocks])
         self._validate_no_overlap()
         self._adjacency: list[tuple[int, int, float]] | None = None
+        self._adjacency_arrays: (
+            tuple[np.ndarray, np.ndarray, np.ndarray] | None
+        ) = None
 
     def _validate_no_overlap(self) -> None:
         # All-pairs interior intersection test (Rect.overlaps, broadcast
@@ -112,14 +115,14 @@ class Floorplan:
         """Sum of block areas, in m^2."""
         return sum(b.rect.area for b in self._blocks)
 
-    def adjacency(self) -> Sequence[tuple[int, int, float]]:
-        """Pairs of abutting blocks with their shared edge length.
+    def adjacency_arrays(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Abutting block pairs as ``(i, j, shared_length)`` arrays.
 
-        Returns:
-            Tuples ``(i, j, length)`` with ``i < j`` block indices and the
-            shared boundary length in m; computed once and cached.
+        The array form of :meth:`adjacency` (``i < j`` indices, shared
+        boundary lengths in m), cached; the thermal builder consumes
+        this directly for bulk lateral-conductance assembly.
         """
-        if self._adjacency is None:
+        if self._adjacency_arrays is None:
             # Vectorised all-pairs shared_edge_length (same tolerance and
             # branch order: vertical abutment wins over horizontal).
             x, y, x2, y2 = self._x, self._y, self._x2, self._y2
@@ -141,9 +144,22 @@ class Floorplan:
                 np.where(horizontal, np.maximum(x_overlap, 0.0), 0.0),
             )
             mask = np.triu(length > 0.0, k=1)
+            i, j = np.nonzero(mask)
+            self._adjacency_arrays = (i, j, length[i, j])
+        return self._adjacency_arrays
+
+    def adjacency(self) -> Sequence[tuple[int, int, float]]:
+        """Pairs of abutting blocks with their shared edge length.
+
+        Returns:
+            Tuples ``(i, j, length)`` with ``i < j`` block indices and the
+            shared boundary length in m; computed once and cached.
+        """
+        if self._adjacency is None:
+            i, j, length = self.adjacency_arrays()
             self._adjacency = [
-                (int(i), int(j), float(length[i, j]))
-                for i, j in np.argwhere(mask)
+                (int(a), int(b), float(g))
+                for a, b, g in zip(i.tolist(), j.tolist(), length.tolist())
             ]
         return self._adjacency
 

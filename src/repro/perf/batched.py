@@ -160,6 +160,13 @@ class BatchedSteadyState:
             raise ConfigurationError(
                 f"expected {self._n} core powers, got shape {p.shape}"
             )
+        if not np.isfinite(p).all():
+            # np.rint(p / quantum) is undefined for NaN/inf and would
+            # poison the LRU with a garbage key; reject like the direct
+            # solver path rejects ill-posed inputs.
+            raise ConfigurationError(
+                "core powers must be finite; got NaN or infinity"
+            )
         if self._cache_size == 0:
             obs.incr("perf.batched.uncached_peaks")
             return float((self._ambient + self._b @ p).max())
@@ -270,8 +277,12 @@ class BatchedSteadyState:
             ``(budgets, centres)`` — ``budgets[m - 1]`` is the worst-case
             per-core budget with ``m`` active cores (W) and
             ``centres[m - 1]`` the centre of a mapping attaining it.
-            Cached per ``(headroom, inactive_power)``, so every caller on
-            this chip shares one table.
+            Budgets are clamped to 0.0 W: when the inactive cores'
+            residual heating alone exceeds the headroom the count is
+            infeasible, and a 0.0 budget marks it so (a negative "budget"
+            must never reach callers).  Cached per ``(headroom,
+            inactive_power)``, so every caller on this chip shares one
+            table.
         """
         key = (float(headroom), float(inactive_power))
         cached = self._tsp_tables.get(key)
@@ -301,7 +312,10 @@ class BatchedSteadyState:
             improved = chunk_best < best
             best = np.where(improved, chunk_best, best)
             best_centre[improved] = chunk_centre[improved]
-        result = (best, best_centre)
+        # Inactive heating beyond the headroom yields negative budgets;
+        # clamp to 0.0 (= infeasible count) so no caller ever receives a
+        # negative per-core power budget.
+        result = (np.maximum(best, 0.0), best_centre)
         self._tsp_tables[key] = result
         return result
 
@@ -321,7 +335,9 @@ class BatchedSteadyState:
         exists it is reused verbatim.
 
         Returns:
-            ``(budget, centre)`` as in :meth:`tsp_table` at index ``m-1``.
+            ``(budget, centre)`` as in :meth:`tsp_table` at index ``m-1``;
+            the budget is clamped to 0.0 W (infeasible count) when
+            inactive heating alone exceeds the headroom.
         """
         if not 1 <= m <= self._n:
             raise ConfigurationError(
@@ -352,6 +368,7 @@ class BatchedSteadyState:
             budgets = headroom / heat
         per_centre = budgets.min(axis=0)
         centre = int(per_centre.argmin())
-        result = (float(per_centre[centre]), centre)
+        # Same clamp as tsp_table: 0.0 marks the count infeasible.
+        result = (max(float(per_centre[centre]), 0.0), centre)
         self._tsp_single[key] = result
         return result

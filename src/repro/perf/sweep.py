@@ -180,3 +180,80 @@ class SweepRunner:
         counters["wall_s"] += wall
         counters["cell_s"].extend(t for _, t in timed)
         return results
+
+    def map_batched(
+        self,
+        cells: Sequence[K],
+        batch_fn: Callable[[Sequence[K]], Sequence[V]],
+        stage: str = "sweep",
+    ) -> list[V]:
+        """Evaluate the grid through whole-batch calls, preserving order.
+
+        The batched counterpart of :meth:`map` for stages whose per-cell
+        work reduces to an operation the lower layers can amortise — a
+        multi-right-hand-side solve against one shared factorisation, a
+        single BLAS matmul over stacked power vectors.  A serial runner
+        hands ``batch_fn`` the whole grid in one call; a parallel runner
+        splits the grid into one contiguous chunk per worker (each chunk
+        still one batched call), with the same registry-delta and trace
+        merging as :meth:`map`.
+
+        Args:
+            cells: the grid cells.
+            batch_fn: maps a sequence of cells to their per-cell results
+                in the same order; must be picklable when the runner is
+                parallel.
+            stage: metrics key; ``cell_s`` records one entry per *batch*
+                call (not per cell) under this method.
+
+        Returns:
+            The concatenated per-cell results, in cell order.
+
+        Raises:
+            ConfigurationError: when a batch call returns a result count
+                different from its cell count.
+        """
+        attrs = {"cells": len(cells), "workers": self._max_workers or 1}
+        with obs.span(f"sweep.{stage}", attrs=attrs):
+            start = time.perf_counter()
+            if self.parallel and len(cells) > 1:
+                workers = min(self._max_workers, len(cells))
+                bounds = [
+                    (len(cells) * w // workers, len(cells) * (w + 1) // workers)
+                    for w in range(workers)
+                ]
+                chunks = [cells[lo:hi] for lo, hi in bounds if hi > lo]
+                with ProcessPoolExecutor(
+                    max_workers=self._max_workers,
+                    initializer=_init_worker,
+                    initargs=(obs.enabled(), obs.trace_enabled()),
+                ) as pool:
+                    batched = list(
+                        pool.map(_worker_cell, itertools.repeat(batch_fn), chunks)
+                    )
+                for _, _, delta, trace in batched:
+                    obs.merge(delta)
+                    obs.merge_trace(trace)
+                timed = [(r, t) for r, t, _, _ in batched]
+            else:
+                chunks = [cells]
+                timed = [_timed_cell(batch_fn, cells)]
+            wall = time.perf_counter() - start
+        results: list[V] = []
+        for chunk, (chunk_results, _) in zip(chunks, timed):
+            chunk_results = list(chunk_results)
+            if len(chunk_results) != len(chunk):
+                raise ConfigurationError(
+                    f"batch_fn returned {len(chunk_results)} results for "
+                    f"{len(chunk)} cells in stage {stage!r}"
+                )
+            results.extend(chunk_results)
+        obs.incr("sweep.cells", len(cells))
+        counters = self._metrics.setdefault(
+            stage,
+            {"cells": 0, "wall_s": 0.0, "cell_s": [], "workers": self._max_workers or 1},
+        )
+        counters["cells"] += len(cells)
+        counters["wall_s"] += wall
+        counters["cell_s"].extend(t for _, t in timed)
+        return results

@@ -49,3 +49,28 @@ def temperature_map(
         )
     temps = model.core_steady_state(core_powers)
     return temps.reshape(rows, cols)
+
+
+def temperature_maps(
+    model: ThermalModel,
+    core_power_batch: Sequence[Sequence[float]],
+    rows: int,
+    cols: int,
+) -> np.ndarray:
+    """Batched :func:`temperature_map`: ``k`` grids from one solve.
+
+    All ``k`` power vectors go through a single multi-right-hand-side
+    solve against the model's shared factorisation.
+
+    Args:
+        core_power_batch: shape ``(k, n_cores)`` per-core powers, W.
+
+    Returns:
+        Temperatures (degC) of shape ``(k, rows, cols)``.
+    """
+    if rows * cols != model.n_cores:
+        raise ConfigurationError(
+            f"{rows}x{cols} grid does not match {model.n_cores} cores"
+        )
+    temps = model.core_steady_state_batch(core_power_batch)
+    return temps.reshape(-1, rows, cols)

@@ -28,11 +28,14 @@ paper's (and HotSpot's) default packaging.
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
+from typing import Union
+
+import numpy as np
 
 from repro.errors import ConfigurationError
 from repro.floorplan.floorplan import Floorplan
+from repro.thermal.backends import SolverBackend
 from repro.thermal.config import PAPER_THERMAL_CONFIG, ThermalConfig
 from repro.thermal.model import ThermalModel
 from repro.thermal.rc_network import NodeSpec, RCNetwork
@@ -120,9 +123,17 @@ def _boundary_cores(floorplan: Floorplan) -> dict[str, list[tuple[int, float, fl
 
 
 def build_thermal_model(
-    floorplan: Floorplan, config: ThermalConfig = PAPER_THERMAL_CONFIG
+    floorplan: Floorplan,
+    config: ThermalConfig = PAPER_THERMAL_CONFIG,
+    backend: Union[None, str, SolverBackend] = None,
 ) -> ThermalModel:
     """Assemble the RC model of ``floorplan`` inside ``config``'s package.
+
+    Args:
+        floorplan: the die floorplan (one block per core).
+        config: package geometry and material properties.
+        backend: solver backend for the resulting model's factorisations;
+            ``None`` selects the process default.
 
     Raises:
         ConfigurationError: if the die does not fit on the spreader.
@@ -171,19 +182,31 @@ def build_thermal_model(
         )
 
     # --- nodes: per-core columns ------------------------------------
-    for i, block in enumerate(floorplan.blocks):
-        area = block.rect.area
-        net.add_node(
-            NodeSpec(f"si_{i}", config.silicon_specific_heat * area * t_die)
-        )
-        net.add_node(NodeSpec(f"tim_{i}", config.tim_specific_heat * area * t_tim))
-        net.add_node(NodeSpec(f"spr_{i}", config.metal_specific_heat * area * t_spr))
-        net.add_node(
-            NodeSpec(
-                f"snk_{i}",
-                sink_capacitance(area),
-                ambient_conductance=sink_ambient_conductance(area),
-            )
+    # Per-core quantities are computed as whole arrays; the node loop
+    # only names the nodes and collects their indices for the bulk edge
+    # inserts below.
+    areas = np.array([block.rect.area for block in floorplan.blocks])
+    si_cap = config.silicon_specific_heat * areas * t_die
+    tim_cap = config.tim_specific_heat * areas * t_tim
+    spr_cap = config.metal_specific_heat * areas * t_spr
+    snk_cap = (
+        config.metal_specific_heat * areas * t_snk
+        + config.convection_capacitance * areas / sink_area_total
+    )
+    snk_amb = 1.0 / (
+        0.5 * t_snk / (k_m * areas)
+        + config.convection_resistance * sink_area_total / areas
+    )
+    si_idx = np.empty(n_cores, dtype=np.intp)
+    tim_idx = np.empty(n_cores, dtype=np.intp)
+    spr_idx = np.empty(n_cores, dtype=np.intp)
+    snk_idx = np.empty(n_cores, dtype=np.intp)
+    for i in range(n_cores):
+        si_idx[i] = net.add_node(NodeSpec(f"si_{i}", si_cap[i]))
+        tim_idx[i] = net.add_node(NodeSpec(f"tim_{i}", tim_cap[i]))
+        spr_idx[i] = net.add_node(NodeSpec(f"spr_{i}", spr_cap[i]))
+        snk_idx[i] = net.add_node(
+            NodeSpec(f"snk_{i}", snk_cap[i], ambient_conductance=snk_amb[i])
         )
 
     # --- nodes: peripheral rings ------------------------------------
@@ -212,38 +235,36 @@ def build_thermal_model(
         )
 
     # --- vertical conduction within each core column -----------------
-    for i, block in enumerate(floorplan.blocks):
-        area = block.rect.area
-        net.add_resistance(
-            f"si_{i}",
-            f"tim_{i}",
-            0.5 * t_die / (k_si * area) + 0.5 * t_tim / (k_tim * area),
-        )
-        net.add_resistance(
-            f"tim_{i}",
-            f"spr_{i}",
-            0.5 * t_tim / (k_tim * area) + 0.5 * t_spr / (k_m * area),
-        )
-        net.add_resistance(
-            f"spr_{i}",
-            f"snk_{i}",
-            0.5 * t_spr / (k_m * area) + 0.5 * t_snk / (k_m * area),
-        )
+    net.add_resistances(
+        si_idx,
+        tim_idx,
+        0.5 * t_die / (k_si * areas) + 0.5 * t_tim / (k_tim * areas),
+    )
+    net.add_resistances(
+        tim_idx,
+        spr_idx,
+        0.5 * t_tim / (k_tim * areas) + 0.5 * t_spr / (k_m * areas),
+    )
+    net.add_resistances(
+        spr_idx,
+        snk_idx,
+        0.5 * t_spr / (k_m * areas) + 0.5 * t_snk / (k_m * areas),
+    )
 
     # --- lateral conduction between abutting core columns ------------
-    centers = floorplan.centers()
-    for i, j, shared in floorplan.adjacency():
-        dx = centers[i][0] - centers[j][0]
-        dy = centers[i][1] - centers[j][1]
-        dist = math.hypot(dx, dy)
-        for layer, k, t in (
-            ("si", k_si, t_die),
-            ("tim", k_tim, t_tim),
-            ("spr", k_m, t_spr),
-            ("snk", k_m, t_snk),
+    adj_i, adj_j, shared = floorplan.adjacency_arrays()
+    if adj_i.size:
+        centers = np.array(floorplan.centers())
+        delta = centers[adj_i] - centers[adj_j]
+        dist = np.hypot(delta[:, 0], delta[:, 1])
+        for layer_idx, k, t in (
+            (si_idx, k_si, t_die),
+            (tim_idx, k_tim, t_tim),
+            (spr_idx, k_m, t_spr),
+            (snk_idx, k_m, t_snk),
         ):
-            net.add_resistance(
-                f"{layer}_{i}", f"{layer}_{j}", dist / (k * t * shared)
+            net.add_resistances(
+                layer_idx[adj_i], layer_idx[adj_j], dist / (k * t * shared)
             )
 
     # --- boundary cores to spreader / sink rings ---------------------
@@ -281,5 +302,4 @@ def build_thermal_model(
             dist / (k_m * t_snk * config.spreader_side),
         )
 
-    core_nodes = [net.index_of(f"si_{i}") for i in range(n_cores)]
-    return ThermalModel(net, floorplan, config, core_nodes)
+    return ThermalModel(net, floorplan, config, si_idx, backend=backend)

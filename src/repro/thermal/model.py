@@ -1,11 +1,15 @@
 """The assembled thermal model of one chip/package.
 
 :class:`ThermalModel` freezes an :class:`repro.thermal.rc_network.RCNetwork`
-together with the floorplan it was built from and caches the two expensive
+together with the floorplan it was built from and caches the expensive
 artefacts every experiment reuses:
 
-* the sparse LU factorisation of the conductance matrix ``A`` (used by
-  both the steady-state solver and, indirectly, TSP);
+* the factorisation of the conductance matrix ``A``, computed by the
+  model's :mod:`solver backend <repro.thermal.backends>` and shared by
+  the steady-state solver, the batched engine and (indirectly) TSP;
+* per-``dt`` factorisations of the backward-Euler step matrix
+  ``C/dt + A``, shared by every
+  :class:`~repro.thermal.transient.TransientSimulator` on this model;
 * the core-to-core **influence matrix** ``B``: row ``i``, column ``j`` is
   the steady-state temperature rise of core ``i`` per watt injected at
   core ``j``.  ``T_core = T_amb + B @ P_core`` for temperature-independent
@@ -15,21 +19,22 @@ artefacts every experiment reuses:
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from typing import Optional, Sequence, Union
 
 import numpy as np
 from scipy import sparse
-from scipy.sparse.linalg import splu
 
 from repro import obs
 from repro.errors import ConfigurationError
 from repro.floorplan.floorplan import Floorplan
+from repro.thermal import backends
+from repro.thermal.backends import Factorization, SolverBackend
 from repro.thermal.config import ThermalConfig
 from repro.thermal.rc_network import RCNetwork
 
 
 class ThermalModel:
-    """Frozen RC model of one chip, with cached factorisation.
+    """Frozen RC model of one chip, with cached factorisations.
 
     Args:
         network: the assembled, validated RC network.
@@ -37,6 +42,9 @@ class ThermalModel:
         config: the package configuration used during assembly.
         core_node_indices: network indices of the silicon (power-input)
             nodes, in floorplan block order.
+        backend: solver backend (name or object) for every factorisation
+            this model owns; ``None`` selects the process default (see
+            :func:`repro.thermal.backends.default_backend_name`).
     """
 
     def __init__(
@@ -45,6 +53,7 @@ class ThermalModel:
         floorplan: Floorplan,
         config: ThermalConfig,
         core_node_indices: Sequence[int],
+        backend: Union[None, str, SolverBackend] = None,
     ) -> None:
         network.validate()
         if len(core_node_indices) != len(floorplan):
@@ -58,7 +67,9 @@ class ThermalModel:
         self._core_indices = np.asarray(core_node_indices, dtype=int)
         self._matrix: sparse.csr_matrix = network.conductance_matrix()
         self._capacitances = network.capacitances()
-        self._lu = None
+        self._backend = backends.resolve_backend(backend)
+        self._factorization: Optional[Factorization] = None
+        self._step_factorizations: dict[float, Factorization] = {}
         self._influence: Optional[np.ndarray] = None
 
     @property
@@ -75,6 +86,16 @@ class ThermalModel:
     def config(self) -> ThermalConfig:
         """The package configuration."""
         return self._config
+
+    @property
+    def backend(self) -> SolverBackend:
+        """The solver backend every factorisation of this model uses."""
+        return self._backend
+
+    @property
+    def backend_name(self) -> str:
+        """The backend's registry name (e.g. ``"sparse"``)."""
+        return self._backend.name
 
     @property
     def n_cores(self) -> int:
@@ -106,11 +127,42 @@ class ThermalModel:
         """Per-node heat capacitances, in J/K."""
         return self._capacitances
 
-    def _factorisation(self):
-        if self._lu is None:
+    def factorization(self) -> Factorization:
+        """The backend factorisation of ``A``, computed once and shared.
+
+        Every consumer of steady-state solves on this model — the direct
+        solver, the influence-matrix build behind the batched engine and
+        TSP — goes through this one factorisation.
+        """
+        if self._factorization is None:
             obs.incr("thermal.model.lu_factorisations")
-            self._lu = splu(sparse.csc_matrix(self._matrix))
-        return self._lu
+            self._factorization = self._backend.factorize(self._matrix)
+        return self._factorization
+
+    # Backward-compatible private spelling (pre-backend API).
+    _factorisation = factorization
+
+    def step_factorization(self, dt: float) -> Factorization:
+        """The factorisation of the step matrix ``C/dt + A``, per ``dt``.
+
+        Shared by every :class:`~repro.thermal.transient.
+        TransientSimulator` bound to this model with the same step, so
+        repeated simulator constructions (e.g. one per boosting-sweep
+        cell) factorise once instead of once each.
+
+        Raises:
+            ConfigurationError: on a non-positive ``dt``.
+        """
+        if dt <= 0:
+            raise ConfigurationError(f"dt must be positive, got {dt}")
+        key = float(dt)
+        cached = self._step_factorizations.get(key)
+        if cached is None:
+            obs.incr("thermal.transient.lu_factorisations")
+            step_matrix = sparse.diags(self._capacitances / key) + self._matrix
+            cached = self._backend.factorize(step_matrix)
+            self._step_factorizations[key] = cached
+        return cached
 
     def expand_core_powers(self, core_powers: Sequence[float]) -> np.ndarray:
         """Per-core powers -> full network power vector (W)."""
@@ -135,7 +187,7 @@ class ThermalModel:
                 f"expected {self.n_nodes} node powers, got shape {p.shape}"
             )
         obs.incr("thermal.model.solves")
-        delta = self._factorisation().solve(p)
+        delta = self.factorization().solve(p)
         return self.ambient + delta
 
     def core_steady_state(self, core_powers: Sequence[float]) -> np.ndarray:
@@ -143,19 +195,45 @@ class ThermalModel:
         full = self.steady_state(self.expand_core_powers(core_powers))
         return full[self._core_indices]
 
+    def core_steady_state_batch(
+        self, core_power_batch: Sequence[Sequence[float]]
+    ) -> np.ndarray:
+        """Steady-state core temperatures for a whole batch of vectors.
+
+        Args:
+            core_power_batch: shape ``(k, n_cores)``, one per-core power
+                vector per row, in W.
+
+        Returns:
+            Core temperatures (degC), shape ``(k, n_cores)``.  The whole
+            batch is one multi-RHS ``solve`` against the shared
+            factorisation — the batched route experiments should prefer
+            over per-vector :meth:`core_steady_state` loops.
+        """
+        p = np.asarray(core_power_batch, dtype=float)
+        if p.ndim != 2 or p.shape[1] != self.n_cores:
+            raise ConfigurationError(
+                f"expected a (k, {self.n_cores}) power batch, got shape {p.shape}"
+            )
+        obs.incr("thermal.model.solves")
+        full = np.zeros((self.n_nodes, p.shape[0]))
+        full[self._core_indices, :] = p.T
+        delta = self.factorization().solve(full)
+        return self.ambient + delta[self._core_indices, :].T
+
     def influence_matrix(self) -> np.ndarray:
         """Core-to-core steady-state influence matrix ``B``, in K/W.
 
         ``B[i, j]`` is core ``i``'s temperature rise per watt at core
         ``j``; all columns are computed in one multi-right-hand-side
-        solve against the cached LU factorisation and cached.  ``B`` is
+        solve against the shared factorisation and cached.  ``B`` is
         symmetric (reciprocity) and entrywise positive.
         """
         if self._influence is None:
             obs.incr("thermal.model.influence_builds")
-            lu = self._factorisation()
+            factorization = self.factorization()
             units = np.zeros((self.n_nodes, self.n_cores))
             units[self._core_indices, np.arange(self.n_cores)] = 1.0
-            delta = lu.solve(units)
+            delta = factorization.solve(units)
             self._influence = np.ascontiguousarray(delta[self._core_indices])
         return self._influence

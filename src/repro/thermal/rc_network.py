@@ -18,9 +18,11 @@ which :meth:`RCNetwork.validate` checks.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Sequence
 
 import numpy as np
 from scipy import sparse
+from scipy.sparse.csgraph import connected_components
 
 from repro.errors import ConfigurationError
 
@@ -60,6 +62,8 @@ class RCNetwork:
         self._nodes: list[NodeSpec] = []
         self._index: dict[str, int] = {}
         self._edges: list[tuple[int, int, float]] = []
+        # Bulk (vectorised) edge blocks: (i_indices, j_indices, g) arrays.
+        self._bulk_edges: list[tuple[np.ndarray, np.ndarray, np.ndarray]] = []
 
     def add_node(self, node: NodeSpec) -> int:
         """Add a node; returns its index.
@@ -94,12 +98,76 @@ class RCNetwork:
             )
         self.add_conductance(a, b, 1.0 / resistance)
 
+    def add_conductances(
+        self,
+        a_indices: Sequence[int],
+        b_indices: Sequence[int],
+        conductances: Sequence[float],
+    ) -> None:
+        """Bulk edge insertion by node *index* (the vectorised assembly
+        path the floorplan builder uses; equivalent to repeated
+        :meth:`add_conductance` calls).
+
+        Raises:
+            ConfigurationError: on shape mismatches, out-of-range
+                indices, self-loops, or non-positive conductances.
+        """
+        i = np.asarray(a_indices, dtype=np.intp)
+        j = np.asarray(b_indices, dtype=np.intp)
+        g = np.asarray(conductances, dtype=float)
+        if not (i.shape == j.shape == g.shape) or i.ndim != 1:
+            raise ConfigurationError(
+                f"edge arrays must be 1-D and congruent, got shapes "
+                f"{i.shape}/{j.shape}/{g.shape}"
+            )
+        if i.size == 0:
+            return
+        n = self.size
+        if i.min() < 0 or j.min() < 0 or i.max() >= n or j.max() >= n:
+            raise ConfigurationError(
+                f"edge indices must be in [0, {n})"
+            )
+        if (i == j).any():
+            raise ConfigurationError(
+                f"self-loop on node {self._nodes[int(i[(i == j).argmax()])].name!r}"
+            )
+        if not (g > 0).all():
+            bad = int((~(g > 0)).argmax())
+            raise ConfigurationError(
+                f"conductance between {self._nodes[int(i[bad])].name!r} and "
+                f"{self._nodes[int(j[bad])].name!r} must be positive, "
+                f"got {g[bad]}"
+            )
+        self._bulk_edges.append((i.copy(), j.copy(), g.copy()))
+
+    def add_resistances(
+        self,
+        a_indices: Sequence[int],
+        b_indices: Sequence[int],
+        resistances: Sequence[float],
+    ) -> None:
+        """Bulk :meth:`add_resistance` by node index (K/W each)."""
+        r = np.asarray(resistances, dtype=float)
+        if r.size and not (r > 0).all():
+            bad = int((~(r > 0)).argmax())
+            raise ConfigurationError(
+                f"resistance at bulk position {bad} must be positive, "
+                f"got {r[bad]}"
+            )
+        self.add_conductances(a_indices, b_indices, 1.0 / r)
+
     def index_of(self, name: str) -> int:
         """Index of the named node."""
         try:
             return self._index[name]
         except KeyError:
             raise ConfigurationError(f"no node named {name!r}") from None
+
+    def indices_of(self, names: Sequence[str]) -> np.ndarray:
+        """Indices of the named nodes, as an integer array."""
+        return np.fromiter(
+            (self.index_of(n) for n in names), dtype=np.intp, count=len(names)
+        )
 
     @property
     def size(self) -> int:
@@ -119,27 +187,42 @@ class RCNetwork:
         """Per-node ambient conductances (W/K), index order."""
         return np.array([n.ambient_conductance for n in self._nodes])
 
+    def edge_arrays(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Every edge as flat ``(i, j, g)`` arrays (scalar + bulk adds)."""
+        parts_i: list[np.ndarray] = []
+        parts_j: list[np.ndarray] = []
+        parts_g: list[np.ndarray] = []
+        if self._edges:
+            scalar = np.array(self._edges, dtype=float).reshape(-1, 3)
+            parts_i.append(scalar[:, 0].astype(np.intp))
+            parts_j.append(scalar[:, 1].astype(np.intp))
+            parts_g.append(scalar[:, 2])
+        for i, j, g in self._bulk_edges:
+            parts_i.append(i)
+            parts_j.append(j)
+            parts_g.append(g)
+        if not parts_i:
+            empty_idx = np.empty(0, dtype=np.intp)
+            return empty_idx, empty_idx.copy(), np.empty(0)
+        return (
+            np.concatenate(parts_i),
+            np.concatenate(parts_j),
+            np.concatenate(parts_g),
+        )
+
     def conductance_matrix(self) -> sparse.csr_matrix:
         """The steady-state system matrix ``A = L + diag(g_amb)`` (W/K)."""
         n = self.size
         if n == 0:
             raise ConfigurationError("network has no nodes")
-        rows: list[int] = []
-        cols: list[int] = []
-        vals: list[float] = []
+        i, j, g = self.edge_arrays()
         diag = self.ambient_conductances().copy()
-        for i, j, g in self._edges:
-            rows.extend((i, j))
-            cols.extend((j, i))
-            vals.extend((-g, -g))
-            diag[i] += g
-            diag[j] += g
-        rows.extend(range(n))
-        cols.extend(range(n))
-        vals.extend(diag.tolist())
-        return sparse.csr_matrix(
-            (vals, (rows, cols)), shape=(n, n)
-        )
+        np.add.at(diag, i, g)
+        np.add.at(diag, j, g)
+        rows = np.concatenate([i, j, np.arange(n, dtype=np.intp)])
+        cols = np.concatenate([j, i, np.arange(n, dtype=np.intp)])
+        vals = np.concatenate([-g, -g, diag])
+        return sparse.csr_matrix((vals, (rows, cols)), shape=(n, n))
 
     def validate(self) -> None:
         """Check the network is well-posed for steady-state solving.
@@ -151,24 +234,17 @@ class RCNetwork:
             ConfigurationError: listing unreachable nodes.
         """
         n = self.size
-        adjacency: list[list[int]] = [[] for _ in range(n)]
-        for i, j, _ in self._edges:
-            adjacency[i].append(j)
-            adjacency[j].append(i)
-        reached = [False] * n
-        frontier = [i for i in range(n) if self._nodes[i].ambient_conductance > 0]
-        if not frontier:
+        ambient = self.ambient_conductances() > 0
+        if not ambient.any():
             raise ConfigurationError("no node conducts to the ambient")
-        for i in frontier:
-            reached[i] = True
-        while frontier:
-            i = frontier.pop()
-            for j in adjacency[i]:
-                if not reached[j]:
-                    reached[j] = True
-                    frontier.append(j)
-        orphans = [self._nodes[i].name for i in range(n) if not reached[i]]
-        if orphans:
+        i, j, _ = self.edge_arrays()
+        adjacency = sparse.coo_matrix(
+            (np.ones(i.size), (i, j)), shape=(n, n)
+        )
+        _, labels = connected_components(adjacency, directed=False)
+        reached = np.isin(labels, np.unique(labels[ambient]))
+        if not reached.all():
+            orphans = [self._nodes[k].name for k in np.flatnonzero(~reached)[:11]]
             raise ConfigurationError(
                 f"nodes with no path to ambient: {orphans[:10]}"
                 + ("..." if len(orphans) > 10 else "")

@@ -39,9 +39,17 @@ class SteadyStateSolver:
         return self._model
 
     def temperatures(self, core_powers: Sequence[float]) -> np.ndarray:
-        """Steady-state core temperatures (degC) for per-core powers (W)."""
+        """Steady-state core temperatures (degC) for per-core powers (W).
+
+        Accepts one vector (shape ``(n,)``) or a whole batch (shape
+        ``(k, n)``); a batch is one multi-RHS solve against the model's
+        shared factorisation, not ``k`` sequential solves.
+        """
         obs.incr("thermal.steady.solves")
-        return self._model.core_steady_state(core_powers)
+        p = np.asarray(core_powers, dtype=float)
+        if p.ndim == 2:
+            return self._model.core_steady_state_batch(p)
+        return self._model.core_steady_state(p)
 
     def peak_temperature(self, core_powers: Sequence[float]) -> float:
         """Hottest core's steady-state temperature, in degC."""

@@ -10,7 +10,9 @@ backward-Euler scheme:
     (C/dt + A) dT_{k+1} = (C/dt) dT_k + P_k
 
 The left-hand matrix is constant for a fixed step, so it is factorised
-once (sparse LU) and each step is a pair of triangular solves.
+once — by the model's shared solver backend, cached per ``dt`` on the
+:class:`~repro.thermal.model.ThermalModel` so every simulator with the
+same step reuses it — and each step is a pair of triangular solves.
 """
 
 from __future__ import annotations
@@ -19,8 +21,6 @@ from dataclasses import dataclass
 from typing import Callable, Optional, Sequence
 
 import numpy as np
-from scipy import sparse
-from scipy.sparse.linalg import splu
 
 from repro import obs
 from repro.errors import ConfigurationError
@@ -67,10 +67,8 @@ class TransientSimulator:
             raise ConfigurationError(f"dt must be positive, got {dt}")
         self._model = model
         self._dt = dt
-        c_over_dt = sparse.diags(model.capacitances / dt)
         self._c_over_dt = model.capacitances / dt
-        obs.incr("thermal.transient.lu_factorisations")
-        self._lu = splu(sparse.csc_matrix(c_over_dt + model.conductance_matrix))
+        self._factorization = model.step_factorization(dt)
         self._state = np.zeros(model.n_nodes)  # temperature above ambient
 
     @property
@@ -128,7 +126,7 @@ class TransientSimulator:
         obs.incr("thermal.transient.steps")
         p = self._model.expand_core_powers(core_powers)
         rhs = self._c_over_dt * self._state + p
-        self._state = self._lu.solve(rhs)
+        self._state = self._factorization.solve(rhs)
         return self.core_temperatures
 
     def simulate(
@@ -193,7 +191,10 @@ class TransientSimulator:
             if (k + 1) % every == 0 or k == n_steps - 1:
                 times.append(t + self._dt)
                 temps.append(core_t.copy())
-                powers.append(p)
+                # Copy on record: np.asarray does not copy when the
+                # schedule reuses one ndarray buffer, and every recorded
+                # row would alias the final vector.
+                powers.append(p.copy())
         return TransientResult(
             times=np.array(times),
             core_temperatures=np.array(temps),

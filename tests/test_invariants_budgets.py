@@ -19,6 +19,7 @@ import pytest
 from repro.apps.parsec import PARSEC
 from repro.apps.speedup import amdahl_speedup, saturation_threads
 from repro.core.tsp import ThermalSafePower
+from repro.errors import InfeasibleError
 
 
 @pytest.fixture(scope="module")
@@ -78,6 +79,45 @@ class TestWorstCaseIsWorst:
         # Not strictly monotone in general, but the paper's headline
         # TSP(1) <= total at full activation must hold.
         assert totals[-1] >= totals[0] - 1e-9
+
+
+class TestBudgetsNonNegative:
+    """Engine-level TSP budgets are clamped at 0.0 (infeasible marker).
+
+    Regression: with a nonzero inactive power large enough that the dark
+    cores' residual heating alone exceeds the headroom, the engine's
+    table/single-count paths used to return *negative* "budgets" to
+    callers bypassing :class:`ThermalSafePower`.
+    """
+
+    INACTIVE_SWEEP = (0.0, 0.3, 5.0, 50.0, 500.0)
+
+    def test_full_table_budgets_never_negative(self, small_chip):
+        engine = small_chip.engine
+        headroom = small_chip.t_dtm - small_chip.ambient
+        for inactive in self.INACTIVE_SWEEP:
+            budgets, _ = engine.tsp_table(headroom, inactive)
+            assert np.all(budgets >= 0.0), f"inactive_power={inactive}"
+
+    def test_single_count_budgets_never_negative(self, small_chip):
+        engine = small_chip.engine
+        headroom = small_chip.t_dtm - small_chip.ambient
+        for inactive in self.INACTIVE_SWEEP:
+            for m in range(1, small_chip.n_cores + 1):
+                budget, _ = engine.tsp_for_count(m, headroom, inactive)
+                assert budget >= 0.0
+
+    def test_zero_budget_marks_count_infeasible(self, small_chip):
+        # Residual heating this heavy must make *some* count infeasible
+        # (the engine reports 0.0), and ThermalSafePower must refuse it.
+        engine = small_chip.engine
+        headroom = small_chip.t_dtm - small_chip.ambient
+        budgets, _ = engine.tsp_table(headroom, 500.0)
+        assert budgets.min() == 0.0
+        tsp = ThermalSafePower(small_chip, inactive_power=500.0)
+        infeasible = int(np.argmin(budgets)) + 1
+        with pytest.raises(InfeasibleError):
+            tsp.worst_case(infeasible)
 
 
 class TestExtendedAmdahlShape:

@@ -20,6 +20,7 @@ import pytest
 from repro.floorplan.generator import grid_floorplan
 from repro.perf import BatchedSteadyState
 from repro.tech.library import NODE_16NM
+from repro.thermal.backends import backend_names
 from repro.thermal.builder import build_thermal_model
 from repro.thermal.steady_state import SteadyStateSolver
 
@@ -132,6 +133,22 @@ class TestBatchedAgreement:
                     abs(engine.peak_temperature(p) - solver.peak_temperature(p))
                     <= 1e-9
                 )
+
+
+class TestBackendAgreement:
+    """Every solver backend reproduces the same physics on fresh chips."""
+
+    def test_backends_agree_on_random_chips(self, random_models):
+        rng = np.random.default_rng(6)
+        for model in random_models:
+            p = rng.uniform(0.0, 8.0, model.n_cores)
+            ref = SteadyStateSolver(model).temperatures(p)
+            for name in backend_names():
+                rebuilt = build_thermal_model(
+                    model.floorplan, model.config, backend=name
+                )
+                got = SteadyStateSolver(rebuilt).temperatures(p)
+                assert np.max(np.abs(got - ref)) <= 1e-9
 
     def test_batch_rows_match_direct(self, random_models):
         rng = np.random.default_rng(6)

@@ -190,6 +190,18 @@ class TestValidation:
         with pytest.raises(ConfigurationError, match="2-D"):
             engine.peak_temperatures(np.zeros(engine.n_cores))
 
+    def test_non_finite_powers_rejected_before_caching(self, engine):
+        # Regression: np.rint on a NaN/inf power produced a garbage
+        # quantized key, silently poisoning the peak-temperature LRU.
+        for bad in (np.nan, np.inf, -np.inf):
+            p = random_powers(engine.n_cores)
+            p[2] = bad
+            with pytest.raises(ConfigurationError, match="finite"):
+                engine.peak_temperature(p)
+        info = engine.cache_info()
+        assert info["size"] == 0
+        assert info["misses"] == 0
+
     def test_negative_cache_size_rejected(self, model):
         with pytest.raises(ConfigurationError, match="cache_size"):
             BatchedSteadyState(model, cache_size=-1)

@@ -12,6 +12,11 @@ def _square(x):
     return x * x
 
 
+def _square_batch(cells):
+    """Whole-chunk counterpart of :func:`_square` for map_batched."""
+    return [x * x for x in cells]
+
+
 def _instrumented_square(x):
     """Picklable cell that also reports to the global registry."""
     obs.incr("testsweep.cell_calls")
@@ -62,6 +67,39 @@ class TestSerial:
     def test_empty_grid(self):
         runner = SweepRunner()
         assert runner.map([], _square) == []
+
+
+class TestMapBatched:
+    def test_serial_matches_map(self):
+        runner = SweepRunner()
+        assert runner.map_batched([3, 1, 2], _square_batch) == [9, 1, 4]
+
+    def test_parallel_matches_serial(self):
+        runner = SweepRunner(max_workers=2)
+        cells = list(range(10))
+        got = runner.map_batched(cells, _square_batch, stage="par_batch")
+        assert got == [x * x for x in cells]
+        assert runner.metrics["par_batch"]["cells"] == 10
+
+    def test_single_cell_stays_in_process(self):
+        runner = SweepRunner(max_workers=4)
+        assert runner.map_batched([7], _square_batch) == [49]
+
+    def test_metrics_count_cells_not_batches(self):
+        runner = SweepRunner()
+        runner.map_batched([1, 2, 3], _square_batch, stage="batched")
+        counters = runner.metrics["batched"]
+        assert counters["cells"] == 3
+        # One timing entry per batch call, not per cell.
+        assert len(counters["cell_s"]) == 1
+
+    def test_wrong_result_length_rejected(self):
+        runner = SweepRunner()
+        with pytest.raises(ConfigurationError, match="batch_fn"):
+            runner.map_batched([1, 2, 3], lambda cells: [0])
+
+    def test_empty_grid(self):
+        assert SweepRunner().map_batched([], _square_batch) == []
 
 
 class TestParallel:

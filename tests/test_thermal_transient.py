@@ -135,6 +135,22 @@ class TestSimulate:
         assert np.all(result.total_powers == pytest.approx(18.0))
         assert result.peak_temperatures.shape == result.times.shape
 
+    def test_recorded_powers_do_not_alias_reused_buffer(self, model):
+        # Regression: simulate() used to record the schedule's ndarray
+        # without copying (np.asarray is a no-op on an ndarray), so a
+        # schedule reusing one buffer made every recorded power row
+        # alias — and equal — the final vector.
+        buf = np.zeros(9)
+
+        def schedule(t, temps):
+            buf[:] = 1.0 if t < 2e-3 else 5.0
+            return buf
+
+        sim = TransientSimulator(model, dt=1e-3)
+        result = sim.simulate(schedule, duration=4e-3)
+        assert np.allclose(result.core_powers[0], 1.0)
+        assert np.allclose(result.core_powers[-1], 5.0)
+
     def test_invalid_duration_rejected(self, model):
         sim = TransientSimulator(model, dt=1e-3)
         with pytest.raises(ConfigurationError, match="duration"):
