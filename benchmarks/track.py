@@ -79,9 +79,31 @@ def _bench_runtime_policies() -> None:
     OnlineSimulator(chip, TspAdaptivePolicy(ThermalSafePower(chip))).run(jobs)
 
 
+def _bench_3d_steady() -> None:
+    """4-layer stack build + batched multi-RHS steady-state solves.
+
+    Tracks how the PR 6 solver backends scale with layer count: a
+    400-core, 4-layer 16 nm stack is built cold (model assembly, one
+    factorisation, the 400-RHS influence solve), then a 256-vector
+    batch runs through the batched engine and its peak reduction.
+    """
+    import numpy as np
+
+    from repro.chip import Chip
+    from repro.tech.library import node_by_name
+
+    chip = Chip.stacked_grid(node_by_name("16nm"), 10, 10, 4)
+    engine = chip.engine
+    rng = np.random.default_rng(42)
+    batch = rng.uniform(0.5, 3.0, size=(256, chip.n_cores))
+    engine.temperatures(batch)
+    engine.peak_temperatures(batch)
+
+
 BENCHES = {
     "bench_fig10_tsp": _bench_fig10_tsp,
     "bench_runtime_policies": _bench_runtime_policies,
+    "bench_3d_steady": _bench_3d_steady,
 }
 
 

@@ -44,6 +44,60 @@ def amdahl_speedup(
     return 1.0 / ((1.0 - p) + p / n + sync_overhead * (n - 1))
 
 
+def temperature_limited_speedup(
+    parallel_fraction: float,
+    threads: int,
+    frequency_scale: float,
+    sync_overhead: float = 0.0,
+    serial_frequency_scale: float | None = None,
+) -> float:
+    """Extended-Amdahl speed-up with a thermal frequency derating.
+
+    The 3D-stacking literature (Yavits et al., "The Effect of Temperature
+    on Amdahl Law in 3D Multicore Era") observes that once a chip is
+    thermally limited, every phase runs at the highest *thermally safe*
+    frequency rather than the nominal one.  With the serial and parallel
+    phases derated to fractions ``f_s`` and ``f_p`` of nominal, the
+    execution-time model becomes
+
+        S(n) = 1 / ((1 - p) / f_s + (p / n + gamma (n - 1)) / f_p)
+
+    normalised to a single thread at *nominal* frequency.  Both scales at
+    1.0 recover :func:`amdahl_speedup` exactly; by default the serial
+    phase is derated like the parallel one (the DVFS governor holds the
+    chip-wide thermally safe operating point), which is what produces the
+    thermally limited scalability knee: past the knee, adding threads
+    buys less Amdahl parallelism than the extra heat takes away in
+    frequency.
+
+    Args:
+        parallel_fraction: the parallelisable share ``p`` in [0, 1].
+        threads: thread count, >= 1.
+        frequency_scale: parallel-phase frequency as a fraction of
+            nominal, in (0, 1].
+        sync_overhead: per-extra-thread synchronisation cost ``gamma``.
+        serial_frequency_scale: serial-phase frequency fraction; defaults
+            to ``frequency_scale``.
+    """
+    _check(parallel_fraction, threads, sync_overhead)
+    if serial_frequency_scale is None:
+        serial_frequency_scale = frequency_scale
+    for name, scale in (
+        ("frequency_scale", frequency_scale),
+        ("serial_frequency_scale", serial_frequency_scale),
+    ):
+        if not 0.0 < scale <= 1.0:
+            raise ConfigurationError(
+                f"{name} must be in (0, 1], got {scale}"
+            )
+    p = parallel_fraction
+    n = threads
+    return 1.0 / (
+        (1.0 - p) / serial_frequency_scale
+        + (p / n + sync_overhead * (n - 1)) / frequency_scale
+    )
+
+
 def amdahl_utilisation(
     parallel_fraction: float, threads: int, sync_overhead: float = 0.0
 ) -> float:

@@ -15,6 +15,7 @@ from typing import Optional
 from repro.errors import ConfigurationError
 from repro.floorplan.floorplan import Floorplan
 from repro.floorplan.generator import floorplan_for_node, grid_floorplan
+from repro.floorplan.stack import LayerStack
 from repro.tech.library import chip_grid
 from repro.tech.node import TechNode
 from repro.thermal.builder import build_thermal_model
@@ -33,8 +34,10 @@ class Chip:
         thermal_config: package configuration; defaults to the paper's
             Section 2.1 HotSpot setup.
         grid: explicit (rows, cols) when a custom floorplan is a regular
-            grid; inferred from the node when the default floorplan is
-            used.
+            grid (the per-layer grid for stacks); inferred from the node
+            when the default floorplan is used.
+        stack: a :class:`~repro.floorplan.stack.LayerStack` for a
+            3D-stacked chip; mutually exclusive with ``floorplan``.
     """
 
     def __init__(
@@ -43,16 +46,26 @@ class Chip:
         floorplan: Optional[Floorplan] = None,
         thermal_config: ThermalConfig = PAPER_THERMAL_CONFIG,
         grid: Optional[tuple[int, int]] = None,
+        stack: Optional[LayerStack] = None,
     ) -> None:
         self.node = node
-        if floorplan is None:
+        if stack is not None:
+            if floorplan is not None:
+                raise ConfigurationError(
+                    "pass either floorplan or stack, not both"
+                )
+            floorplan = stack.layers[0].floorplan
+        elif floorplan is None:
             floorplan = floorplan_for_node(node)
             if grid is None:
                 grid = chip_grid(node)
         self.floorplan = floorplan
+        self.stack = stack
         self.grid = grid
         self.thermal_config = thermal_config
-        self.thermal: ThermalModel = build_thermal_model(floorplan, thermal_config)
+        self.thermal: ThermalModel = build_thermal_model(
+            stack if stack is not None else floorplan, thermal_config
+        )
         self.solver = SteadyStateSolver(self.thermal)
         self._engine: Optional["BatchedSteadyState"] = None
 
@@ -81,6 +94,36 @@ class Chip:
             grid=(rows, cols),
         )
 
+    @classmethod
+    def stacked_grid(
+        cls,
+        node: TechNode,
+        rows: int,
+        cols: int,
+        n_layers: int,
+        thermal_config: ThermalConfig = PAPER_THERMAL_CONFIG,
+    ) -> "Chip":
+        """A 3D chip: ``n_layers`` identical ``rows x cols`` grids.
+
+        Every layer replicates the same grid floorplan; layers and
+        bonding interfaces take ``thermal_config``'s die and
+        ``interlayer_*`` defaults.
+
+        Raises:
+            ConfigurationError: on a non-positive layer count.
+        """
+        if n_layers < 1:
+            raise ConfigurationError(
+                f"n_layers must be >= 1, got {n_layers}"
+            )
+        floorplan = grid_floorplan(rows, cols, node.core_area)
+        return cls(
+            node,
+            thermal_config=thermal_config,
+            grid=(rows, cols),
+            stack=thermal_config.stacked([floorplan] * n_layers),
+        )
+
     @property
     def engine(self) -> "BatchedSteadyState":
         """The chip's batched steady-state engine, built on first use.
@@ -97,8 +140,13 @@ class Chip:
 
     @property
     def n_cores(self) -> int:
-        """Core count."""
-        return len(self.floorplan)
+        """Core count (summed over every silicon layer on a 3D chip)."""
+        return self.thermal.n_cores
+
+    @property
+    def n_layers(self) -> int:
+        """Silicon layer count (1 for a planar chip)."""
+        return self.thermal.n_layers
 
     @property
     def t_dtm(self) -> float:
@@ -113,6 +161,9 @@ class Chip:
     def grid_coordinates(self, core: int) -> tuple[int, int]:
         """(row, col) of a core on a grid chip.
 
+        On a stacked chip the flat (layer-major) index is reduced to its
+        within-layer position first — every layer shares the same grid.
+
         Raises:
             ConfigurationError: if the chip has no grid layout or the
                 index is out of range.
@@ -120,9 +171,9 @@ class Chip:
         if self.grid is None:
             raise ConfigurationError("this chip has no regular grid layout")
         rows, cols = self.grid
-        if not 0 <= core < rows * cols:
+        if not 0 <= core < self.n_cores:
             raise ConfigurationError(
-                f"core index {core} out of range [0, {rows * cols})"
+                f"core index {core} out of range [0, {self.n_cores})"
             )
-        row, col = divmod(core, cols)
+        row, col = divmod(core % (rows * cols), cols)
         return row, col

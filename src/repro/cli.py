@@ -204,13 +204,26 @@ def _export_rows(result, name: str, csv_dir: Optional[Path]) -> None:
 
 def _cmd_list(args) -> int:
     """``list``: every registered experiment, plus the obs demo."""
+    import fnmatch
+
     names = registry.names() + ["obs"]
+    if args.family:
+        names = [n for n in names if fnmatch.fnmatchcase(n, args.family)]
+        if not names:
+            print(
+                f"no experiment matches family {args.family!r}; "
+                "try 'list' without --family",
+                file=sys.stderr,
+            )
+            return 2
     if args.long:
         width = max(len(n) for n in names)
-        for name in registry.names():
-            print(f"{name:<{width}}  {registry.get(name).title}")
-        print(f"{'obs':<{width}}  instrumented demo; prints the registry "
-              "snapshot as JSON")
+        for name in names:
+            if name == "obs":
+                print(f"{'obs':<{width}}  instrumented demo; prints the "
+                      "registry snapshot as JSON")
+            else:
+                print(f"{name:<{width}}  {registry.get(name).title}")
     else:
         for name in names:
             print(name)
@@ -586,6 +599,12 @@ def build_parser() -> argparse.ArgumentParser:
     p_list = sub.add_parser("list", help="list registered experiments")
     p_list.add_argument(
         "--long", action="store_true", help="include one-line titles"
+    )
+    p_list.add_argument(
+        "--family",
+        metavar="PATTERN",
+        help="only experiments matching the glob PATTERN "
+        "(e.g. --family 'ext*' or --family 'fig1?')",
     )
 
     p_desc = sub.add_parser(

@@ -49,6 +49,8 @@ from repro.experiments import (  # noqa: E402  (registration side effect)
     ext_runtime,
     ext_projection,
     ext_sensitivity,
+    ext_3d_amdahl,
+    ext_3d_tsp,
     summary,
 )
 from repro.experiments import registry
@@ -74,5 +76,7 @@ __all__ = [
     "ext_runtime",
     "ext_projection",
     "ext_sensitivity",
+    "ext_3d_amdahl",
+    "ext_3d_tsp",
     "summary",
 ]

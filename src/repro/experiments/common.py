@@ -36,6 +36,27 @@ def get_chip(
     return Chip.for_node(node_by_name(node_name), thermal_config=thermal_config)
 
 
+@lru_cache(maxsize=8)
+def get_stacked_chip(
+    node_name: str,
+    rows: int,
+    cols: int,
+    n_layers: int,
+    thermal_config: ThermalConfig = PAPER_THERMAL_CONFIG,
+) -> Chip:
+    """A 3D-stacked grid chip, cached like :func:`get_chip`.
+
+    The ``ext_3d_*`` experiments sweep the same (node, grid, layers)
+    combinations repeatedly; caching shares the influence matrix and the
+    TSP tables across them.  ``n_layers = 1`` yields the degenerate
+    single-layer stack (numerically identical to the planar chip).
+    """
+    return Chip.stacked_grid(
+        node_by_name(node_name), rows, cols, n_layers,
+        thermal_config=thermal_config,
+    )
+
+
 def experiment_span(name: str):
     """Span covering one figure/extension run (``experiment.<name>``).
 

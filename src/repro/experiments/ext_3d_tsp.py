@@ -1,0 +1,171 @@
+"""Extension experiment: thermally safe power versus 3D layer count.
+
+The paper's TSP analysis (Figure 10) assumes one silicon layer.  This
+extension stacks the same die 1/2/4 layers high (every layer a replica
+of the node's grid, bonded through the config's TIM/TSV interface) and
+recomputes the worst-case TSP budget at several active-core fractions.
+
+Expected shape: at a fixed *fraction* of active cores, the per-core
+budget collapses as layers are added — the sink feeds the same heat
+sink footprint while the stack multiplies the heat sources — which is
+the quantitative core of the 3D dark-silicon argument (Yavits et al.;
+Menon & Pangracious, PAPERS.md).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.core.tsp import ThermalSafePower
+from repro.errors import ConfigurationError
+from repro.experiments.common import format_table, get_stacked_chip
+from repro.experiments.registry import ExperimentSpec, Param, register
+from repro.io import PayloadSerializable
+from repro.tech.library import chip_grid, node_by_name
+
+
+@dataclass(frozen=True)
+class Tsp3dRow:
+    """One (layer count, active fraction) cell.
+
+    Attributes:
+        layers: silicon layer count.
+        cores: total core count across every layer.
+        active: active-core count ``m`` the budget is computed for.
+        budget_w: worst-case per-core TSP budget, W (0.0 = infeasible).
+        total_w: chip-level safe power ``m * budget_w``, W.
+    """
+
+    layers: int
+    cores: int
+    active: int
+    budget_w: float
+    total_w: float
+
+
+@dataclass(frozen=True)
+class Tsp3dResult(PayloadSerializable):
+    """TSP budgets across layer counts and active fractions."""
+
+    node: str
+    fractions: tuple[float, ...]
+    entries: tuple[Tsp3dRow, ...]
+
+    def budget(self, layers: int, active: int) -> float:
+        """Worst-case per-core budget of one table cell, W."""
+        for e in self.entries:
+            if e.layers == layers and e.active == active:
+                return e.budget_w
+        raise ConfigurationError(
+            f"no entry for layers={layers}, active={active}"
+        )
+
+    def layer_entries(self, layers: int) -> list[Tsp3dRow]:
+        """Every row of one layer count, in increasing active count."""
+        rows = [e for e in self.entries if e.layers == layers]
+        if not rows:
+            raise ConfigurationError(f"no entries for layers={layers}")
+        return sorted(rows, key=lambda e: e.active)
+
+    def rows(self):
+        """(layers, cores, active, TSP W/core, total W) rows."""
+        return [
+            [e.layers, e.cores, e.active, round(e.budget_w, 3),
+             round(e.total_w, 1)]
+            for e in self.entries
+        ]
+
+    def table(self) -> str:
+        """Formatted text table."""
+        return format_table(
+            ("layers", "cores", "active", "TSP [W/core]", "total [W]"),
+            self.rows(),
+        )
+
+
+def run(
+    node_name: str = "16nm",
+    layer_counts: Sequence[int] = (1, 2, 4),
+    rows: int = 0,
+    cols: int = 0,
+    fractions: Sequence[float] = (0.25, 0.5, 0.75, 1.0),
+    inactive_power: float = 0.0,
+) -> Tsp3dResult:
+    """Build the TSP-versus-layer-count table.
+
+    Args:
+        node_name: technology node of every layer.
+        layer_counts: stack heights to evaluate.
+        rows: per-layer grid rows; 0 takes the node's paper grid.
+        cols: per-layer grid cols; 0 takes the node's paper grid.
+        fractions: active-core fractions of the *total* stack.
+        inactive_power: residual power of dark cores, W.
+    """
+    node = node_by_name(node_name)
+    if rows < 1 or cols < 1:
+        rows, cols = chip_grid(node)
+    for fraction in fractions:
+        if not 0.0 < fraction <= 1.0:
+            raise ConfigurationError(
+                f"active fractions must be in (0, 1], got {fraction}"
+            )
+    entries = []
+    for layers in layer_counts:
+        chip = get_stacked_chip(node_name, rows, cols, layers)
+        tsp = ThermalSafePower(chip, inactive_power=inactive_power)
+        for fraction in fractions:
+            m = max(1, math.ceil(fraction * chip.n_cores))
+            budget = tsp.worst_case(m)
+            entries.append(
+                Tsp3dRow(
+                    layers=layers,
+                    cores=chip.n_cores,
+                    active=m,
+                    budget_w=budget,
+                    total_w=m * budget,
+                )
+            )
+    return Tsp3dResult(
+        node=node_name, fractions=tuple(fractions), entries=tuple(entries)
+    )
+
+
+SPEC = register(
+    ExperimentSpec(
+        name="ext_3d_tsp",
+        title="Thermally safe power versus 3D stack height",
+        module=__name__,
+        runner=run,
+        params=(
+            Param("node_name", "str", "16nm", help="technology node"),
+            Param(
+                "layer_counts",
+                "json",
+                (1, 2, 4),
+                quick=(1, 2),
+                help="stack heights to evaluate",
+            ),
+            Param(
+                "rows", "int", 0, quick=6,
+                help="per-layer grid rows (0: node default)",
+            ),
+            Param(
+                "cols", "int", 0, quick=6,
+                help="per-layer grid cols (0: node default)",
+            ),
+            Param(
+                "fractions",
+                "json",
+                (0.25, 0.5, 0.75, 1.0),
+                help="active-core fractions of the total stack",
+            ),
+            Param(
+                "inactive_power", "float", 0.0,
+                help="residual power of dark cores, W",
+            ),
+        ),
+        result_type=Tsp3dResult,
+    )
+)

@@ -10,6 +10,12 @@ captures block geometry and adjacency for the RC network builder.
 from repro.floorplan.geometry import Rect, shared_edge_length
 from repro.floorplan.floorplan import Block, Floorplan
 from repro.floorplan.generator import grid_floorplan, floorplan_for_node
+from repro.floorplan.stack import (
+    LayerStack,
+    StackInterface,
+    StackLayer,
+    interface_overlaps,
+)
 
 __all__ = [
     "Rect",
@@ -18,4 +24,8 @@ __all__ = [
     "Floorplan",
     "grid_floorplan",
     "floorplan_for_node",
+    "LayerStack",
+    "StackInterface",
+    "StackLayer",
+    "interface_overlaps",
 ]

@@ -76,9 +76,13 @@ class Floorplan:
         overlap &= np.triu(np.ones(overlap.shape, dtype=bool), k=1)
         if overlap.any():
             i, j = (int(k) for k in np.argwhere(overlap)[0])
+            a, b = self._blocks[i], self._blocks[j]
             raise ConfigurationError(
-                f"blocks {self._blocks[i].name!r} and "
-                f"{self._blocks[j].name!r} overlap"
+                f"blocks {a.name!r} at "
+                f"[{a.rect.x:.6g}, {a.rect.x2:.6g}] x "
+                f"[{a.rect.y:.6g}, {a.rect.y2:.6g}] and {b.name!r} at "
+                f"[{b.rect.x:.6g}, {b.rect.x2:.6g}] x "
+                f"[{b.rect.y:.6g}, {b.rect.y2:.6g}] overlap"
             )
 
     @property

@@ -1,0 +1,255 @@
+"""Multi-layer 3D die stacks: ordered floorplans with bonding interfaces.
+
+A :class:`LayerStack` generalises the single :class:`~repro.floorplan.
+floorplan.Floorplan` the thermal builder historically consumed to an
+ordered sequence of silicon layers bonded face-to-back.  Layer 0 is the
+package-side layer (it carries the TIM/spreader/sink stack); increasing
+indices move *away* from the heat sink, so the highest layer is the one
+the paper's 3D-scalability argument (Yavits et al., PAPERS.md) predicts
+runs hottest.  Between each pair of adjacent layers sits a
+:class:`StackInterface` — a bonding layer whose conduction is the
+area-weighted parallel combination of the bonding material and the TSVs
+punched through it.
+
+This module is pure geometry + material data: it never imports
+:mod:`repro.thermal`, so the dependency arrow stays
+``thermal -> floorplan``.  The convenience constructors that fill in the
+paper's material defaults live on
+:class:`repro.thermal.config.ThermalConfig` (``stack_layer``,
+``stack_interface``, ``stacked``).
+
+The flat ``(layer, block)`` -> index scheme every consumer shares is
+**layer-major**: all of layer 0's blocks first (in floorplan order),
+then layer 1's, and so on.  A single-layer stack is therefore exactly
+the legacy flat core vector.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.floorplan.floorplan import Floorplan
+from repro.floorplan.geometry import EDGE_TOLERANCE
+
+
+@dataclass(frozen=True)
+class StackLayer:
+    """One silicon layer of a 3D stack.
+
+    Attributes:
+        name: unique layer name, e.g. ``"l0"``.
+        floorplan: the layer's block layout (shared x/y coordinate frame
+            with every other layer in the stack).
+        thickness: silicon thickness, in m.
+        conductivity: thermal conductivity, in W/(m K).
+        specific_heat: volumetric specific heat, in J/(m^3 K).
+    """
+
+    name: str
+    floorplan: Floorplan
+    thickness: float
+    conductivity: float
+    specific_heat: float
+
+    def __post_init__(self) -> None:
+        for attr in ("thickness", "conductivity", "specific_heat"):
+            value = getattr(self, attr)
+            if value <= 0:
+                raise ConfigurationError(
+                    f"layer {self.name!r}: {attr} must be positive, "
+                    f"got {value}"
+                )
+
+
+@dataclass(frozen=True)
+class StackInterface:
+    """The bonding interface between two adjacent stack layers.
+
+    Conduction through the interface is modelled as the bonding material
+    and the TSVs in parallel, weighted by the TSV area fraction:
+    ``k_eff = (1 - f) k_bond + f k_tsv``.
+
+    Attributes:
+        thickness: bonding-layer thickness, in m.
+        conductivity: bonding-material conductivity, in W/(m K).
+        specific_heat: bonding-material volumetric specific heat,
+            in J/(m^3 K).
+        tsv_area_fraction: fraction ``f`` of the interface area occupied
+            by through-silicon vias, in [0, 1).
+        tsv_conductivity: TSV fill conductivity, in W/(m K).
+    """
+
+    thickness: float
+    conductivity: float
+    specific_heat: float
+    tsv_area_fraction: float = 0.0
+    tsv_conductivity: float = 400.0
+
+    def __post_init__(self) -> None:
+        for attr in ("thickness", "conductivity", "specific_heat",
+                     "tsv_conductivity"):
+            value = getattr(self, attr)
+            if value <= 0:
+                raise ConfigurationError(
+                    f"interface {attr} must be positive, got {value}"
+                )
+        if not 0.0 <= self.tsv_area_fraction < 1.0:
+            raise ConfigurationError(
+                f"tsv_area_fraction must be in [0, 1), "
+                f"got {self.tsv_area_fraction}"
+            )
+
+    @property
+    def effective_conductivity(self) -> float:
+        """Area-weighted parallel bond/TSV conductivity, W/(m K)."""
+        f = self.tsv_area_fraction
+        return (1.0 - f) * self.conductivity + f * self.tsv_conductivity
+
+
+def interface_overlaps(
+    lower: Floorplan, upper: Floorplan
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Block-to-block contact patches across a bonding interface.
+
+    Projects both layers onto the interface plane and intersects every
+    block of ``lower`` with every block of ``upper``.
+
+    Returns:
+        ``(i, j, area)`` arrays: block ``i`` of ``lower`` overlaps block
+        ``j`` of ``upper`` over ``area`` m^2.  Patches whose extent in
+        either direction is within :data:`~repro.floorplan.geometry.
+        EDGE_TOLERANCE` (mere edge contact) are dropped.
+    """
+    lx = np.array([b.rect.x for b in lower.blocks])
+    ly = np.array([b.rect.y for b in lower.blocks])
+    lx2 = np.array([b.rect.x2 for b in lower.blocks])
+    ly2 = np.array([b.rect.y2 for b in lower.blocks])
+    ux = np.array([b.rect.x for b in upper.blocks])
+    uy = np.array([b.rect.y for b in upper.blocks])
+    ux2 = np.array([b.rect.x2 for b in upper.blocks])
+    uy2 = np.array([b.rect.y2 for b in upper.blocks])
+    dx = np.minimum(lx2[:, None], ux2[None, :]) - np.maximum(
+        lx[:, None], ux[None, :]
+    )
+    dy = np.minimum(ly2[:, None], uy2[None, :]) - np.maximum(
+        ly[:, None], uy[None, :]
+    )
+    mask = (dx > EDGE_TOLERANCE) & (dy > EDGE_TOLERANCE)
+    i, j = np.nonzero(mask)
+    return i, j, (dx * dy)[i, j]
+
+
+class LayerStack:
+    """An ordered stack of silicon layers with bonding interfaces.
+
+    Args:
+        layers: package-side layer first; at least one.
+        interfaces: one per adjacent layer pair
+            (``len(layers) - 1`` of them).
+
+    Raises:
+        ConfigurationError: on an empty stack, a layer/interface count
+            mismatch, duplicate layer names, or an adjacent layer pair
+            with no overlapping block area (the stack would be thermally
+            disconnected — a singular conductance matrix).
+    """
+
+    def __init__(
+        self,
+        layers: Sequence[StackLayer],
+        interfaces: Sequence[StackInterface] = (),
+    ) -> None:
+        self._layers: tuple[StackLayer, ...] = tuple(layers)
+        self._interfaces: tuple[StackInterface, ...] = tuple(interfaces)
+        if not self._layers:
+            raise ConfigurationError("a layer stack needs at least one layer")
+        if len(self._interfaces) != len(self._layers) - 1:
+            raise ConfigurationError(
+                f"{len(self._layers)} layers need "
+                f"{len(self._layers) - 1} interfaces, "
+                f"got {len(self._interfaces)}"
+            )
+        names = [layer.name for layer in self._layers]
+        if len(set(names)) != len(names):
+            dupes = sorted({n for n in names if names.count(n) > 1})
+            raise ConfigurationError(f"duplicate layer names: {dupes}")
+        counts = [len(layer.floorplan) for layer in self._layers]
+        self._offsets: tuple[int, ...] = tuple(
+            int(n) for n in np.concatenate(([0], np.cumsum(counts)))
+        )
+        for k, (lower, upper) in enumerate(zip(self._layers, self._layers[1:])):
+            _, _, areas = interface_overlaps(lower.floorplan, upper.floorplan)
+            if areas.size == 0:
+                raise ConfigurationError(
+                    f"layers {lower.name!r} and {upper.name!r} share no "
+                    f"overlapping block area across interface {k}; the "
+                    "stack would be thermally disconnected"
+                )
+
+    @property
+    def layers(self) -> tuple[StackLayer, ...]:
+        """All layers, package side first."""
+        return self._layers
+
+    @property
+    def interfaces(self) -> tuple[StackInterface, ...]:
+        """Interface ``k`` bonds layers ``k`` and ``k + 1``."""
+        return self._interfaces
+
+    @property
+    def n_layers(self) -> int:
+        """Layer count."""
+        return len(self._layers)
+
+    @property
+    def n_blocks(self) -> int:
+        """Total block count across every layer."""
+        return self._offsets[-1]
+
+    def __len__(self) -> int:
+        return self.n_blocks
+
+    def __iter__(self) -> Iterator[StackLayer]:
+        return iter(self._layers)
+
+    @property
+    def blocks_per_layer(self) -> tuple[int, ...]:
+        """Per-layer block counts, package side first."""
+        return tuple(
+            b - a for a, b in zip(self._offsets, self._offsets[1:])
+        )
+
+    def _check_layer(self, layer: int) -> None:
+        if not 0 <= layer < self.n_layers:
+            raise ConfigurationError(
+                f"layer index {layer} out of range [0, {self.n_layers})"
+            )
+
+    def layer_slice(self, layer: int) -> slice:
+        """Slice of the flat (layer-major) block vector holding ``layer``."""
+        self._check_layer(layer)
+        return slice(self._offsets[layer], self._offsets[layer + 1])
+
+    def flat_index(self, layer: int, block: int) -> int:
+        """Flat index of ``block`` within ``layer``."""
+        self._check_layer(layer)
+        count = self._offsets[layer + 1] - self._offsets[layer]
+        if not 0 <= block < count:
+            raise ConfigurationError(
+                f"block index {block} out of range [0, {count}) "
+                f"in layer {layer}"
+            )
+        return self._offsets[layer] + block
+
+    def layer_block(self, flat: int) -> tuple[int, int]:
+        """Inverse of :meth:`flat_index`: flat index -> ``(layer, block)``."""
+        if not 0 <= flat < self.n_blocks:
+            raise ConfigurationError(
+                f"flat index {flat} out of range [0, {self.n_blocks})"
+            )
+        layer = int(np.searchsorted(self._offsets, flat, side="right")) - 1
+        return layer, flat - self._offsets[layer]

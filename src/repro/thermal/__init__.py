@@ -20,13 +20,14 @@ convection path to ambient), with
 from repro.thermal.config import ThermalConfig, PAPER_THERMAL_CONFIG
 from repro.thermal.rc_network import RCNetwork, NodeSpec
 from repro.thermal.model import ThermalModel
-from repro.thermal.builder import build_thermal_model
+from repro.thermal.builder import as_layer_stack, build_thermal_model
 from repro.thermal.steady_state import SteadyStateSolver
 from repro.thermal.transient import TransientSimulator, TransientResult
 from repro.thermal.analysis import (
     peak_core_temperature,
     thermal_headroom,
     temperature_map,
+    temperature_maps,
 )
 
 __all__ = [
@@ -35,6 +36,7 @@ __all__ = [
     "RCNetwork",
     "NodeSpec",
     "ThermalModel",
+    "as_layer_stack",
     "build_thermal_model",
     "SteadyStateSolver",
     "TransientSimulator",
@@ -42,4 +44,5 @@ __all__ = [
     "peak_core_temperature",
     "thermal_headroom",
     "temperature_map",
+    "temperature_maps",
 ]

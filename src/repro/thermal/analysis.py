@@ -33,22 +33,37 @@ def thermal_headroom(
     return threshold - peak_core_temperature(model, core_powers)
 
 
+def _layer_count(model: ThermalModel, rows: int, cols: int, layer: int) -> slice:
+    """The flat-core slice of ``layer``, after checking the grid shape."""
+    sl = model.layer_slice(layer)
+    count = sl.stop - sl.start
+    if rows * cols != count:
+        raise ConfigurationError(
+            f"{rows}x{cols} grid does not match {count} cores"
+            + (f" in layer {layer}" if model.n_layers > 1 else "")
+        )
+    return sl
+
+
 def temperature_map(
-    model: ThermalModel, core_powers: Sequence[float], rows: int, cols: int
+    model: ThermalModel,
+    core_powers: Sequence[float],
+    rows: int,
+    cols: int,
+    layer: int = 0,
 ) -> np.ndarray:
     """Core temperatures arranged as the floorplan's ``rows x cols`` grid.
 
     Assumes the floorplan was produced by
     :func:`repro.floorplan.generator.grid_floorplan` (row-major core
     order), which is how all the paper's chips are built.  Used to render
-    Figure 8's thermal-profile comparison.
+    Figure 8's thermal-profile comparison.  On a stacked model, ``layer``
+    selects which silicon layer's grid to render; ``core_powers`` always
+    spans the whole stack.
     """
-    if rows * cols != model.n_cores:
-        raise ConfigurationError(
-            f"{rows}x{cols} grid does not match {model.n_cores} cores"
-        )
+    sl = _layer_count(model, rows, cols, layer)
     temps = model.core_steady_state(core_powers)
-    return temps.reshape(rows, cols)
+    return temps[sl].reshape(rows, cols)
 
 
 def temperature_maps(
@@ -56,6 +71,7 @@ def temperature_maps(
     core_power_batch: Sequence[Sequence[float]],
     rows: int,
     cols: int,
+    layer: int = 0,
 ) -> np.ndarray:
     """Batched :func:`temperature_map`: ``k`` grids from one solve.
 
@@ -63,14 +79,14 @@ def temperature_maps(
     solve against the model's shared factorisation.
 
     Args:
-        core_power_batch: shape ``(k, n_cores)`` per-core powers, W.
+        core_power_batch: shape ``(k, n_cores)`` per-core powers, W
+            (``n_cores`` spans every layer on a stacked model).
+        layer: which silicon layer's grid to extract (default: the
+            package-side layer 0).
 
     Returns:
         Temperatures (degC) of shape ``(k, rows, cols)``.
     """
-    if rows * cols != model.n_cores:
-        raise ConfigurationError(
-            f"{rows}x{cols} grid does not match {model.n_cores} cores"
-        )
+    sl = _layer_count(model, rows, cols, layer)
     temps = model.core_steady_state_batch(core_power_batch)
-    return temps.reshape(-1, rows, cols)
+    return temps[:, sl].reshape(-1, rows, cols)

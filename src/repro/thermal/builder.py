@@ -24,6 +24,14 @@ combination recovers the configured totals exactly.
 
 The die is centred on the spreader, the spreader on the sink — the
 paper's (and HotSpot's) default packaging.
+
+3D stacks (:class:`repro.floorplan.stack.LayerStack`) add one silicon
+node per block per extra layer, named ``l<k>_si_<i>`` for layer ``k >= 1``
+(layer 0 keeps the legacy ``si_<i>`` names and carries the package).
+Adjacent layers couple through their bonding interface: vertical
+resistances over the projected block-overlap areas, with the interface
+conducting as bonding material and TSVs in parallel.  See
+``docs/thermal_model.md``, section "3D stacks".
 """
 
 from __future__ import annotations
@@ -33,8 +41,10 @@ from typing import Union
 
 import numpy as np
 
+from repro import obs
 from repro.errors import ConfigurationError
 from repro.floorplan.floorplan import Floorplan
+from repro.floorplan.stack import LayerStack, interface_overlaps
 from repro.thermal.backends import SolverBackend
 from repro.thermal.config import PAPER_THERMAL_CONFIG, ThermalConfig
 from repro.thermal.model import ThermalModel
@@ -43,6 +53,10 @@ from repro.units import MILLI
 
 #: Geometric tolerance (m) for "block edge lies on the die boundary".
 _EDGE_TOL = 1e-9
+
+#: Bulk-edge tag of the vertical conductances crossing a bonding
+#: interface between stacked silicon layers.
+INTERLAYER_TAG = "interlayer"
 
 _SIDES = ("n", "s", "e", "w")
 
@@ -122,22 +136,48 @@ def _boundary_cores(floorplan: Floorplan) -> dict[str, list[tuple[int, float, fl
     return out
 
 
+def as_layer_stack(
+    source: Union[Floorplan, LayerStack],
+    config: ThermalConfig = PAPER_THERMAL_CONFIG,
+) -> LayerStack:
+    """Normalise the builder's input to a :class:`LayerStack`.
+
+    A bare :class:`Floorplan` becomes the degenerate single-layer stack
+    with ``config``'s die material — the exact model the legacy
+    single-layer pipeline built.
+    """
+    if isinstance(source, LayerStack):
+        return source
+    if isinstance(source, Floorplan):
+        return config.stacked([source])
+    raise ConfigurationError(
+        f"expected a Floorplan or LayerStack, got {type(source).__name__}"
+    )
+
+
 def build_thermal_model(
-    floorplan: Floorplan,
+    floorplan: Union[Floorplan, LayerStack],
     config: ThermalConfig = PAPER_THERMAL_CONFIG,
     backend: Union[None, str, SolverBackend] = None,
 ) -> ThermalModel:
-    """Assemble the RC model of ``floorplan`` inside ``config``'s package.
+    """Assemble the RC model of a die (stack) inside ``config``'s package.
 
     Args:
-        floorplan: the die floorplan (one block per core).
+        floorplan: the die floorplan (one block per core), or a
+            :class:`~repro.floorplan.stack.LayerStack` of floorplans for
+            a 3D-stacked chip.  Layer 0 is the package-side layer: it
+            carries the TIM/spreader/sink stack; deeper layers couple to
+            it through their bonding interfaces only.
         config: package geometry and material properties.
         backend: solver backend for the resulting model's factorisations;
             ``None`` selects the process default.
 
     Raises:
-        ConfigurationError: if the die does not fit on the spreader.
+        ConfigurationError: if any layer does not fit on the spreader.
     """
+    stack = as_layer_stack(floorplan, config)
+    base = stack.layers[0]
+    floorplan = base.floorplan
     die_w = floorplan.width
     die_h = floorplan.height
     if die_w > config.spreader_side + _EDGE_TOL or die_h > config.spreader_side + _EDGE_TOL:
@@ -145,6 +185,17 @@ def build_thermal_model(
             f"die ({die_w / MILLI:.1f} x {die_h / MILLI:.1f} mm) exceeds the "
             f"heat spreader ({config.spreader_side / MILLI:.1f} mm square)"
         )
+    for layer in stack.layers[1:]:
+        if (
+            layer.floorplan.width > config.spreader_side + _EDGE_TOL
+            or layer.floorplan.height > config.spreader_side + _EDGE_TOL
+        ):
+            raise ConfigurationError(
+                f"layer {layer.name!r} "
+                f"({layer.floorplan.width / MILLI:.1f} x "
+                f"{layer.floorplan.height / MILLI:.1f} mm) exceeds the "
+                f"heat spreader ({config.spreader_side / MILLI:.1f} mm square)"
+            )
 
     net = RCNetwork()
     n_cores = len(floorplan)
@@ -158,10 +209,13 @@ def build_thermal_model(
         config.spreader_side, config.spreader_side, config.sink_side
     )
 
-    k_si = config.silicon_conductivity
+    # Layer-0 silicon properties come from the stack (for a bare
+    # floorplan these are exactly config's die values, so the assembled
+    # matrices are bit-identical to the legacy single-layer build).
+    k_si = base.conductivity
     k_tim = config.tim_conductivity
     k_m = config.metal_conductivity
-    t_die = config.die_thickness
+    t_die = base.thickness
     t_tim = config.tim_thickness
     t_spr = config.spreader_thickness
     t_snk = config.sink_thickness
@@ -186,7 +240,7 @@ def build_thermal_model(
     # only names the nodes and collects their indices for the bulk edge
     # inserts below.
     areas = np.array([block.rect.area for block in floorplan.blocks])
-    si_cap = config.silicon_specific_heat * areas * t_die
+    si_cap = base.specific_heat * areas * t_die
     tim_cap = config.tim_specific_heat * areas * t_tim
     spr_cap = config.metal_specific_heat * areas * t_spr
     snk_cap = (
@@ -302,4 +356,58 @@ def build_thermal_model(
             dist / (k_m * t_snk * config.spreader_side),
         )
 
-    return ThermalModel(net, floorplan, config, si_idx, backend=backend)
+    # --- deeper stack layers (3D): silicon + bonding interfaces ------
+    # Everything above is byte-for-byte the legacy single-layer build;
+    # additional layers only *append* nodes and edges, so a one-layer
+    # stack reproduces the legacy model exactly.  Layer k couples to
+    # layer k-1 through vertical conductances over the projected block
+    # overlap areas: half the silicon thickness on each side in series
+    # with the bonding layer at its TIM/TSV-parallel conductivity.
+    layer_si_idx = [si_idx]
+    if stack.n_layers > 1:
+        obs.incr("thermal.stack.multilayer_builds")
+        prev_layer = base
+        prev_idx = si_idx
+        for li in range(1, stack.n_layers):
+            layer = stack.layers[li]
+            iface = stack.interfaces[li - 1]
+            fp = layer.floorplan
+            ov_i, ov_j, ov_area = interface_overlaps(prev_layer.floorplan, fp)
+            areas_k = np.array([block.rect.area for block in fp.blocks])
+            cap_k = layer.specific_heat * areas_k * layer.thickness
+            # The bonding layer's heat capacitance is lumped onto the
+            # sink-far silicon nodes it feeds (steady state is
+            # unaffected; transients see the interface's thermal mass).
+            np.add.at(
+                cap_k, ov_j, iface.specific_heat * iface.thickness * ov_area
+            )
+            idx_k = np.empty(len(fp), dtype=np.intp)
+            for i in range(len(fp)):
+                idx_k[i] = net.add_node(NodeSpec(f"l{li}_si_{i}", cap_k[i]))
+            adj_i, adj_j, shared = fp.adjacency_arrays()
+            if adj_i.size:
+                centers = np.array(fp.centers())
+                delta = centers[adj_i] - centers[adj_j]
+                dist = np.hypot(delta[:, 0], delta[:, 1])
+                net.add_resistances(
+                    idx_k[adj_i],
+                    idx_k[adj_j],
+                    dist / (layer.conductivity * layer.thickness * shared),
+                )
+            r_vertical = (
+                0.5 * prev_layer.thickness / (prev_layer.conductivity * ov_area)
+                + iface.thickness / (iface.effective_conductivity * ov_area)
+                + 0.5 * layer.thickness / (layer.conductivity * ov_area)
+            )
+            net.add_resistances(
+                prev_idx[ov_i], idx_k[ov_j], r_vertical, tag=INTERLAYER_TAG
+            )
+            obs.incr("thermal.stack.interlayer_edges", ov_area.size)
+            layer_si_idx.append(idx_k)
+            prev_layer = layer
+            prev_idx = idx_k
+
+    core_indices = (
+        si_idx if len(layer_si_idx) == 1 else np.concatenate(layer_si_idx)
+    )
+    return ThermalModel(net, stack, config, core_indices, backend=backend)

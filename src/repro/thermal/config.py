@@ -18,9 +18,14 @@ the paper's Section 3.1 choice respectively.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING, Sequence
 
 from repro.errors import ConfigurationError
 from repro.units import MICRO, MILLI
+
+if TYPE_CHECKING:
+    from repro.floorplan.floorplan import Floorplan
+    from repro.floorplan.stack import LayerStack, StackInterface, StackLayer
 
 
 @dataclass(frozen=True)
@@ -58,6 +63,16 @@ class ThermalConfig:
     convection_resistance: float = 0.1
     convection_capacitance: float = 140.4
 
+    # Bonding interface between stacked silicon layers (3D stacks only;
+    # single-layer models never read these).  The interface conducts as
+    # bonding material and copper TSVs in parallel, weighted by the TSV
+    # area fraction (see repro.floorplan.stack.StackInterface).
+    interlayer_thickness: float = 10.0 * MICRO
+    interlayer_conductivity: float = 4.0
+    interlayer_specific_heat: float = 4.0e6
+    interlayer_tsv_fraction: float = 0.05
+    interlayer_tsv_conductivity: float = 400.0
+
     # Boundary conditions.
     ambient: float = 45.0
     t_dtm: float = 80.0
@@ -78,11 +93,20 @@ class ThermalConfig:
             "metal_specific_heat",
             "convection_resistance",
             "convection_capacitance",
+            "interlayer_thickness",
+            "interlayer_conductivity",
+            "interlayer_specific_heat",
+            "interlayer_tsv_conductivity",
         )
         for field in positive:
             value = getattr(self, field)
             if value <= 0:
                 raise ConfigurationError(f"{field} must be positive, got {value}")
+        if not 0.0 <= self.interlayer_tsv_fraction < 1.0:
+            raise ConfigurationError(
+                f"interlayer_tsv_fraction must be in [0, 1), "
+                f"got {self.interlayer_tsv_fraction}"
+            )
         if self.sink_side < self.spreader_side:
             raise ConfigurationError(
                 f"heat sink ({self.sink_side} m) must be at least as wide as "
@@ -93,6 +117,51 @@ class ThermalConfig:
                 f"T_DTM ({self.t_dtm} degC) must exceed ambient "
                 f"({self.ambient} degC)"
             )
+
+    # -- 3D-stack factories (see repro.floorplan.stack) ---------------
+    # The stack module is imported lazily: repro.floorplan must never
+    # import repro.thermal, and this keeps the reverse arrow one-way at
+    # module-load time too.
+
+    def stack_layer(self, floorplan: "Floorplan", name: str) -> "StackLayer":
+        """A silicon layer carrying ``floorplan`` with this config's die
+        thickness and material."""
+        from repro.floorplan.stack import StackLayer
+
+        return StackLayer(
+            name=name,
+            floorplan=floorplan,
+            thickness=self.die_thickness,
+            conductivity=self.silicon_conductivity,
+            specific_heat=self.silicon_specific_heat,
+        )
+
+    def stack_interface(self) -> "StackInterface":
+        """The bonding interface this config's ``interlayer_*`` fields
+        describe."""
+        from repro.floorplan.stack import StackInterface
+
+        return StackInterface(
+            thickness=self.interlayer_thickness,
+            conductivity=self.interlayer_conductivity,
+            specific_heat=self.interlayer_specific_heat,
+            tsv_area_fraction=self.interlayer_tsv_fraction,
+            tsv_conductivity=self.interlayer_tsv_conductivity,
+        )
+
+    def stacked(self, floorplans: Sequence["Floorplan"]) -> "LayerStack":
+        """A :class:`~repro.floorplan.stack.LayerStack` of ``floorplans``
+        (package side first), every layer and interface filled in from
+        this config's defaults.  One floorplan yields the degenerate
+        single-layer stack the legacy pipeline is equivalent to."""
+        from repro.floorplan.stack import LayerStack
+
+        layers = [
+            self.stack_layer(fp, name=f"l{k}")
+            for k, fp in enumerate(floorplans)
+        ]
+        interfaces = [self.stack_interface()] * (len(layers) - 1)
+        return LayerStack(layers, interfaces)
 
 
 #: The exact configuration listed in the paper's Section 2.1.

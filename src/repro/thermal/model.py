@@ -27,6 +27,7 @@ from scipy import sparse
 from repro import obs
 from repro.errors import ConfigurationError
 from repro.floorplan.floorplan import Floorplan
+from repro.floorplan.stack import LayerStack
 from repro.thermal import backends
 from repro.thermal.backends import Factorization, SolverBackend
 from repro.thermal.config import ThermalConfig
@@ -38,10 +39,12 @@ class ThermalModel:
 
     Args:
         network: the assembled, validated RC network.
-        floorplan: the die floorplan the silicon layer mirrors.
+        floorplan: the die floorplan the silicon layer mirrors, or the
+            :class:`~repro.floorplan.stack.LayerStack` of a 3D chip
+            (core nodes then follow the stack's layer-major order).
         config: the package configuration used during assembly.
         core_node_indices: network indices of the silicon (power-input)
-            nodes, in floorplan block order.
+            nodes, in floorplan block order (layer-major for stacks).
         backend: solver backend (name or object) for every factorisation
             this model owns; ``None`` selects the process default (see
             :func:`repro.thermal.backends.default_backend_name`).
@@ -50,19 +53,25 @@ class ThermalModel:
     def __init__(
         self,
         network: RCNetwork,
-        floorplan: Floorplan,
+        floorplan: Union[Floorplan, LayerStack],
         config: ThermalConfig,
         core_node_indices: Sequence[int],
         backend: Union[None, str, SolverBackend] = None,
     ) -> None:
         network.validate()
-        if len(core_node_indices) != len(floorplan):
+        if isinstance(floorplan, LayerStack):
+            self._stack: Optional[LayerStack] = floorplan
+            self._floorplan = floorplan.layers[0].floorplan
+        else:
+            self._stack = None
+            self._floorplan = floorplan
+        n_blocks = len(floorplan)
+        if len(core_node_indices) != n_blocks:
             raise ConfigurationError(
                 f"{len(core_node_indices)} core nodes for "
-                f"{len(floorplan)} floorplan blocks"
+                f"{n_blocks} floorplan blocks"
             )
         self._network = network
-        self._floorplan = floorplan
         self._config = config
         self._core_indices = np.asarray(core_node_indices, dtype=int)
         self._matrix: sparse.csr_matrix = network.conductance_matrix()
@@ -79,8 +88,18 @@ class ThermalModel:
 
     @property
     def floorplan(self) -> Floorplan:
-        """The die floorplan."""
+        """The package-side (layer 0) die floorplan."""
         return self._floorplan
+
+    @property
+    def stack(self) -> Optional[LayerStack]:
+        """The layer stack, or ``None`` for a legacy single-layer model."""
+        return self._stack
+
+    @property
+    def n_layers(self) -> int:
+        """Silicon layer count (1 for the legacy single-layer model)."""
+        return self._stack.n_layers if self._stack is not None else 1
 
     @property
     def config(self) -> ThermalConfig:
@@ -109,8 +128,51 @@ class ThermalModel:
 
     @property
     def core_indices(self) -> np.ndarray:
-        """Network indices of the core silicon nodes."""
+        """Network indices of the core silicon nodes (layer-major)."""
         return self._core_indices
+
+    def layer_slice(self, layer: int) -> slice:
+        """Slice of the flat core vector holding ``layer``'s blocks.
+
+        The flat order is layer-major: layer 0 (package side) first.
+        Layer 0's slice on a single-layer model is the whole vector, so
+        legacy call sites keep working unchanged.
+        """
+        if self._stack is not None:
+            return self._stack.layer_slice(layer)
+        if layer != 0:
+            raise ConfigurationError(
+                f"layer index {layer} out of range [0, 1)"
+            )
+        return slice(0, self.n_cores)
+
+    def core_index(self, layer: int, block: int) -> int:
+        """Flat core index of ``(layer, block)``."""
+        if self._stack is not None:
+            return self._stack.flat_index(layer, block)
+        sl = self.layer_slice(layer)
+        if not 0 <= block < sl.stop:
+            raise ConfigurationError(
+                f"block index {block} out of range [0, {sl.stop}) "
+                f"in layer {layer}"
+            )
+        return block
+
+    def layer_core_node_indices(self, layer: int) -> np.ndarray:
+        """Network node indices of ``layer``'s silicon blocks."""
+        return self._core_indices[self.layer_slice(layer)]
+
+    def interlayer_edges(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """The vertical conductances crossing bonding interfaces.
+
+        ``(i, j, g)`` network-index/conductance arrays; empty on a
+        single-layer model.  Exposed so analyses (and the decoupling
+        property tests) can reason about the inter-layer coupling the
+        builder assembled.
+        """
+        from repro.thermal.builder import INTERLAYER_TAG
+
+        return self._network.tagged_edge_arrays(INTERLAYER_TAG)
 
     @property
     def ambient(self) -> float:

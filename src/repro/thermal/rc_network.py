@@ -62,8 +62,12 @@ class RCNetwork:
         self._nodes: list[NodeSpec] = []
         self._index: dict[str, int] = {}
         self._edges: list[tuple[int, int, float]] = []
-        # Bulk (vectorised) edge blocks: (i_indices, j_indices, g) arrays.
-        self._bulk_edges: list[tuple[np.ndarray, np.ndarray, np.ndarray]] = []
+        # Bulk (vectorised) edge blocks: (i_indices, j_indices, g, tag)
+        # arrays; the optional tag labels a block for later retrieval
+        # (the 3D builder tags its inter-layer conductances).
+        self._bulk_edges: list[
+            tuple[np.ndarray, np.ndarray, np.ndarray, str | None]
+        ] = []
 
     def add_node(self, node: NodeSpec) -> int:
         """Add a node; returns its index.
@@ -103,10 +107,12 @@ class RCNetwork:
         a_indices: Sequence[int],
         b_indices: Sequence[int],
         conductances: Sequence[float],
+        tag: str | None = None,
     ) -> None:
         """Bulk edge insertion by node *index* (the vectorised assembly
         path the floorplan builder uses; equivalent to repeated
-        :meth:`add_conductance` calls).
+        :meth:`add_conductance` calls).  A ``tag`` labels the block for
+        :meth:`tagged_edge_arrays`.
 
         Raises:
             ConfigurationError: on shape mismatches, out-of-range
@@ -138,13 +144,14 @@ class RCNetwork:
                 f"{self._nodes[int(j[bad])].name!r} must be positive, "
                 f"got {g[bad]}"
             )
-        self._bulk_edges.append((i.copy(), j.copy(), g.copy()))
+        self._bulk_edges.append((i.copy(), j.copy(), g.copy(), tag))
 
     def add_resistances(
         self,
         a_indices: Sequence[int],
         b_indices: Sequence[int],
         resistances: Sequence[float],
+        tag: str | None = None,
     ) -> None:
         """Bulk :meth:`add_resistance` by node index (K/W each)."""
         r = np.asarray(resistances, dtype=float)
@@ -154,7 +161,7 @@ class RCNetwork:
                 f"resistance at bulk position {bad} must be positive, "
                 f"got {r[bad]}"
             )
-        self.add_conductances(a_indices, b_indices, 1.0 / r)
+        self.add_conductances(a_indices, b_indices, 1.0 / r, tag=tag)
 
     def index_of(self, name: str) -> int:
         """Index of the named node."""
@@ -197,7 +204,7 @@ class RCNetwork:
             parts_i.append(scalar[:, 0].astype(np.intp))
             parts_j.append(scalar[:, 1].astype(np.intp))
             parts_g.append(scalar[:, 2])
-        for i, j, g in self._bulk_edges:
+        for i, j, g, _ in self._bulk_edges:
             parts_i.append(i)
             parts_j.append(j)
             parts_g.append(g)
@@ -208,6 +215,24 @@ class RCNetwork:
             np.concatenate(parts_i),
             np.concatenate(parts_j),
             np.concatenate(parts_g),
+        )
+
+    def tagged_edge_arrays(
+        self, tag: str
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Every bulk edge added under ``tag``, as ``(i, j, g)`` arrays.
+
+        Returns empty arrays when nothing carries the tag (e.g. asking a
+        single-layer model for its inter-layer edges).
+        """
+        parts = [(i, j, g) for i, j, g, t in self._bulk_edges if t == tag]
+        if not parts:
+            empty_idx = np.empty(0, dtype=np.intp)
+            return empty_idx, empty_idx.copy(), np.empty(0)
+        return (
+            np.concatenate([p[0] for p in parts]),
+            np.concatenate([p[1] for p in parts]),
+            np.concatenate([p[2] for p in parts]),
         )
 
     def conductance_matrix(self) -> sparse.csr_matrix:

@@ -54,6 +54,32 @@ class TestDispatch:
         assert main(["list"]) == 0
         assert "obs" in capsys.readouterr().out.split()
 
+    def test_list_family_filter(self, capsys):
+        assert main(["list", "--family", "ext*"]) == 0
+        names = capsys.readouterr().out.split()
+        assert "ext_3d_tsp" in names
+        assert "ext_3d_amdahl" in names
+        assert all(n.startswith("ext") for n in names)
+
+    def test_list_family_question_mark_glob(self, capsys):
+        assert main(["list", "--family", "fig1?"]) == 0
+        names = capsys.readouterr().out.split()
+        assert "fig10" in names
+        assert "fig14" in names
+        assert "fig1" not in names
+        assert "fig5" not in names
+
+    def test_list_family_long_respects_filter(self, capsys):
+        assert main(["list", "--long", "--family", "ext_3d*"]) == 0
+        out = capsys.readouterr().out
+        assert "ext_3d_amdahl" in out
+        assert "stack height" in out
+        assert "fig10" not in out
+
+    def test_list_family_no_match_fails(self, capsys):
+        assert main(["list", "--family", "bogus*"]) == 2
+        assert "no experiment matches family" in capsys.readouterr().err
+
 
 class TestObservabilityCli:
     def test_obs_command_emits_json_for_instrumented_subsystems(

@@ -1,0 +1,119 @@
+"""The 3D-stacking extension experiments (ext_3d_tsp, ext_3d_amdahl)."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments import ext_3d_amdahl, ext_3d_tsp
+
+
+@pytest.fixture(scope="module")
+def tsp_result():
+    return ext_3d_tsp.run(layer_counts=(1, 2), rows=6, cols=6)
+
+
+@pytest.fixture(scope="module")
+def amdahl_result():
+    return ext_3d_amdahl.run(layer_counts=(1, 2), rows=6, cols=6)
+
+
+class TestTsp3d:
+    def test_entry_grid_complete(self, tsp_result):
+        assert len(tsp_result.entries) == 2 * len(tsp_result.fractions)
+        assert {e.layers for e in tsp_result.entries} == {1, 2}
+
+    def test_budget_collapses_with_layers(self, tsp_result):
+        """At a fixed active fraction, more layers => smaller per-core
+        budget (same sink, multiplied heat sources)."""
+        for frac_idx in range(len(tsp_result.fractions)):
+            e1 = tsp_result.layer_entries(1)[frac_idx]
+            e2 = tsp_result.layer_entries(2)[frac_idx]
+            # Same fraction means twice the active cores at 2 layers.
+            assert e2.active == pytest.approx(2 * e1.active, abs=1)
+            assert e2.budget_w < e1.budget_w
+
+    def test_budget_decreases_with_active_count(self, tsp_result):
+        for layers in (1, 2):
+            budgets = [e.budget_w for e in tsp_result.layer_entries(layers)]
+            assert budgets == sorted(budgets, reverse=True)
+
+    def test_total_power_consistent(self, tsp_result):
+        for e in tsp_result.entries:
+            assert e.total_w == pytest.approx(e.active * e.budget_w)
+
+    def test_bad_fraction_rejected(self):
+        with pytest.raises(ConfigurationError, match="active fractions"):
+            ext_3d_tsp.run(layer_counts=(1,), rows=2, cols=2, fractions=(1.5,))
+
+    def test_missing_cell_rejected(self, tsp_result):
+        with pytest.raises(ConfigurationError, match="no entry"):
+            tsp_result.budget(layers=7, active=1)
+
+    def test_table_renders(self, tsp_result):
+        text = tsp_result.table()
+        assert "TSP [W/core]" in text
+        assert "\n" in text
+
+
+class TestAmdahl3d:
+    def test_single_layer_monotone(self, amdahl_result):
+        """1 layer: no thermal knee — speed-up never falls with threads."""
+        assert amdahl_result.is_monotone(1)
+
+    def test_two_layers_have_knee(self, amdahl_result):
+        """>= 2 layers: interior peak, then falling speed-up (the
+        thermally limited scalability knee of Yavits et al.)."""
+        assert not amdahl_result.is_monotone(2)
+        curve = amdahl_result.layer_curve(2)
+        knee = amdahl_result.knee_threads(2)
+        assert knee < curve[-1].threads
+
+    def test_speedup_bounded_by_ideal(self, amdahl_result):
+        for e in amdahl_result.entries:
+            assert e.speedup <= e.ideal_speedup + 1e-9
+
+    def test_safe_frequency_never_rises_with_threads(self, amdahl_result):
+        for layers in (1, 2):
+            freqs = [e.frequency for e in amdahl_result.layer_curve(layers)]
+            assert freqs == sorted(freqs, reverse=True)
+
+    def test_infeasible_rows_are_dark(self, amdahl_result):
+        for e in amdahl_result.entries:
+            if not e.feasible:
+                assert e.frequency == 0.0  # repro-lint: disable=DS102 - exact sentinel for "no safe frequency"
+                assert e.speedup == 0.0  # repro-lint: disable=DS102 - exact sentinel for "no safe frequency"
+
+    def test_unknown_layer_curve_rejected(self, amdahl_result):
+        with pytest.raises(ConfigurationError, match="no feasible entries"):
+            amdahl_result.layer_curve(9)
+
+    def test_table_renders(self, amdahl_result):
+        text = amdahl_result.table()
+        assert "f_safe [GHz]" in text
+        assert "speedup" in text
+
+
+class TestRegistryIntegration:
+    def test_specs_registered(self):
+        from repro.experiments import registry
+
+        names = registry.names()
+        assert "ext_3d_tsp" in names
+        assert "ext_3d_amdahl" in names
+
+    def test_quick_params_resolve(self):
+        from repro.experiments import registry
+
+        for name in ("ext_3d_tsp", "ext_3d_amdahl"):
+            params = registry.get(name).resolve({}, quick=True)
+            assert params["rows"] == 6
+            assert params["cols"] == 6
+            assert tuple(params["layer_counts"]) == (1, 2)
+
+    def test_payload_roundtrip(self, tsp_result, amdahl_result):
+        import json
+
+        for result in (tsp_result, amdahl_result):
+            payload = json.loads(json.dumps(result.to_payload()))
+            restored = type(result).from_payload(payload)
+            assert restored.rows() == result.rows()
+            assert restored.table() == result.table()

@@ -1,7 +1,7 @@
 """Eq. (2) voltage/frequency curve (paper Figure 2)."""
 
 import pytest
-from hypothesis import given, settings
+from hypothesis import assume, given, settings
 from hypothesis import strategies as st
 
 from repro.errors import ConfigurationError, InfeasibleError
@@ -68,6 +68,10 @@ class TestVoltage:
     @given(st.floats(min_value=0.01, max_value=3.9), st.floats(min_value=0.01, max_value=3.9))
     @settings(max_examples=40)
     def test_voltage_monotone_in_frequency(self, fa, fb):
+        # Frequencies a few ulps apart can invert to the *same* voltage
+        # at double precision; strict monotonicity is only meaningful
+        # for inputs distinguishable after the inversion.
+        assume(abs(fa - fb) > 1e-9 * max(fa, fb))
         curve = VFCurve.for_node(NODE_22NM)
         va, vb = curve.voltage(fa * GIGA), curve.voltage(fb * GIGA)
         if fa < fb:

@@ -33,7 +33,7 @@ class TestCompleteness:
         assert not missing, f"modules without a registered spec: {missing}"
 
     def test_registry_covers_exactly_the_package(self):
-        assert len(registry.names()) == len(_experiment_modules()) == 18
+        assert len(registry.names()) == len(_experiment_modules()) == 20
 
     def test_names_are_display_ordered(self):
         names = registry.names()
