@@ -3,7 +3,7 @@
 # Make every target work from a plain checkout (no editable install).
 export PYTHONPATH := src:$(PYTHONPATH)
 
-.PHONY: install test lint figures-smoke bench bench-smoke bench-track bench-backends report experiments examples clean
+.PHONY: install test lint figures-smoke obs-smoke bench bench-smoke bench-track bench-backends report experiments examples clean
 
 install:
 	pip install -e . || python setup.py develop
@@ -12,6 +12,7 @@ test:
 	$(MAKE) lint
 	pytest tests/
 	$(MAKE) figures-smoke
+	$(MAKE) obs-smoke
 
 # Project-specific static analysis (repro.lint): unit-literal, float-eq,
 # exception, metric-name and spawn-safety invariants.  Exits non-zero on
@@ -29,6 +30,20 @@ figures-smoke:
 	python -m repro.cli batch --quick --store .figures-smoke-store
 	python -m repro.cli batch --quick --store .figures-smoke-store --expect-cached --profile
 	rm -rf .figures-smoke-store
+
+# Round-trip the continuous-telemetry layer on one quick experiment:
+# run with the background sampler streaming to JSONL and attribution on,
+# tail the sample stream, render the snapshot in the Prometheus text
+# format, and evaluate the shipped benchmarks/budgets.json against it.
+obs-smoke:
+	rm -rf .obs-smoke
+	mkdir -p .obs-smoke
+	python -m repro.cli run fig5 --quick --sample-out .obs-smoke/samples.jsonl \
+		--sample-interval 0.05 --attribution --profile-out .obs-smoke/snapshot.json
+	python -m repro.cli obs tail --follow .obs-smoke/samples.jsonl
+	python -m repro.cli obs prom --snapshot .obs-smoke/snapshot.json > .obs-smoke/metrics.prom
+	python -m repro.cli obs watch --snapshot .obs-smoke/snapshot.json
+	rm -rf .obs-smoke
 
 bench:
 	pytest benchmarks/ --benchmark-only

@@ -6,9 +6,15 @@ enabled, then
 
 * appends one entry — wall-clock plus the per-bench registry snapshot
   (solver calls, cache hit/miss, TSP table builds, sweep stages,
-  runtime/DTM events, gauges, histograms), a compact span-timeline
-  digest from the trace recorder, and the repo-wide code fingerprint —
-  to ``BENCH_TRACK.json`` at the repo root, and
+  runtime/DTM events, gauges, histograms), per-bench resource figures
+  (peak RSS and tracemalloc-attributed allocation, measured in an extra
+  *untimed* round so the tracer never skews the timings), a compact
+  span-timeline digest from the trace recorder, and the repo-wide code
+  fingerprint — to ``BENCH_TRACK.json`` at the repo root,
+* evaluates the declarative metric budgets in
+  ``benchmarks/budgets.json`` (:mod:`repro.obs.watch`) against every
+  bench snapshot — verdicts land in the entry, hard violations fail
+  the run naming the violating metric — and
 * compares wall-clock against the committed baseline
   (``benchmarks/bench_baseline.json``), printing the per-bench delta
   table and exiting non-zero when any bench regressed by more than
@@ -51,6 +57,9 @@ ROUNDS = 2
 
 TRACK_FILE = REPO_ROOT / "BENCH_TRACK.json"
 BASELINE_FILE = REPO_ROOT / "benchmarks" / "bench_baseline.json"
+BUDGETS_FILE = REPO_ROOT / "benchmarks" / "budgets.json"
+
+_MIB = 1024.0 * 1024.0
 
 
 def _bench_fig10_tsp() -> None:
@@ -129,6 +138,40 @@ def lint_status() -> dict:
     }
 
 
+def measure_resources(fn) -> dict:
+    """One extra *untimed* round of ``fn`` under tracemalloc.
+
+    Returns net and peak traced allocation across the round plus the
+    process's peak RSS after it.  Run separately from the timed rounds
+    on purpose: tracemalloc slows allocation-heavy code noticeably, so
+    folding it into the timed loop would eat the 20 % regression margin
+    with instrumentation cost instead of real work.  (Peak RSS is a
+    process-wide high-water mark — monotone across benches — so the
+    first bench to touch a big working set dominates the later ones.)
+    """
+    import tracemalloc
+
+    from repro.experiments.common import get_chip
+    from repro.obs.resources import max_rss_bytes
+
+    get_chip.cache_clear()
+    obs.reset()
+    already_tracing = tracemalloc.is_tracing()
+    if not already_tracing:
+        tracemalloc.start()
+    tracemalloc.reset_peak()
+    before = tracemalloc.get_traced_memory()[0]
+    fn()
+    current, peak = tracemalloc.get_traced_memory()
+    if not already_tracing:
+        tracemalloc.stop()
+    return {
+        "alloc_bytes": current - before,
+        "peak_alloc_bytes": max(peak - before, 0),
+        "peak_rss_bytes": max_rss_bytes(),
+    }
+
+
 def run_benches() -> dict[str, dict]:
     """Time every bench (best-of-ROUNDS) with a fresh registry snapshot.
 
@@ -160,9 +203,12 @@ def run_benches() -> dict[str, dict]:
             agg[0] += 1
             agg[1] += span["duration_us"] / 1e3
         top = sorted(totals.items(), key=lambda kv: -kv[1][1])[:5]
+        snap = obs.snapshot()
+        resources = measure_resources(fn)
         results[name] = {
             "wall_s": round(best, 4),
-            "obs": obs.snapshot(),
+            "obs": snap,
+            "resources": resources,
             "trace": {
                 "events": len(events),
                 "top_spans": [
@@ -171,7 +217,11 @@ def run_benches() -> dict[str, dict]:
                 ],
             },
         }
-        print(f"{name}: {best:.3f} s")
+        print(
+            f"{name}: {best:.3f} s"
+            f"  peak-rss {resources['peak_rss_bytes'] / _MIB:7.1f} MiB"
+            f"  alloc {resources['peak_alloc_bytes'] / _MIB:7.1f} MiB"
+        )
     return results
 
 
@@ -196,6 +246,61 @@ def append_entry(results: dict[str, dict], lint: dict) -> None:
     )
     TRACK_FILE.write_text(json.dumps(trajectory, indent=2, sort_keys=True) + "\n")
     print(f"[appended entry #{len(trajectory)} to {TRACK_FILE.name}]")
+
+
+def check_budgets(
+    results: dict[str, dict], budgets_path: Path = BUDGETS_FILE
+) -> int:
+    """Evaluate the metric budgets against every bench snapshot.
+
+    Each bench's verdicts are recorded into ``results[name]["budgets"]``
+    (so :func:`append_entry` persists them with the entry); every
+    violation is printed with the violating metric named, and the exit
+    code is non-zero when any *hard* budget is violated.  A missing
+    budgets file skips the watchdog with a notice — an unreadable or
+    invalid one fails loudly.
+    """
+    from repro.obs import watch
+
+    budgets_path = Path(budgets_path)
+    if not budgets_path.exists():
+        print(f"[no budgets file at {budgets_path}; watchdog skipped]")
+        return 0
+    budgets = watch.load_budgets(budgets_path)
+    failed = False
+    for name, result in results.items():
+        verdicts = watch.evaluate(budgets, result["obs"])
+        result["budgets"] = [
+            {
+                "metric": v.metric,
+                "expect": v.budget.describe(),
+                "ok": v.ok,
+                "value": v.value,
+                "severity": v.budget.severity,
+                "detail": v.detail,
+            }
+            for v in verdicts
+        ]
+        bad = watch.violations(verdicts, include_soft=True)
+        hard = [v for v in bad if v.budget.is_hard]
+        print(
+            f"budgets[{name}]: {len(verdicts) - len(bad)}/{len(verdicts)} "
+            f"ok, {len(bad) - len(hard)} soft / {len(hard)} hard "
+            "violation(s)"
+        )
+        for v in bad:
+            stream = sys.stderr if v.budget.is_hard else sys.stdout
+            print(f"  {name}: {v.describe()}", file=stream)
+        if hard:
+            failed = True
+    if failed:
+        print(
+            f"hard budget violation(s); fix the regression or revise "
+            f"{budgets_path.name} deliberately",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
 
 
 def check_regressions(results: dict[str, dict]) -> int:
@@ -286,6 +391,14 @@ def main(argv: list[str] | None = None) -> int:
         help="smoke-run bench_fig10_tsp under every thermal solver "
         "backend and print the comparison (no entry appended)",
     )
+    parser.add_argument(
+        "--budgets",
+        type=Path,
+        default=BUDGETS_FILE,
+        metavar="PATH",
+        help="metric-budgets file for the watchdog "
+        "(default: benchmarks/budgets.json; absent file skips)",
+    )
     args = parser.parse_args(argv)
 
     obs.enable()
@@ -307,6 +420,7 @@ def main(argv: list[str] | None = None) -> int:
         print(f"[baseline written to {BASELINE_FILE}]")
         return 0
 
+    budgets_rc = check_budgets(results, args.budgets)
     lint = lint_status()
     counts = ", ".join(f"{k}: {v}" for k, v in sorted(lint["findings"].items()))
     print(f"lint: {'clean' if lint['clean'] else counts} "
@@ -319,7 +433,7 @@ def main(argv: list[str] | None = None) -> int:
             file=sys.stderr,
         )
         return 1
-    return check_regressions(results)
+    return check_regressions(results) or budgets_rc
 
 
 if __name__ == "__main__":

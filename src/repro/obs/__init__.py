@@ -26,20 +26,35 @@ onto the parent's timeline.  :mod:`repro.obs.manifest` writes one
 provenance line per experiment run to ``runs.jsonl`` under the artifact
 store root.
 
+A third switch, :func:`enable_attribution`, makes every closing span
+additionally record net-allocation and peak-memory histograms under
+``<span path>.mem.*`` via :mod:`tracemalloc` (see
+:mod:`repro.obs.resources`).  On top of the switches sits the
+*continuous* layer: :class:`~repro.obs.sampler.SnapshotSampler`
+captures exact interval deltas plus ``process.*`` resource gauges on a
+background thread, :mod:`repro.obs.exporters` renders any snapshot as
+Prometheus text exposition (servable over HTTP) or streams it as JSONL,
+and :mod:`repro.obs.watch` evaluates declarative metric budgets
+(``benchmarks/budgets.json``) against snapshots — the gate behind
+``make bench-track`` and ``darksilicon obs watch``.
+
 Instrumented subsystems and their name prefixes:
 
-========== ====================================================
-prefix     source
-========== ====================================================
-thermal.   model solves, LU factorisations, transient steps
-perf.      batched engine solves, peak-cache hits/misses
-tsp.       shared TSP table builds vs lookups
-estimator. workload mappings, placed/rejected instances
-runtime.   event-loop admissions, deferrals, policy decisions
-dtm.       enforcement runs, throttle/gate interventions
-sweep.     per-stage grid spans (worker deltas merged exactly)
-experiment. one span per figure/extension run
-========== ====================================================
+============ ====================================================
+prefix       source
+============ ====================================================
+thermal.     model solves, LU factorisations, transient steps
+solver.cost. backend work: factorizations, nnz, RHS columns
+perf.        batched engine solves, peak-cache hits/misses
+tsp.         shared TSP table builds vs lookups
+estimator.   workload mappings, placed/rejected instances
+runtime.     event-loop admissions, deferrals, policy decisions
+dtm.         enforcement runs, throttle/gate interventions
+sweep.       per-stage grid spans (worker deltas merged exactly)
+experiment.  one span per figure/extension run
+process.     sampler-published resource gauges (RSS, CPU, GC)
+obs.sampler. the sampler's own bookkeeping
+============ ====================================================
 
 Module-level helpers delegate to the global registry; ``snapshot()``
 returns a plain JSON-serialisable dict, ``to_json``/``to_csv`` export
@@ -51,13 +66,27 @@ from __future__ import annotations
 
 import os
 
-from repro.obs.export import to_csv, to_json
+from repro.obs.export import (
+    annotate_percentiles,
+    hist_percentile,
+    to_csv,
+    to_json,
+)
+from repro.obs.exporters import (
+    JsonlSink,
+    read_jsonl,
+    start_metrics_server,
+    to_prometheus,
+)
 from repro.obs.registry import (
     METRIC_NAME_RE,
     NULL_SPAN,
     Registry,
     SNAPSHOT_VERSION,
+    diff_snapshots,
 )
+from repro.obs.resources import process_resources
+from repro.obs.sampler import SnapshotSampler, safe_snapshot
 from repro.obs.trace import flame_summary, to_chrome_trace
 
 #: Environment variable that enables the registry at import time.
@@ -151,6 +180,25 @@ def disable_trace() -> None:
     REGISTRY.disable_trace()
 
 
+def attribution_enabled() -> bool:
+    """Whether closing global spans record ``.mem.*`` histograms."""
+    return REGISTRY.attribution_enabled
+
+
+def enable_attribution() -> None:
+    """Record per-span memory deltas on the global registry.
+
+    Implies :func:`enable`; starts :mod:`tracemalloc` if needed.  See
+    :mod:`repro.obs.resources` for the attribution semantics.
+    """
+    REGISTRY.enable_attribution()
+
+
+def disable_attribution() -> None:
+    """Stop recording per-span memory deltas (data kept)."""
+    REGISTRY.disable_attribution()
+
+
 def trace_mark() -> int:
     """Current global event count (slice handle for trace_state)."""
     return REGISTRY.trace_mark()
@@ -193,32 +241,45 @@ def subsystems() -> set[str]:
 
 __all__ = [
     "ENV_ENABLE",
+    "JsonlSink",
     "METRIC_NAME_RE",
     "NULL_SPAN",
     "REGISTRY",
     "Registry",
     "SNAPSHOT_VERSION",
+    "SnapshotSampler",
+    "annotate_percentiles",
+    "attribution_enabled",
     "diff",
+    "diff_snapshots",
     "disable",
+    "disable_attribution",
     "disable_trace",
     "enable",
+    "enable_attribution",
     "enable_trace",
     "enabled",
     "flame_summary",
     "gauge",
+    "hist_percentile",
     "histogram",
     "incr",
     "merge",
     "merge_trace",
     "observe",
+    "process_resources",
+    "read_jsonl",
     "reset",
+    "safe_snapshot",
     "snapshot",
     "span",
+    "start_metrics_server",
     "subsystems",
     "timer",
     "to_chrome_trace",
     "to_csv",
     "to_json",
+    "to_prometheus",
     "trace_enabled",
     "trace_events",
     "trace_mark",

@@ -1,4 +1,4 @@
-"""Snapshot export: JSON documents and flat CSV tables.
+"""Snapshot export: JSON documents, flat CSV tables, percentiles.
 
 A snapshot (see :meth:`repro.obs.registry.Registry.snapshot`) is already
 a JSON-serialisable dict; :func:`to_json` adds deterministic formatting
@@ -8,6 +8,11 @@ tooling can consume a run without JSON wrangling.  (Histogram rows put
 the sample *sum* in the ``total_s`` column — for duration histograms it
 is seconds, for count histograms it is the summed counts; the bucket
 breakdown only exists in the JSON form.)
+
+:func:`hist_percentile` estimates quantiles from the registry's log2
+histogram buckets, and :func:`annotate_percentiles` stamps p50/p90/p99
+onto every histogram of a snapshot — used by ``darksilicon report``
+tables and the budget watchdog's ``p95_le`` predicate.
 """
 
 from __future__ import annotations
@@ -16,7 +21,9 @@ import csv
 import io
 import json
 from pathlib import Path
-from typing import Optional, Union
+from typing import Optional, Sequence, Union
+
+from repro.obs.registry import _HIST_UNDERFLOW
 
 
 def to_json(snapshot: dict, path: Optional[Union[str, Path]] = None) -> str:
@@ -65,3 +72,80 @@ def to_csv(snapshot: dict, path: Optional[Union[str, Path]] = None) -> str:
     if path is not None:
         Path(path).write_text(text)
     return text
+
+
+def hist_percentile(agg: dict, q: float) -> Optional[float]:
+    """Estimate the ``q``-quantile of a log2-bucket histogram aggregate.
+
+    The estimator assumes a uniform distribution *within* the bucket
+    containing the target rank, interpolating linearly between the
+    bucket's bounds — with both bounds clamped to the aggregate's
+    recorded ``min``/``max``.  The clamp makes degenerate cases exact
+    rather than approximate: a histogram whose samples all share one
+    bucket interpolates across ``[min, max]`` directly, and a
+    constant-valued histogram returns that constant for every ``q``
+    (the exactness contract ``tests/test_obs_exporters.py`` pins).
+
+    Args:
+        agg: histogram aggregate (``count``/``sum``/``min``/``max``/
+            ``buckets``) as found in a snapshot.
+        q: quantile in ``[0, 1]``.
+
+    Returns:
+        The estimate, or ``None`` for an empty histogram.
+    """
+    count = agg.get("count", 0)
+    if not count:
+        return None
+    if not 0.0 <= q <= 1.0:
+        from repro.errors import ConfigurationError
+
+        raise ConfigurationError(f"quantile must be in [0, 1], got {q!r}")
+    lo_all, hi_all = agg["min"], agg["max"]
+
+    def bounds(key: str) -> tuple[float, float]:
+        if key == _HIST_UNDERFLOW:
+            return (min(lo_all, 0.0), 0.0)
+        exponent = int(key)
+        return (2.0 ** (exponent - 1), 2.0 ** exponent)
+
+    ordered = sorted(
+        ((bounds(key), n) for key, n in agg.get("buckets", {}).items()),
+        key=lambda item: item[0][1],
+    )
+    rank = q * count  # continuous rank in [0, count]
+    cumulative = 0
+    for (lo, hi), n in ordered:
+        if rank <= cumulative + n or (lo, hi) == ordered[-1][0]:
+            lo = max(lo, lo_all)
+            hi = min(hi, hi_all)
+            frac = (rank - cumulative) / n
+            frac = min(max(frac, 0.0), 1.0)
+            value = lo + (hi - lo) * frac
+            return min(max(value, lo_all), hi_all)
+        cumulative += n
+    raise AssertionError("unreachable: ranks are covered by buckets")
+
+
+def annotate_percentiles(
+    snapshot: dict, qs: Sequence[float] = (0.5, 0.9, 0.99)
+) -> dict:
+    """Stamp quantile estimates onto every histogram of a snapshot.
+
+    Returns a copy of ``snapshot`` whose histogram aggregates carry an
+    extra ``"p<NN>"`` key per requested quantile (``0.5`` → ``"p50"``,
+    ``0.99`` → ``"p99"``); the input is not mutated.  Non-histogram
+    kinds are passed through unchanged.
+    """
+    out = dict(snapshot)
+    out["histograms"] = {
+        name: {
+            **agg,
+            **{
+                f"p{round(q * 100):d}": hist_percentile(agg, q)
+                for q in qs
+            },
+        }
+        for name, agg in snapshot.get("histograms", {}).items()
+    }
+    return out

@@ -50,6 +50,7 @@ import os
 import re
 import threading
 import time
+import tracemalloc
 from typing import Mapping, Optional
 
 from repro.units import MICRO
@@ -83,6 +84,74 @@ def _hist_bucket(value: float) -> str:
     # is a power of two, which belongs in the lower bucket.
     exact_power_of_two = mantissa == 0.5  # repro-lint: disable=DS102 - frexp mantissa is exact
     return str(exponent - 1 if exact_power_of_two else exponent)
+
+
+def diff_snapshots(now: dict, before: dict) -> dict:
+    """The exact delta between two snapshots of the same registry.
+
+    Counters, timers, spans and histogram count/sum/buckets are sums,
+    so their deltas are exact and telescope: summing (merging) every
+    interval delta between ``snap_0`` and ``snap_n`` reproduces
+    ``snap_n - snap_0`` to the bit.  A histogram delta carries the
+    *current* min/max (extremes cannot be subtracted).  Gauges are
+    included when their value changed or is new.  Entries absent from
+    ``before`` are returned whole; unchanged entries are omitted.
+
+    :meth:`Registry.diff` is this applied to a live snapshot; the
+    :class:`~repro.obs.sampler.SnapshotSampler` calls it directly with
+    two snapshots it captured, so the interval boundaries are the same
+    dicts on both sides of consecutive ticks.
+    """
+    out = {
+        "version": SNAPSHOT_VERSION,
+        "counters": {},
+        "timers": {},
+        "spans": {},
+        "gauges": {},
+        "histograms": {},
+    }
+    prior_counters = before.get("counters", {})
+    for name, value in now["counters"].items():
+        delta = value - prior_counters.get(name, 0)
+        if delta:
+            out["counters"][name] = delta
+    for kind in ("timers", "spans"):
+        prior = before.get(kind, {})
+        for name, agg in now[kind].items():
+            prev = prior.get(name, {"count": 0, "total_s": 0.0})
+            d_count = agg["count"] - prev["count"]
+            if d_count:
+                out[kind][name] = {
+                    "count": d_count,
+                    "total_s": agg["total_s"] - prev["total_s"],
+                }
+    prior_gauges = before.get("gauges", {})
+    for name, value in now["gauges"].items():
+        if name not in prior_gauges or prior_gauges[name] != value:
+            out["gauges"][name] = value
+    prior_hists = before.get("histograms", {})
+    for name, agg in now["histograms"].items():
+        prev = prior_hists.get(name)
+        if prev is None:
+            out["histograms"][name] = agg
+            continue
+        d_count = agg["count"] - prev["count"]
+        if not d_count:
+            continue
+        prev_buckets = prev.get("buckets", {})
+        buckets = {
+            key: n - prev_buckets.get(key, 0)
+            for key, n in agg["buckets"].items()
+            if n - prev_buckets.get(key, 0)
+        }
+        out["histograms"][name] = {
+            "count": d_count,
+            "sum": agg["sum"] - prev["sum"],
+            "min": agg["min"],
+            "max": agg["max"],
+            "buckets": buckets,
+        }
+    return out
 
 
 class _NullSpan:
@@ -121,7 +190,7 @@ class _Timer:
 class _Span:
     """Context manager recording one duration under the span stack."""
 
-    __slots__ = ("_registry", "_name", "_attrs", "_start")
+    __slots__ = ("_registry", "_name", "_attrs", "_start", "_mem0")
 
     def __init__(
         self,
@@ -142,6 +211,11 @@ class _Span:
         if registry._tracing:
             path = ".".join((*registry._stack, self._name))
             registry._trace_record("B", path, self._attrs)
+        if registry._attribution and tracemalloc.is_tracing():
+            self._mem0 = tracemalloc.get_traced_memory()[0]
+            tracemalloc.reset_peak()
+        else:
+            self._mem0 = None
         registry._stack.append(self._name)
         self._start = time.perf_counter()
         return self
@@ -150,7 +224,19 @@ class _Span:
         elapsed = time.perf_counter() - self._start
         registry = self._registry
         try:
-            registry._finish_span(".".join(registry._stack), elapsed)
+            path = ".".join(registry._stack)
+            registry._finish_span(path, elapsed)
+            if (
+                self._mem0 is not None
+                and registry._attribution
+                and tracemalloc.is_tracing()
+            ):
+                current, peak = tracemalloc.get_traced_memory()
+                registry.histogram(path + ".mem.alloc_bytes", current - self._mem0)
+                registry.histogram(path + ".mem.peak_bytes", max(peak - self._mem0, 0))
+                # Re-arm the peak for the enclosing span's tail: peak
+                # attribution is innermost-wins (see obs/resources.py).
+                tracemalloc.reset_peak()
         finally:
             # Pop unconditionally: whatever the bookkeeping above did,
             # the stack must unwind or every later span in the process
@@ -176,6 +262,8 @@ class Registry:
         self._hists: dict[str, list] = {}
         self._stack: list[str] = []
         self._tracing = False
+        self._attribution = False
+        self._owns_tracemalloc = False
         self._trace_events: list[dict] = []
         # Clock anchors pairing the event clock (perf_counter) with the
         # cross-process epoch clock: merge_trace() re-bases a worker's
@@ -244,6 +332,33 @@ class Registry:
     def disable_trace(self) -> None:
         """Stop recording timeline events (collected events are kept)."""
         self._tracing = False
+
+    @property
+    def attribution_enabled(self) -> bool:
+        """Whether closing spans record memory-delta histograms."""
+        return self._attribution
+
+    def enable_attribution(self) -> None:
+        """Record per-span memory deltas (``<span>.mem.*`` histograms).
+
+        Implies :meth:`enable`, like tracing.  Starts :mod:`tracemalloc`
+        when nothing else did (and remembers ownership, so
+        :meth:`disable_attribution` only stops what it started).  This
+        is the *opt-in* resource-attribution mode: with it off, a span
+        pays zero extra cost beyond one boolean test.
+        """
+        self._enabled = True
+        if not tracemalloc.is_tracing():
+            tracemalloc.start()
+            self._owns_tracemalloc = True
+        self._attribution = True
+
+    def disable_attribution(self) -> None:
+        """Stop recording per-span memory deltas (data kept)."""
+        self._attribution = False
+        if self._owns_tracemalloc and tracemalloc.is_tracing():
+            tracemalloc.stop()
+        self._owns_tracemalloc = False
 
     def reset(self) -> None:
         """Drop every accumulated measurement (enabled state unchanged)."""
@@ -438,57 +553,7 @@ class Registry:
         from ``before`` are returned whole; unchanged entries are
         omitted.
         """
-        now = self.snapshot()
-        out = {
-            "version": SNAPSHOT_VERSION,
-            "counters": {},
-            "timers": {},
-            "spans": {},
-            "gauges": {},
-            "histograms": {},
-        }
-        prior_counters = before.get("counters", {})
-        for name, value in now["counters"].items():
-            delta = value - prior_counters.get(name, 0)
-            if delta:
-                out["counters"][name] = delta
-        for kind in ("timers", "spans"):
-            prior = before.get(kind, {})
-            for name, agg in now[kind].items():
-                prev = prior.get(name, {"count": 0, "total_s": 0.0})
-                d_count = agg["count"] - prev["count"]
-                if d_count:
-                    out[kind][name] = {
-                        "count": d_count,
-                        "total_s": agg["total_s"] - prev["total_s"],
-                    }
-        prior_gauges = before.get("gauges", {})
-        for name, value in now["gauges"].items():
-            if name not in prior_gauges or prior_gauges[name] != value:
-                out["gauges"][name] = value
-        prior_hists = before.get("histograms", {})
-        for name, agg in now["histograms"].items():
-            prev = prior_hists.get(name)
-            if prev is None:
-                out["histograms"][name] = agg
-                continue
-            d_count = agg["count"] - prev["count"]
-            if not d_count:
-                continue
-            prev_buckets = prev.get("buckets", {})
-            buckets = {
-                key: n - prev_buckets.get(key, 0)
-                for key, n in agg["buckets"].items()
-                if n - prev_buckets.get(key, 0)
-            }
-            out["histograms"][name] = {
-                "count": d_count,
-                "sum": agg["sum"] - prev["sum"],
-                "min": agg["min"],
-                "max": agg["max"],
-                "buckets": buckets,
-            }
-        return out
+        return diff_snapshots(self.snapshot(), before)
 
     def merge(self, snapshot: Optional[dict]) -> None:
         """Fold a snapshot (typically a worker's diff) into this registry.

@@ -1,0 +1,124 @@
+"""Process resources and per-span memory attribution.
+
+Two answers to "where did the memory go", complementing the registry's
+"where did the time go":
+
+* :func:`process_resources` — a point-in-time reading of the process:
+  current and peak RSS, user/system CPU seconds, GC collection counts,
+  live thread count, and (when :mod:`tracemalloc` is tracing) the
+  traced current/peak heap.  The :class:`~repro.obs.sampler.
+  SnapshotSampler` takes one reading per tick and also publishes it as
+  ``process.*`` gauges, so the Prometheus exporter serves it alongside
+  the library's own counters.
+* **Per-span attribution** — an *opt-in* mode
+  (:meth:`repro.obs.registry.Registry.enable_attribution`, module-level
+  :func:`repro.obs.enable_attribution`) in which closing a span records
+  two histograms under the span's dot-joined path:
+
+  - ``<path>.mem.alloc_bytes`` — net traced allocation across the span
+    (can be negative when the span frees more than it allocates; the
+    log2 histogram's ``le0`` bucket holds those), and
+  - ``<path>.mem.peak_bytes`` — the traced-heap high-water mark above
+    the span's entry level.
+
+  Attribution rides on :mod:`tracemalloc` (started automatically,
+  stopped again when this registry started it).  Peak attribution is
+  **innermost-wins**: every span entry and exit calls
+  ``tracemalloc.reset_peak()``, so a parent span's peak describes the
+  stretches *not* covered by a child — the child already claimed its
+  own.  Net allocation deltas have no such caveat; they nest exactly.
+
+Like every other registry mode, attribution is off by default and costs
+a closing span one boolean test; tracemalloc itself (active only while
+attribution is on) is the dominant cost of the mode, which is why it is
+opt-in rather than riding on ``--profile``.
+
+``SweepRunner`` workers mirror the parent's attribution switch the same
+way they mirror the enabled/tracing switches, and the ``<span>.mem.*``
+histograms travel home inside the ordinary snapshot delta — a parallel
+sweep attributes losslessly, like it counts losslessly.
+"""
+
+from __future__ import annotations
+
+import gc
+import os
+import resource
+import threading
+import tracemalloc
+
+#: ``ru_maxrss`` unit on this platform: kilobytes on Linux, bytes on
+#: macOS (the one mainstream outlier).
+_RU_MAXRSS_UNIT = 1 if os.uname().sysname == "Darwin" else 1024
+
+#: Metric names :func:`publish_gauges` writes (all under ``process.``).
+GAUGE_KEYS = (
+    "rss_bytes",
+    "max_rss_bytes",
+    "cpu_user_s",
+    "cpu_system_s",
+    "gc_collections",
+    "threads",
+    "tracemalloc_current_bytes",
+    "tracemalloc_peak_bytes",
+)
+
+
+def current_rss_bytes() -> int:
+    """The process's current resident set size, in bytes.
+
+    Read from ``/proc/self/statm`` where available (Linux); falls back
+    to the peak (``ru_maxrss``) elsewhere — a monotone over-estimate,
+    but never silently zero.
+    """
+    try:
+        with open("/proc/self/statm") as fh:
+            pages = int(fh.read().split()[1])
+        return pages * os.sysconf("SC_PAGE_SIZE")
+    except (OSError, ValueError, IndexError):
+        ru = resource.getrusage(resource.RUSAGE_SELF)
+        return int(ru.ru_maxrss * _RU_MAXRSS_UNIT)
+
+
+def max_rss_bytes() -> int:
+    """The process's peak resident set size so far, in bytes."""
+    ru = resource.getrusage(resource.RUSAGE_SELF)
+    return int(ru.ru_maxrss * _RU_MAXRSS_UNIT)
+
+
+def gc_collection_count() -> int:
+    """Total garbage collections run so far, summed over generations."""
+    return sum(stat["collections"] for stat in gc.get_stats())
+
+
+def process_resources() -> dict:
+    """One point-in-time reading of the process's resource usage.
+
+    Returns a flat JSON-serialisable dict.  The two ``tracemalloc_*``
+    keys appear only while :mod:`tracemalloc` is tracing (i.e. while
+    attribution is on or the caller started it), so their absence is
+    itself a signal.
+    """
+    ru = resource.getrusage(resource.RUSAGE_SELF)
+    reading = {
+        "rss_bytes": current_rss_bytes(),
+        "max_rss_bytes": int(ru.ru_maxrss * _RU_MAXRSS_UNIT),
+        "cpu_user_s": ru.ru_utime,
+        "cpu_system_s": ru.ru_stime,
+        "gc_collections": gc_collection_count(),
+        "threads": threading.active_count(),
+    }
+    if tracemalloc.is_tracing():
+        current, peak = tracemalloc.get_traced_memory()
+        reading["tracemalloc_current_bytes"] = current
+        reading["tracemalloc_peak_bytes"] = peak
+    return reading
+
+
+def publish_gauges(registry, reading: dict) -> None:
+    """Publish one :func:`process_resources` reading as ``process.*``
+    gauges on ``registry`` (no-op while the registry is disabled)."""
+    for key in GAUGE_KEYS:
+        value = reading.get(key)
+        if value is not None:
+            registry.gauge(f"process.{key}", float(value))

@@ -1,0 +1,279 @@
+"""Background interval sampling of a registry and the process.
+
+:class:`SnapshotSampler` turns the registry's post-hoc snapshot/diff
+machinery into *continuous* telemetry: a daemon thread wakes at a fixed
+interval and, per tick,
+
+1. takes a :func:`repro.obs.resources.process_resources` reading and
+   publishes it as ``process.*`` gauges on the registry (so the
+   Prometheus exporter serves RSS/CPU next to the library's counters);
+2. captures a registry snapshot and computes the **exact interval
+   delta** against the previous tick's snapshot via
+   :func:`repro.obs.registry.diff_snapshots` — consecutive ticks share
+   their boundary snapshot, so interval deltas telescope: merging every
+   delta reproduces total-minus-baseline to the bit (pinned by
+   ``tests/test_obs_sampler.py``);
+3. appends the sample record to a bounded ring buffer (a
+   ``deque(maxlen=capacity)``; the oldest sample falls off on overflow)
+   and streams it to the optional JSONL sink.
+
+Sample records are JSON-ready dicts::
+
+    {"seq": 3,              # tick number, 0-based, never reset
+     "t": 1754660000.0,     # epoch seconds at capture
+     "uptime_s": 0.31,      # seconds since the sampler started
+     "interval_s": 0.1,     # configured interval
+     "process": {...},      # process_resources() reading
+     "delta": {...}}        # diff_snapshots(snap, previous snap)
+
+The sampler never locks the registry: recording calls stay lock-free
+single-branch, and the snapshot side retries the (rare) ``RuntimeError``
+a dict iteration raises when a recorder inserts a *new* name mid-copy.
+In-place aggregate updates never tear — CPython dict reads under the
+GIL see complete ``[count, total]`` lists — so a handful of retries is
+the entire thread-safety story (hammered by the torn-snapshot test).
+
+Self-telemetry lands under ``obs.sampler.*`` (samples, snapshot
+retries, ring overflows, flushes) and is registered in
+``docs/metrics.txt`` like every other name.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from pathlib import Path
+from typing import Optional, Union
+
+from repro.obs.registry import Registry, diff_snapshots
+from repro.obs.resources import process_resources, publish_gauges
+from repro.obs.exporters import JsonlSink, start_metrics_server
+
+#: Consecutive snapshot attempts before a tick gives up (each retry is
+#: counted under ``obs.sampler.snapshot_retries``).
+_SNAPSHOT_ATTEMPTS = 8
+
+
+def safe_snapshot(registry: Registry, attempts: int = _SNAPSHOT_ATTEMPTS) -> dict:
+    """Snapshot ``registry``, retrying if concurrent inserts race it.
+
+    ``Registry.snapshot`` iterates plain dicts; a recorder thread
+    inserting a *new* metric name during the copy raises
+    ``RuntimeError`` (existing entries only ever mutate in place, which
+    is safe).  New names are rare after warm-up, so retrying a few
+    times always converges in practice.
+    """
+    for remaining in range(attempts - 1, -1, -1):
+        try:
+            return registry.snapshot()
+        except RuntimeError:
+            if not remaining:
+                raise
+            registry.incr("obs.sampler.snapshot_retries")
+    raise AssertionError("unreachable")
+
+
+class SnapshotSampler:
+    """Fixed-interval background sampler for one registry.
+
+    Args:
+        registry: the registry to watch; ``None`` means the process
+            global (:data:`repro.obs.REGISTRY`), resolved lazily at
+            construction.
+        interval_s: seconds between ticks.
+        capacity: ring-buffer size in samples; the oldest sample is
+            dropped (and ``obs.sampler.overflows`` incremented) when a
+            new one arrives full.
+        sink: optional :class:`~repro.obs.exporters.JsonlSink` (or a
+            path, opened as one) every sample is streamed to as it is
+            taken.  The sampler closes a sink it opened itself.
+
+    Usable as a context manager (``with SnapshotSampler(...) as s:``
+    starts and stops the thread), or tick synchronously via
+    :meth:`sample_now` for deterministic tests.
+    """
+
+    def __init__(
+        self,
+        registry: Optional[Registry] = None,
+        interval_s: float = 1.0,
+        capacity: int = 600,
+        sink: Optional[Union[JsonlSink, str, Path]] = None,
+    ) -> None:
+        if registry is None:
+            from repro.obs import REGISTRY
+
+            registry = REGISTRY
+        if interval_s <= 0:
+            from repro.errors import ConfigurationError
+
+            raise ConfigurationError(
+                f"sampler interval must be positive, got {interval_s!r}"
+            )
+        if capacity < 1:
+            from repro.errors import ConfigurationError
+
+            raise ConfigurationError(
+                f"sampler capacity must be >= 1, got {capacity!r}"
+            )
+        self._registry = registry
+        self._interval_s = float(interval_s)
+        self._ring: deque[dict] = deque(maxlen=int(capacity))
+        self._owns_sink = not (sink is None or isinstance(sink, JsonlSink))
+        self._sink = JsonlSink(sink) if self._owns_sink else sink
+        self._tick_lock = threading.Lock()
+        self._stop = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+        self._seq = 0
+        # The pre-first-interval state: every tick diffs against the
+        # previous boundary, so baseline + sum(deltas) == final state.
+        self._baseline = safe_snapshot(registry)
+        self._last = self._baseline
+        self._start_perf = time.perf_counter()
+        # Epoch stamps in sample records are observability bookkeeping,
+        # not measurement (same carve-out DS402 grants obs/ generally).
+        self._start_epoch = time.time()
+
+    # -- introspection ------------------------------------------------
+
+    @property
+    def registry(self) -> Registry:
+        """The registry being sampled."""
+        return self._registry
+
+    @property
+    def interval_s(self) -> float:
+        """Seconds between ticks."""
+        return self._interval_s
+
+    @property
+    def sink(self) -> Optional[JsonlSink]:
+        """The streaming sink, when one is attached."""
+        return self._sink
+
+    @property
+    def running(self) -> bool:
+        """Whether the background thread is alive."""
+        return self._thread is not None and self._thread.is_alive()
+
+    @property
+    def baseline(self) -> dict:
+        """The construction-time snapshot the first interval diffs against."""
+        return self._baseline
+
+    def samples(self) -> list[dict]:
+        """A copy of the ring buffer, oldest first."""
+        with self._tick_lock:
+            return list(self._ring)
+
+    # -- sampling -----------------------------------------------------
+
+    def _tick(self) -> dict:
+        """One sample: resources, gauges, snapshot, delta, ring, sink."""
+        registry = self._registry
+        reading = process_resources()
+        publish_gauges(registry, reading)
+        registry.incr("obs.sampler.samples")
+        snap = safe_snapshot(registry)
+        delta = diff_snapshots(snap, self._last)
+        self._last = snap
+        record = {
+            "seq": self._seq,
+            "t": self._start_epoch
+            + (time.perf_counter() - self._start_perf),
+            "uptime_s": time.perf_counter() - self._start_perf,
+            "interval_s": self._interval_s,
+            "process": reading,
+            "delta": delta,
+        }
+        self._seq += 1
+        if len(self._ring) == self._ring.maxlen:
+            registry.incr("obs.sampler.overflows")
+        self._ring.append(record)
+        if self._sink is not None:
+            self._sink.write(record)
+        return record
+
+    def sample_now(self) -> dict:
+        """Take one sample synchronously and return its record.
+
+        Safe to call while the background thread runs — ticks serialise
+        on an internal lock, so interval-delta boundaries stay exact.
+        """
+        with self._tick_lock:
+            return self._tick()
+
+    def flush(self, path: Union[str, Path]) -> int:
+        """Write the ring buffer's current samples to a JSONL file.
+
+        Independent of the streaming sink: the ring holds the most
+        recent ``capacity`` samples whether or not a sink streamed them
+        already.  Returns the number of records written and increments
+        ``obs.sampler.flushes``.
+        """
+        records = self.samples()
+        with JsonlSink(path) as out:
+            for record in records:
+                out.write(record)
+        self._registry.incr("obs.sampler.flushes")
+        return len(records)
+
+    # -- lifecycle ----------------------------------------------------
+
+    def _run(self) -> None:
+        while not self._stop.wait(self._interval_s):
+            with self._tick_lock:
+                if self._stop.is_set():
+                    break
+                self._tick()
+
+    def start(self) -> "SnapshotSampler":
+        """Start the daemon sampling thread (idempotent)."""
+        if self.running:
+            return self
+        self._stop.clear()
+        self._thread = threading.Thread(
+            target=self._run, name="repro-obs-sampler", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def stop(self, final_sample: bool = True) -> None:
+        """Stop the thread; by default take one last closing sample.
+
+        The closing sample captures whatever accumulated after the last
+        interval boundary, so a JSONL stream ends flush with the run's
+        final state.  Closes the sink if this sampler opened it.
+        """
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout=max(5.0, 4 * self._interval_s))
+            self._thread = None
+        if final_sample:
+            self.sample_now()
+        if self._owns_sink and self._sink is not None:
+            self._sink.close()
+            self._sink = None
+            self._owns_sink = False
+
+    def __enter__(self) -> "SnapshotSampler":
+        return self.start()
+
+    def __exit__(self, *exc) -> bool:
+        self.stop()
+        return False
+
+    # -- hosting ------------------------------------------------------
+
+    def serve_prometheus(self, host: str = "127.0.0.1", port: int = 0):
+        """Expose the registry over HTTP (``/metrics``, ``/snapshot.json``).
+
+        Returns the running :class:`http.server.ThreadingHTTPServer`;
+        the bound port is ``server.server_address[1]``.  Scrapes read
+        live registry state through the same retry-safe snapshot the
+        sampler uses.
+        """
+        return start_metrics_server(
+            lambda: safe_snapshot(self._registry), host=host, port=port
+        )

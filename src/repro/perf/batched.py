@@ -76,6 +76,12 @@ class BatchedSteadyState:
         self._b = model.influence_matrix()
         # Row-major transpose so P_batch @ B^T hits contiguous memory.
         self._bt = np.ascontiguousarray(self._b.T)
+        # Resident footprint of the frozen operator (B plus its
+        # transposed copy) — the engine's dominant allocation.
+        obs.gauge(
+            "perf.batched.influence_bytes",
+            float(self._b.nbytes + self._bt.nbytes),
+        )
         self._ambient = model.ambient
         self._n = model.n_cores
         self._cache_size = cache_size

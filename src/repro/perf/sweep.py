@@ -72,17 +72,25 @@ def _worker_cell(
     return result, elapsed, delta, trace
 
 
-def _init_worker(parent_obs_enabled: bool, parent_trace_enabled: bool = False) -> None:
+def _init_worker(
+    parent_obs_enabled: bool,
+    parent_trace_enabled: bool = False,
+    parent_attribution_enabled: bool = False,
+) -> None:
     """Worker initialiser: mirror the parent's observability switches.
 
     Needed wherever the pool uses the ``spawn`` start method (fresh
     interpreters do not inherit the parent's registry state); harmless
-    under ``fork``.
+    under ``fork``.  With the attribution switch mirrored, workers
+    record ``<span>.mem.*`` histograms exactly like the parent and
+    the aggregates travel home inside the ordinary cell deltas.
     """
     if parent_obs_enabled:
         obs.enable()
     if parent_trace_enabled:
         obs.enable_trace()
+    if parent_attribution_enabled:
+        obs.enable_attribution()
 
 
 class SweepRunner:
@@ -155,7 +163,11 @@ class SweepRunner:
                 with ProcessPoolExecutor(
                     max_workers=self._max_workers,
                     initializer=_init_worker,
-                    initargs=(obs.enabled(), obs.trace_enabled()),
+                    initargs=(
+                        obs.enabled(),
+                        obs.trace_enabled(),
+                        obs.attribution_enabled(),
+                    ),
                 ) as pool:
                     timed = list(
                         pool.map(_worker_cell, itertools.repeat(fn), cells)
@@ -226,7 +238,11 @@ class SweepRunner:
                 with ProcessPoolExecutor(
                     max_workers=self._max_workers,
                     initializer=_init_worker,
-                    initargs=(obs.enabled(), obs.trace_enabled()),
+                    initargs=(
+                        obs.enabled(),
+                        obs.trace_enabled(),
+                        obs.attribution_enabled(),
+                    ),
                 ) as pool:
                     batched = list(
                         pool.map(_worker_cell, itertools.repeat(batch_fn), chunks)

@@ -10,6 +10,9 @@ one markdown dashboard under ``reports/``:
   "the number changed" becomes "this bench regressed on this entry";
 * **Hottest spans** — the latest entry's span aggregates merged across
   benches, ranked by total time;
+* **Histogram percentiles** — p50/p90/p99 for every histogram the
+  latest entry recorded, estimated from the log2 buckets
+  (:func:`repro.obs.export.hist_percentile`);
 * **Store activity** — hit rate and failure count out of the run
   ledger;
 * **Recent runs** — the ledger's newest lines: which experiment ran,
@@ -26,6 +29,7 @@ import time
 from pathlib import Path
 from typing import Optional, Sequence, Union
 
+from repro.obs.export import hist_percentile
 from repro.obs.manifest import RunManifest, read_manifests
 
 #: Default report location, relative to the working directory.
@@ -113,6 +117,34 @@ def _spans_section(track: Sequence[dict], top: int) -> list[str]:
     return lines
 
 
+def _percentiles_section(track: Sequence[dict]) -> list[str]:
+    lines = ["## Histogram percentiles (latest entry)", ""]
+    rows: list[str] = []
+    if track:
+        for bench, bench_data in sorted(
+            track[-1].get("benches", {}).items()
+        ):
+            for name, agg in sorted(
+                bench_data.get("obs", {}).get("histograms", {}).items()
+            ):
+                cells = []
+                for q in (0.5, 0.9, 0.99):
+                    value = hist_percentile(agg, q)
+                    cells.append("—" if value is None else f"{value:.4g}")
+                rows.append(
+                    f"| {bench} | `{name}` | {agg.get('count', 0)} "
+                    f"| {cells[0]} | {cells[1]} | {cells[2]} |"
+                )
+    if not rows:
+        lines += ["No histogram data in the latest entry.", ""]
+        return lines
+    lines.append("| bench | histogram | count | p50 | p90 | p99 |")
+    lines.append("|---|---|---|---|---|---|")
+    lines += rows
+    lines.append("")
+    return lines
+
+
 def _store_section(manifests: Sequence[RunManifest]) -> list[str]:
     lines = ["## Store activity", ""]
     if not manifests:
@@ -189,6 +221,7 @@ def render_report(
         lines += [f"_Generated: {generated}_", ""]
     lines += _trend_section(track, baseline)
     lines += _spans_section(track, top)
+    lines += _percentiles_section(track)
     lines += _store_section(manifests)
     lines += _ledger_section(manifests, recent)
     return "\n".join(lines).rstrip() + "\n"

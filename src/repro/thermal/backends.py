@@ -45,6 +45,7 @@ from scipy import linalg as dense_linalg
 from scipy import sparse
 from scipy.sparse.linalg import splu
 
+from repro import obs
 from repro.errors import ConfigurationError
 
 try:  # pragma: no cover - exercised only where numba is installed
@@ -100,9 +101,13 @@ class DenseFactorization:
         a = matrix.toarray() if sparse.issparse(matrix) else np.asarray(matrix, dtype=float)
         self._lu_piv = dense_linalg.lu_factor(a)
         self._n = a.shape[0]
+        obs.incr("solver.cost.factorizations")
+        # Dense LU stores (and factored) the full n^2 entries.
+        obs.incr("solver.cost.nnz_factored", self._n * self._n)
 
     def solve(self, rhs: np.ndarray) -> np.ndarray:
         r, was_vector = _as_2d(rhs)
+        obs.incr("solver.cost.rhs_columns", r.shape[1])
         x = dense_linalg.lu_solve(self._lu_piv, r)
         return x[:, 0] if was_vector else x
 
@@ -127,6 +132,8 @@ class SparseFactorization:
             options={"SymmetricMode": True},
         )
         self._n = csc.shape[0]
+        obs.incr("solver.cost.factorizations")
+        obs.incr("solver.cost.nnz_factored", int(self._lu.nnz))
 
     @property
     def superlu(self):
@@ -136,12 +143,14 @@ class SparseFactorization:
     def solve(self, rhs: np.ndarray) -> np.ndarray:
         r = np.asarray(rhs, dtype=float)
         if r.ndim == 2:
+            obs.incr("solver.cost.rhs_columns", r.shape[1])
             # One multi-RHS triangular pass; SuperLU wants column-major.
             return self._lu.solve(np.asfortranarray(r))
         if r.ndim != 1:
             raise ConfigurationError(
                 f"rhs must be a vector or a (n, k) batch, got shape {r.shape}"
             )
+        obs.incr("solver.cost.rhs_columns")
         return self._lu.solve(r)
 
 
@@ -236,6 +245,7 @@ class CompiledFactorization:
 
     def solve(self, rhs: np.ndarray) -> np.ndarray:
         r, was_vector = _as_2d(rhs)
+        obs.incr("solver.cost.rhs_columns", r.shape[1])
         # scipy's SuperLU stores Pr as "row k of A lands in row
         # perm_r[k] of LU", so the permuted RHS is b scattered by perm_r.
         work = np.empty_like(r)

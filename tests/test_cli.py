@@ -133,6 +133,140 @@ class TestObservabilityCli:
             assert obs.snapshot() == before
 
 
+class TestContinuousTelemetryCli:
+    @pytest.fixture()
+    def snapshot_file(self, capsys, tmp_path, restore_obs):
+        """A real demo snapshot exported to disk."""
+        target = tmp_path / "snap.json"
+        assert main(["obs", "--profile-out", str(target)]) == 0
+        capsys.readouterr()
+        return target
+
+    def test_sample_out_streams_interval_deltas(
+        self, capsys, tmp_path, restore_obs
+    ):
+        from repro.obs import read_jsonl
+
+        stream = tmp_path / "samples.jsonl"
+        assert (
+            main(
+                [
+                    "fig1",
+                    "--sample-out",
+                    str(stream),
+                    "--sample-interval",
+                    "0.05",
+                ]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        records = list(read_jsonl(stream))
+        # The closing sample is taken even when the run outpaces the
+        # interval, so the stream is never empty.
+        assert records
+        assert records[0]["seq"] == 0
+        assert records[-1]["process"]["rss_bytes"] > 0
+        assert "delta" in records[-1]
+
+    def test_attribution_flag_records_mem_histograms(
+        self, capsys, tmp_path, restore_obs
+    ):
+        target = tmp_path / "attr.json"
+        assert main(["fig1", "--attribution", "--profile-out", str(target)]) == 0
+        capsys.readouterr()
+        hists = json.loads(target.read_text())["histograms"]
+        assert any(name.endswith(".mem.alloc_bytes") for name in hists)
+        assert any(name.endswith(".mem.peak_bytes") for name in hists)
+        assert not obs.attribution_enabled()
+
+    def test_obs_prom_renders_snapshot(self, capsys, snapshot_file):
+        assert main(["obs", "prom", "--snapshot", str(snapshot_file)]) == 0
+        out = capsys.readouterr().out
+        assert "# TYPE repro_" in out
+        assert "repro_experiment_obs_demo_span_seconds_count 1" in out
+
+    def test_obs_watch_passes_shipped_budgets(self, capsys, snapshot_file):
+        assert main(["obs", "watch", "--snapshot", str(snapshot_file)]) == 0
+        out = capsys.readouterr().out
+        assert "0 hard violation(s)" in out
+
+    def test_obs_watch_exits_1_on_hard_violation(
+        self, capsys, tmp_path, snapshot_file
+    ):
+        budgets = tmp_path / "strict.json"
+        budgets.write_text(
+            json.dumps(
+                {
+                    "budgets": [
+                        {"metric": "thermal.model.lu_factorisations", "max": 0}
+                    ]
+                }
+            )
+        )
+        assert (
+            main(
+                [
+                    "obs",
+                    "watch",
+                    "--snapshot",
+                    str(snapshot_file),
+                    "--budgets",
+                    str(budgets),
+                ]
+            )
+            == 1
+        )
+        out = capsys.readouterr().out
+        assert "VIOLATED (hard): thermal.model.lu_factorisations" in out
+
+    def test_obs_watch_bad_budgets_is_config_error(
+        self, capsys, tmp_path, snapshot_file
+    ):
+        budgets = tmp_path / "broken.json"
+        budgets.write_text("{not json")
+        assert (
+            main(
+                [
+                    "obs",
+                    "watch",
+                    "--snapshot",
+                    str(snapshot_file),
+                    "--budgets",
+                    str(budgets),
+                ]
+            )
+            == 2
+        )
+        assert "not JSON" in capsys.readouterr().err
+
+    def test_obs_tail_requires_follow(self, capsys):
+        assert main(["obs", "tail"]) == 2
+        assert "--follow" in capsys.readouterr().err
+
+    def test_obs_tail_drains_a_sample_stream(
+        self, capsys, tmp_path, restore_obs
+    ):
+        stream = tmp_path / "samples.jsonl"
+        assert (
+            main(
+                [
+                    "fig1",
+                    "--sample-out",
+                    str(stream),
+                    "--sample-interval",
+                    "0.05",
+                ]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        assert main(["obs", "tail", "--follow", str(stream)]) == 0
+        out = capsys.readouterr().out
+        assert "sample #" in out
+        assert "rss" in out
+
+
 def _assert_chrome_trace_valid(doc: dict, expect_pids: int = 1) -> None:
     """Schema checks the acceptance criteria pin down: B/E pairing per
     (pid, tid) track, non-decreasing timestamps, pid/tid on every event."""

@@ -9,6 +9,7 @@ bare loop, median-of-trials to damp scheduler noise).
 """
 
 import time
+import tracemalloc
 
 from repro import obs
 from repro.obs import NULL_SPAN, Registry
@@ -109,6 +110,35 @@ class TestDisabledOverheadBudget:
             f"(budget {MAX_RATIO:.0f}x)"
         )
 
+    def test_disabled_histogram_within_budget_of_bare_loop(self):
+        # The attribution and solver.cost hooks record through
+        # histogram/incr; disabled, they must stay one-branch cheap.
+        registry = Registry()
+        histogram = registry.histogram
+
+        def bare():
+            x = 0.0
+            for _ in range(N):
+                x += 1.0
+            return x
+
+        def instrumented():
+            x = 0.0
+            for _ in range(N):
+                x += 1.0
+                histogram("hot.hist", x)
+            return x
+
+        bare_s = _median_time(bare)
+        instr_s = _median_time(instrumented)
+        per_iter = max(bare_s / N, 1e-9)
+        overhead_per_call = (instr_s - bare_s) / N
+        assert overhead_per_call < MAX_RATIO * per_iter, (
+            f"disabled histogram costs {overhead_per_call * 1e9:.1f} ns/call "
+            f"vs {per_iter * 1e9:.1f} ns bare iteration "
+            f"(budget {MAX_RATIO:.0f}x)"
+        )
+
     def test_module_level_incr_disabled_budget(self):
         was_enabled = obs.enabled()
         obs.disable()
@@ -135,3 +165,55 @@ class TestDisabledOverheadBudget:
         per_iter = max(bare_s / N, 1e-9)
         overhead_per_call = (instr_s - bare_s) / N
         assert overhead_per_call < MAX_RATIO * per_iter
+
+
+class TestContinuousTelemetryOffByDefault:
+    """The PR's new hooks must cost nothing until explicitly enabled."""
+
+    def test_attribution_off_means_no_tracer_and_no_mem_histograms(self):
+        already = tracemalloc.is_tracing()
+        registry = Registry(enabled=True)
+        assert not registry.attribution_enabled
+        with registry.span("work"):
+            payload = bytearray(100_000)
+        assert payload
+        assert registry.snapshot()["histograms"] == {}
+        assert tracemalloc.is_tracing() == already
+
+    def test_disabled_registry_ignores_solver_cost_style_hooks(self):
+        registry = Registry()
+        registry.incr("solver.cost.factorizations")
+        registry.incr("solver.cost.rhs_columns", 64)
+        registry.gauge("perf.batched.influence_bytes", 1e6)
+        snap = registry.snapshot()
+        assert snap["counters"] == {}
+        assert snap["gauges"] == {}
+
+    def test_enabled_span_with_attribution_off_stays_cheap(self):
+        # The attribution branch in span exit must not cost an enabled
+        # (but unattributed) span more than its own budget.
+        registry = Registry(enabled=True)
+        span = registry.span
+        n = N // 10
+
+        def bare():
+            x = 0
+            for _ in range(n):
+                x += 1
+            return x
+
+        def instrumented():
+            x = 0
+            for _ in range(n):
+                x += 1
+                with span("hot.span"):
+                    pass
+            return x
+
+        bare_s = _median_time(bare)
+        instr_s = _median_time(instrumented)
+        per_iter = max(bare_s / n, 1e-9)
+        overhead_per_call = (instr_s - bare_s) / n
+        # Enabled spans do real bookkeeping; the budget is accordingly
+        # looser, but attribution being off must keep it flat.
+        assert overhead_per_call < 60 * MAX_RATIO * per_iter

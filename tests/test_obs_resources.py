@@ -1,0 +1,224 @@
+"""Process resources and per-span memory attribution.
+
+Attribution's contract: a closing span records ``<path>.mem.alloc_bytes``
+and ``<path>.mem.peak_bytes`` histograms only while the mode is on, the
+paths nest like span paths do, the tracer is owned (started by the first
+registry that needs it, stopped when that registry turns it off), and —
+the parallel half — a ``workers=4`` sweep merges the workers' ``.mem.*``
+histograms home losslessly inside the ordinary snapshot deltas.
+"""
+
+import tracemalloc
+
+import pytest
+
+from repro import obs
+from repro.obs import Registry
+from repro.obs.resources import (
+    GAUGE_KEYS,
+    current_rss_bytes,
+    gc_collection_count,
+    max_rss_bytes,
+    process_resources,
+    publish_gauges,
+)
+from repro.perf import SweepRunner
+
+
+def _attributed_cell(x):
+    """Module-level (picklable) cell allocating inside a span."""
+    with obs.span("attr_cell"):
+        buffer = bytearray(64_000)
+    return x + len(buffer) * 0
+
+
+class TestProcessResources:
+    def test_reading_has_every_base_key(self):
+        reading = process_resources()
+        for key in GAUGE_KEYS:
+            if key.startswith("tracemalloc"):
+                continue
+            assert key in reading, key
+        assert reading["rss_bytes"] > 0
+        assert reading["max_rss_bytes"] >= reading["rss_bytes"] // 2
+        assert reading["cpu_user_s"] >= 0.0
+        assert reading["threads"] >= 1
+
+    def test_tracemalloc_keys_only_while_tracing(self):
+        already = tracemalloc.is_tracing()
+        if not already:
+            assert "tracemalloc_current_bytes" not in process_resources()
+        tracemalloc.start()
+        try:
+            reading = process_resources()
+            assert reading["tracemalloc_current_bytes"] >= 0
+            assert (
+                reading["tracemalloc_peak_bytes"]
+                >= reading["tracemalloc_current_bytes"]
+            )
+        finally:
+            if not already:
+                tracemalloc.stop()
+
+    def test_rss_helpers_positive_and_ordered(self):
+        assert current_rss_bytes() > 0
+        assert max_rss_bytes() > 0
+        assert gc_collection_count() >= 0
+
+    def test_publish_gauges_lands_under_process_prefix(self):
+        registry = Registry(enabled=True)
+        publish_gauges(registry, process_resources())
+        gauges = registry.snapshot()["gauges"]
+        assert gauges["process.rss_bytes"] > 0
+        assert gauges["process.threads"] >= 1
+        assert all(name.startswith("process.") for name in gauges)
+
+    def test_publish_gauges_noop_when_disabled(self):
+        registry = Registry()
+        publish_gauges(registry, process_resources())
+        assert registry.snapshot()["gauges"] == {}
+
+
+class TestAttribution:
+    @pytest.fixture()
+    def registry(self):
+        r = Registry(enabled=True)
+        yield r
+        r.disable_attribution()
+
+    def test_off_by_default_records_no_mem_histograms(self, registry):
+        assert not registry.attribution_enabled
+        with registry.span("plain"):
+            data = list(range(1000))
+        assert data
+        assert registry.snapshot()["histograms"] == {}
+
+    def test_span_records_alloc_and_peak(self, registry):
+        registry.enable_attribution()
+        with registry.span("work"):
+            buffer = bytearray(512_000)
+        assert buffer
+        hists = registry.snapshot()["histograms"]
+        assert hists["work.mem.alloc_bytes"]["count"] == 1
+        # The span held the 512 kB buffer at exit and at its high-water
+        # mark — both figures must see it (tracemalloc is byte-exact).
+        assert hists["work.mem.alloc_bytes"]["max"] >= 512_000
+        assert hists["work.mem.peak_bytes"]["max"] >= 512_000
+
+    def test_nested_spans_attribute_under_dotted_paths(self, registry):
+        registry.enable_attribution()
+        with registry.span("outer"):
+            with registry.span("inner"):
+                # Transient: freed before the inner span closes, so the
+                # high-water mark belongs to the inner span alone.
+                buffer = bytearray(256_000)
+                del buffer
+        hists = registry.snapshot()["histograms"]
+        assert hists["outer.inner.mem.peak_bytes"]["max"] >= 256_000
+        assert hists["outer.mem.alloc_bytes"]["count"] == 1
+        # Innermost-wins: the inner span claimed its own peak, so the
+        # outer span's peak covers only the stretches around it.
+        assert (
+            hists["outer.mem.peak_bytes"]["max"]
+            < hists["outer.inner.mem.peak_bytes"]["max"]
+        )
+
+    def test_net_allocation_can_be_negative(self, registry):
+        registry.enable_attribution()
+        hoard = [bytearray(128_000) for _ in range(4)]
+        with registry.span("freeing"):
+            hoard.clear()
+        agg = registry.snapshot()["histograms"]["freeing.mem.alloc_bytes"]
+        assert agg["min"] < 0
+        assert "le0" in agg["buckets"]
+
+    def test_owned_tracer_stops_with_the_mode(self, registry):
+        already = tracemalloc.is_tracing()
+        if already:
+            pytest.skip("tracemalloc already tracing outside the registry")
+        registry.enable_attribution()
+        assert tracemalloc.is_tracing()
+        registry.disable_attribution()
+        assert not tracemalloc.is_tracing()
+
+    def test_foreign_tracer_survives_the_mode(self, registry):
+        already = tracemalloc.is_tracing()
+        if not already:
+            tracemalloc.start()
+        try:
+            registry.enable_attribution()
+            registry.disable_attribution()
+            assert tracemalloc.is_tracing()
+        finally:
+            if not already:
+                tracemalloc.stop()
+
+    def test_module_level_switch_mirrors_registry(self):
+        was_enabled = obs.enabled()
+        obs.enable()
+        try:
+            assert not obs.attribution_enabled()
+            obs.enable_attribution()
+            assert obs.attribution_enabled()
+        finally:
+            obs.disable_attribution()
+            obs.reset()
+            if not was_enabled:
+                obs.disable()
+
+
+class TestParallelAttribution:
+    """workers=4: the workers' .mem.* histograms merge home losslessly."""
+
+    @pytest.fixture()
+    def global_attribution(self):
+        was_enabled = obs.enabled()
+        obs.enable()
+        obs.enable_attribution()
+        obs.reset()
+        yield obs
+        obs.disable_attribution()
+        obs.reset()
+        if not was_enabled:
+            obs.disable()
+
+    CELLS = list(range(8))
+
+    def _mem_hist(self, snapshot, suffix):
+        matches = {
+            name: agg
+            for name, agg in snapshot["histograms"].items()
+            if name.endswith(suffix)
+        }
+        assert matches, f"no histogram ending with {suffix}"
+        assert len(matches) == 1, sorted(matches)
+        return next(iter(matches.values()))
+
+    def test_workers_4_merge_is_lossless(self, global_attribution):
+        runner = SweepRunner(max_workers=4)
+        results = runner.map(self.CELLS, _attributed_cell, stage="attr")
+        assert results == self.CELLS
+        snap = obs.snapshot()
+        alloc = self._mem_hist(snap, "attr_cell.mem.alloc_bytes")
+        peak = self._mem_hist(snap, "attr_cell.mem.peak_bytes")
+        # One sample per cell: every worker's delta came home, none was
+        # double-merged.
+        assert alloc["count"] == len(self.CELLS)
+        assert peak["count"] == len(self.CELLS)
+        assert peak["max"] >= 64_000
+        assert peak["count"] == sum(peak["buckets"].values())
+
+    def test_workers_4_matches_serial_counts(self, global_attribution):
+        serial = SweepRunner(max_workers=1)
+        serial.map(self.CELLS, _attributed_cell, stage="attr")
+        serial_count = self._mem_hist(
+            obs.snapshot(), "attr_cell.mem.alloc_bytes"
+        )["count"]
+
+        obs.reset()
+        par = SweepRunner(max_workers=4)
+        par.map(self.CELLS, _attributed_cell, stage="attr")
+        par_count = self._mem_hist(
+            obs.snapshot(), "attr_cell.mem.alloc_bytes"
+        )["count"]
+        assert par_count == serial_count == len(self.CELLS)

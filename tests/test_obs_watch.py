@@ -1,0 +1,338 @@
+"""Budget watchdog: schema validation, predicates, the bench-track gate.
+
+Every predicate (``max``/``min``/``p95_le``/``ratio_ge``) is exercised
+against hand-built snapshots, wildcards fan out, ``required`` flips the
+vacuous-pass default, and the integration half pins what the watchdog
+was built for: ``benchmarks/track.py`` fails a run naming the violating
+metric, and the *shipped* ``benchmarks/budgets.json`` passes on a real
+snapshot of the current tree.
+"""
+
+import importlib.util
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.obs.watch import (
+    Budget,
+    check_snapshot,
+    evaluate,
+    load_budgets,
+    render_verdicts,
+    violations,
+)
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def _write_budgets(tmp_path, budgets: list[dict]) -> Path:
+    path = tmp_path / "budgets.json"
+    path.write_text(json.dumps({"budgets": budgets}))
+    return path
+
+
+def _snapshot(**kinds) -> dict:
+    base = {
+        "version": 2,
+        "counters": {},
+        "timers": {},
+        "spans": {},
+        "gauges": {},
+        "histograms": {},
+    }
+    base.update(kinds)
+    return base
+
+
+class TestLoading:
+    def test_valid_file_loads_all_fields(self, tmp_path):
+        path = _write_budgets(
+            tmp_path,
+            [
+                {
+                    "metric": "a.b",
+                    "max": 5,
+                    "severity": "soft",
+                    "required": True,
+                    "note": "why",
+                }
+            ],
+        )
+        (budget,) = load_budgets(path)
+        assert budget == Budget(
+            metric="a.b",
+            predicate="max",
+            threshold=5.0,
+            severity="soft",
+            required=True,
+            note="why",
+        )
+
+    def test_missing_file_rejected(self, tmp_path):
+        with pytest.raises(ConfigurationError, match="not found"):
+            load_budgets(tmp_path / "absent.json")
+
+    def test_unparseable_json_rejected(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{not json")
+        with pytest.raises(ConfigurationError, match="not JSON"):
+            load_budgets(path)
+
+    def test_top_level_shape_rejected(self, tmp_path):
+        path = tmp_path / "shape.json"
+        path.write_text(json.dumps({"budget": []}))
+        with pytest.raises(ConfigurationError, match="'budgets' list"):
+            load_budgets(path)
+
+    def test_unknown_key_rejected(self, tmp_path):
+        path = _write_budgets(tmp_path, [{"metric": "a", "max": 1, "mx": 2}])
+        with pytest.raises(ConfigurationError, match="unknown keys"):
+            load_budgets(path)
+
+    def test_no_predicate_rejected(self, tmp_path):
+        path = _write_budgets(tmp_path, [{"metric": "a"}])
+        with pytest.raises(ConfigurationError, match="exactly one"):
+            load_budgets(path)
+
+    def test_two_predicates_rejected(self, tmp_path):
+        path = _write_budgets(tmp_path, [{"metric": "a", "max": 1, "min": 0}])
+        with pytest.raises(ConfigurationError, match="exactly one"):
+            load_budgets(path)
+
+    def test_non_numeric_threshold_rejected(self, tmp_path):
+        for bad in ("5", True):
+            path = _write_budgets(tmp_path, [{"metric": "a", "max": bad}])
+            with pytest.raises(ConfigurationError, match="number"):
+                load_budgets(path)
+
+    def test_ratio_needs_over(self, tmp_path):
+        path = _write_budgets(tmp_path, [{"metric": "a", "ratio_ge": 0.5}])
+        with pytest.raises(ConfigurationError, match="'over'"):
+            load_budgets(path)
+
+    def test_over_only_for_ratio(self, tmp_path):
+        path = _write_budgets(
+            tmp_path, [{"metric": "a", "max": 1, "over": ["b"]}]
+        )
+        with pytest.raises(ConfigurationError, match="only applies"):
+            load_budgets(path)
+
+    def test_bad_severity_rejected(self, tmp_path):
+        path = _write_budgets(
+            tmp_path, [{"metric": "a", "max": 1, "severity": "fatal"}]
+        )
+        with pytest.raises(ConfigurationError, match="severity"):
+            load_budgets(path)
+
+    def test_non_bool_required_rejected(self, tmp_path):
+        path = _write_budgets(
+            tmp_path, [{"metric": "a", "max": 1, "required": "yes"}]
+        )
+        with pytest.raises(ConfigurationError, match="required"):
+            load_budgets(path)
+
+
+class TestPredicates:
+    def test_max_on_counters(self):
+        budgets = [Budget(metric="c", predicate="max", threshold=10)]
+        ok = evaluate(budgets, _snapshot(counters={"c": 10}))
+        bad = evaluate(budgets, _snapshot(counters={"c": 11}))
+        assert ok[0].ok and ok[0].value == 10
+        assert not bad[0].ok and bad[0].gating
+
+    def test_min_on_gauges(self):
+        budgets = [Budget(metric="g", predicate="min", threshold=0.5)]
+        assert evaluate(budgets, _snapshot(gauges={"g": 0.5}))[0].ok
+        assert not evaluate(budgets, _snapshot(gauges={"g": 0.49}))[0].ok
+
+    def test_timers_and_spans_resolve_total_seconds(self):
+        budgets = [Budget(metric="t", predicate="max", threshold=1.0)]
+        snap = _snapshot(timers={"t": {"count": 3, "total_s": 2.0}})
+        verdict = evaluate(budgets, snap)[0]
+        assert not verdict.ok and verdict.value == 2.0
+        snap = _snapshot(spans={"t": {"count": 1, "total_s": 0.5}})
+        assert evaluate(budgets, snap)[0].ok
+
+    def test_histogram_max_and_min_read_recorded_extremes(self):
+        hist = {"count": 3, "sum": 9.0, "min": 1.0, "max": 7.0, "buckets": {"3": 3}}
+        snap = _snapshot(histograms={"h": hist})
+        assert not evaluate(
+            [Budget(metric="h", predicate="max", threshold=6.0)], snap
+        )[0].ok
+        assert evaluate(
+            [Budget(metric="h", predicate="min", threshold=1.0)], snap
+        )[0].ok
+
+    def test_p95_le_on_constant_histogram_is_exact(self):
+        hist = {"count": 8, "sum": 24.0, "min": 3.0, "max": 3.0, "buckets": {"2": 8}}
+        snap = _snapshot(histograms={"h": hist})
+        passing = evaluate(
+            [Budget(metric="h", predicate="p95_le", threshold=3.0)], snap
+        )[0]
+        assert passing.ok and passing.value == 3.0
+        assert not evaluate(
+            [Budget(metric="h", predicate="p95_le", threshold=2.9)], snap
+        )[0].ok
+
+    def test_ratio_ge(self):
+        budget = Budget(
+            metric="hits",
+            predicate="ratio_ge",
+            threshold=0.5,
+            over=("hits", "misses"),
+        )
+        snap = _snapshot(counters={"hits": 6, "misses": 4})
+        verdict = evaluate([budget], snap)[0]
+        assert verdict.ok and verdict.value == pytest.approx(0.6)
+        snap = _snapshot(counters={"hits": 4, "misses": 6})
+        assert not evaluate([budget], snap)[0].ok
+
+    def test_ratio_zero_denominator_is_vacuous_unless_required(self):
+        snap = _snapshot(counters={"hits": 0, "misses": 0})
+        relaxed = Budget(
+            metric="hits", predicate="ratio_ge", threshold=0.5, over=("misses",)
+        )
+        verdict = evaluate([relaxed], snap)[0]
+        assert verdict.ok and "denominator" in verdict.detail
+        strict = Budget(
+            metric="hits",
+            predicate="ratio_ge",
+            threshold=0.5,
+            over=("misses",),
+            required=True,
+        )
+        assert not evaluate([strict], snap)[0].ok
+
+
+class TestMatching:
+    def test_wildcard_fans_out_to_every_match(self):
+        budgets = [Budget(metric="solver.cost.*", predicate="max", threshold=5)]
+        snap = _snapshot(
+            counters={"solver.cost.a": 1, "solver.cost.b": 9, "other": 99}
+        )
+        verdicts = evaluate(budgets, snap)
+        assert [v.metric for v in verdicts] == ["solver.cost.a", "solver.cost.b"]
+        assert [v.ok for v in verdicts] == [True, False]
+
+    def test_absent_metric_passes_vacuously(self):
+        budgets = [Budget(metric="nope", predicate="max", threshold=1)]
+        (verdict,) = evaluate(budgets, _snapshot())
+        assert verdict.ok and verdict.value is None
+        assert "absent" in verdict.detail
+
+    def test_absent_required_metric_violates(self):
+        budgets = [
+            Budget(metric="nope", predicate="max", threshold=1, required=True)
+        ]
+        (verdict,) = evaluate(budgets, _snapshot())
+        assert not verdict.ok and verdict.gating
+        assert "required" in verdict.detail
+
+    def test_soft_violation_does_not_gate(self):
+        budgets = [
+            Budget(metric="c", predicate="max", threshold=1, severity="soft")
+        ]
+        verdicts = evaluate(budgets, _snapshot(counters={"c": 5}))
+        assert not verdicts[0].ok and not verdicts[0].gating
+        assert violations(verdicts) == []
+        assert violations(verdicts, include_soft=True) == verdicts
+
+
+class TestRendering:
+    def test_violations_sort_first_with_summary(self):
+        budgets = [
+            Budget(metric="ok.metric", predicate="max", threshold=10),
+            Budget(metric="bad.metric", predicate="max", threshold=1),
+            Budget(
+                metric="soft.metric",
+                predicate="max",
+                threshold=1,
+                severity="soft",
+            ),
+        ]
+        snap = _snapshot(
+            counters={"ok.metric": 5, "bad.metric": 5, "soft.metric": 5}
+        )
+        text = render_verdicts(evaluate(budgets, snap))
+        lines = text.splitlines()
+        assert lines[0].startswith("VIOLATED (hard): bad.metric")
+        assert lines[1].startswith("VIOLATED (soft): soft.metric")
+        assert lines[2].startswith("ok: ok.metric")
+        assert "1 ok, 1 soft violation(s), 1 hard violation(s)" in lines[3]
+
+    def test_empty_verdicts_render_notice(self):
+        assert "no budgets" in render_verdicts([])
+
+    def test_check_snapshot_splits_hard_violations(self, tmp_path):
+        path = _write_budgets(
+            tmp_path,
+            [
+                {"metric": "c", "max": 1},
+                {"metric": "c", "min": 1, "severity": "soft"},
+            ],
+        )
+        verdicts, hard = check_snapshot(_snapshot(counters={"c": 5}), path)
+        assert len(verdicts) == 2
+        assert [v.budget.predicate for v in hard] == ["max"]
+
+
+def _load_track_module():
+    spec = importlib.util.spec_from_file_location(
+        "bench_track", REPO_ROOT / "benchmarks" / "track.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestBenchTrackGate:
+    def test_violating_budget_fails_naming_the_metric(
+        self, tmp_path, capsys
+    ):
+        track = _load_track_module()
+        results = {
+            "bench_x": {
+                "wall_s": 0.1,
+                "obs": _snapshot(counters={"thermal.model.lu_factorisations": 99}),
+            }
+        }
+        path = _write_budgets(
+            tmp_path,
+            [{"metric": "thermal.model.lu_factorisations", "max": 50}],
+        )
+        assert track.check_budgets(results, path) == 1
+        captured = capsys.readouterr()
+        assert "thermal.model.lu_factorisations" in captured.err
+        assert "hard budget violation" in captured.err
+        # Verdicts persisted into the entry for append_entry to record.
+        (verdict,) = results["bench_x"]["budgets"]
+        assert verdict["ok"] is False
+        assert verdict["metric"] == "thermal.model.lu_factorisations"
+
+    def test_missing_budgets_file_skips_with_notice(self, tmp_path, capsys):
+        track = _load_track_module()
+        results = {"bench_x": {"wall_s": 0.1, "obs": _snapshot()}}
+        assert track.check_budgets(results, tmp_path / "absent.json") == 0
+        assert "skipped" in capsys.readouterr().out
+
+    def test_shipped_budgets_pass_on_a_real_snapshot(self, capsys):
+        """The committed budgets.json must not gate on the current tree."""
+        from repro import obs
+        from repro.cli import main
+
+        was_enabled = obs.enabled()
+        try:
+            assert main(["obs"]) == 0
+            snapshot = json.loads(capsys.readouterr().out)
+        finally:
+            obs.reset()
+            if not was_enabled:
+                obs.disable()
+        verdicts, hard = check_snapshot(
+            snapshot, REPO_ROOT / "benchmarks" / "budgets.json"
+        )
+        assert verdicts, "shipped budgets evaluated nothing"
+        assert hard == [], render_verdicts(hard)

@@ -35,7 +35,17 @@ TRACK = [
                     "spans": {
                         "sweep.hot": {"count": 3, "total_s": 0.09},
                         "experiment.a": {"count": 1, "total_s": 0.02},
-                    }
+                    },
+                    "histograms": {
+                        # constant distribution -> every percentile exact
+                        "tsp.budget_w": {
+                            "count": 4,
+                            "sum": 12.0,
+                            "min": 3.0,
+                            "max": 3.0,
+                            "buckets": {"2": 4},
+                        }
+                    },
                 },
             },
             "bench_b": {
