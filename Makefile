@@ -14,11 +14,15 @@ test:
 	$(MAKE) figures-smoke
 	$(MAKE) obs-smoke
 
-# Project-specific static analysis (repro.lint): unit-literal, float-eq,
-# exception, metric-name and spawn-safety invariants.  Exits non-zero on
-# any finding not ratified in lint_baseline.json; see docs/linting.md.
+# Project-specific static analysis (repro.lint), two-phase: per-file
+# rules (unit-literal, float-eq, exception, metric-name, spawn-safety)
+# plus whole-program dimension/lock/lifecycle checks over the project
+# call graph.  Module summaries are cached content-addressed under
+# .lint-cache, so warm runs only re-summarize edited files.  Exits
+# non-zero on any finding not ratified in lint_baseline.json; see
+# docs/linting.md.
 lint:
-	python -m repro.cli lint src tests
+	python -m repro.cli lint src tests --cache .lint-cache
 
 # Cold + warm batch pass against a throwaway artifact store: the first
 # run computes every registered experiment in quick mode, the second
@@ -77,5 +81,5 @@ examples:
 	for f in examples/*.py; do echo "== $$f =="; python $$f; done
 
 clean:
-	rm -rf build dist src/*.egg-info .pytest_benchmarks .benchmarks .figures-smoke-store
+	rm -rf build dist src/*.egg-info .pytest_benchmarks .benchmarks .figures-smoke-store .lint-cache
 	find . -name __pycache__ -type d -exec rm -rf {} +

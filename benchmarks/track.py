@@ -122,19 +122,49 @@ def lint_status() -> dict:
     A trajectory point from a tree that does not lint clean is not a
     trustworthy measurement (e.g. stray nondeterminism in model code
     skews counters), so :func:`main` also gates on ``clean``.
+
+    Runs twice against a throwaway summary cache so each track entry
+    also records the two-phase analyzer's own performance: cold and
+    warm phase-1/phase-2 wall-clock plus the warm-run summary-cache
+    hit rate (any warm miss means cache-key drift).
     """
+    import shutil
+    import tempfile
+
     from repro import lint
 
-    report = lint.lint_paths(
-        [REPO_ROOT / "src", REPO_ROOT / "tests"],
-        manifest=lint.MetricManifest.load(REPO_ROOT / "docs" / "metrics.txt"),
-        baseline=lint.Baseline.load_if_exists(REPO_ROOT / "lint_baseline.json"),
-    )
+    manifest = lint.MetricManifest.load(REPO_ROOT / "docs" / "metrics.txt")
+    baseline = lint.Baseline.load_if_exists(REPO_ROOT / "lint_baseline.json")
+    cache_dir = Path(tempfile.mkdtemp(prefix="lint-track-cache-"))
+    try:
+        cold = lint.lint_paths(
+            [REPO_ROOT / "src", REPO_ROOT / "tests"],
+            manifest=manifest,
+            baseline=baseline,
+            cache_dir=cache_dir,
+        )
+        warm = lint.lint_paths(
+            [REPO_ROOT / "src", REPO_ROOT / "tests"],
+            manifest=manifest,
+            baseline=baseline,
+            cache_dir=cache_dir,
+        )
+    finally:
+        shutil.rmtree(cache_dir, ignore_errors=True)
+    hits = warm.timings.get("cache_hits", 0)
+    misses = warm.timings.get("cache_misses", 0)
     return {
-        "clean": report.clean,
-        "files": report.files,
-        "findings": report.counts(),
-        "baseline_suppressed": report.baseline_suppressed,
+        "clean": cold.clean,
+        "files": cold.files,
+        "findings": cold.counts(),
+        "baseline_suppressed": cold.baseline_suppressed,
+        "analysis": {
+            "cold_phase1_s": round(cold.timings.get("phase1_s", 0.0), 4),
+            "cold_phase2_s": round(cold.timings.get("phase2_s", 0.0), 4),
+            "warm_phase1_s": round(warm.timings.get("phase1_s", 0.0), 4),
+            "warm_phase2_s": round(warm.timings.get("phase2_s", 0.0), 4),
+            "warm_cache_hit_rate": round(hits / max(1, hits + misses), 4),
+        },
     }
 
 
@@ -425,6 +455,11 @@ def main(argv: list[str] | None = None) -> int:
     counts = ", ".join(f"{k}: {v}" for k, v in sorted(lint["findings"].items()))
     print(f"lint: {'clean' if lint['clean'] else counts} "
           f"({lint['files']} files)")
+    analysis = lint["analysis"]
+    print(f"lint analysis: cold {analysis['cold_phase1_s']:.3f}s + "
+          f"{analysis['cold_phase2_s']:.3f}s, warm {analysis['warm_phase1_s']:.3f}s + "
+          f"{analysis['warm_phase2_s']:.3f}s, "
+          f"hit rate {analysis['warm_cache_hit_rate']:.0%}")
     append_entry(results, lint)
     if not lint["clean"]:
         print(

@@ -627,20 +627,53 @@ def _cmd_lint(args) -> int:
         print(f"no metric manifest at {args.manifest}", file=sys.stderr)
         return 2
 
+    two_phase = dict(
+        cache_dir=args.cache,
+        jobs=args.jobs,
+        program=not args.no_program,
+    )
+
+    if args.prune_manifest:
+        if manifest is None:
+            print("no metric manifest to prune", file=sys.stderr)
+            return 2
+        report = lint.lint_paths(
+            paths,
+            manifest=manifest,
+            select=["DS302"],
+            stale_manifest=True,
+            jobs=args.jobs,
+        )
+        stale = [
+            (f.message.split("'")[1], f.line)
+            for f in report.findings
+            if f.code == "DS302"
+        ]
+        removed = lint.prune_manifest(args.manifest, stale)
+        print(f"[manifest: pruned {removed} stale entr(y/ies) "
+              f"from {args.manifest}]")
+        return 0
+
     if args.write_baseline:
-        report = lint.lint_paths(paths, manifest=manifest, select=select)
+        report = lint.lint_paths(
+            paths, manifest=manifest, select=select, **two_phase
+        )
         count = lint.write_baseline(args.baseline, report.findings)
         print(f"[baseline: ratified {count} finding(s) to {args.baseline}]")
         return 0
 
     baseline = lint.Baseline.load_if_exists(args.baseline)
     report = lint.lint_paths(
-        paths, manifest=manifest, baseline=baseline, select=select
+        paths, manifest=manifest, baseline=baseline, select=select, **two_phase
     )
     if args.format == "json":
         import json
 
         print(json.dumps(report.to_dict(), indent=2))
+    elif args.format == "sarif":
+        import json
+
+        print(json.dumps(report.to_sarif(), indent=2))
     else:
         print(report.render_text())
     return 0 if report.clean else 1
@@ -887,9 +920,35 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_lint.add_argument(
         "--format",
-        choices=("text", "json"),
+        choices=("text", "json", "sarif"),
         default="text",
-        help="output format (default: text)",
+        help="output format (default: text; sarif emits SARIF 2.1.0 "
+        "for CI code annotations)",
+    )
+    p_lint.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="phase-1 worker processes (default: 1)",
+    )
+    p_lint.add_argument(
+        "--cache",
+        metavar="DIR",
+        help="summary-cache artifact store; warm runs skip "
+        "re-summarizing files whose content hash is cached",
+    )
+    p_lint.add_argument(
+        "--no-program",
+        action="store_true",
+        help="skip phase 2 (the whole-program DS302/DS5xx/DS6xx/DS7xx "
+        "analysis)",
+    )
+    p_lint.add_argument(
+        "--prune-manifest",
+        action="store_true",
+        help="rewrite the metric manifest dropping entries DS302 "
+        "reports as stale, then exit",
     )
     p_lint.add_argument(
         "--baseline",

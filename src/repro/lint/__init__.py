@@ -4,9 +4,12 @@ Generic linters cannot check the conventions this library's correctness
 rests on: SI units internally with named multipliers (:mod:`repro.units`),
 the :class:`repro.errors.ReproError` hierarchy, dotted observability
 metric namespaces registered in ``docs/metrics.txt``, and spawn-safe
-sweep workers.  This package is an AST-visitor rule engine (one pass per
-file, rules as plugins with ``DSxxx`` codes) enforcing exactly those
-invariants:
+sweep workers.  The engine runs in two phases: phase 1 is a per-file
+AST pass (rules as plugins with ``DSxxx`` codes) that also distils each
+module into a content-addressed summary (:mod:`repro.lint.summaries`,
+cached via :mod:`repro.store` for warm runs); phase 2 links the
+summaries into a project call graph (:mod:`repro.lint.callgraph`) and
+runs interprocedural rule families (:mod:`repro.lint.dataflow`):
 
 =======  ==========================================================
 code     invariant
@@ -22,12 +25,30 @@ DS201    no bare ``ValueError`` / ``RuntimeError`` / ``KeyError`` raises
 DS301    obs metric names must be dotted-lowercase literals (or
          f-strings with a literal dotted prefix) registered in the
          checked-in metric manifest ``docs/metrics.txt``
+DS302    the converse: no stale manifest entries — every name or
+         wildcard in ``docs/metrics.txt`` must still match an emitted
+         metric (or carry a ``# keep`` ratification)
 DS401    no lambdas / closures / global-mutating workers handed to
          process pools (``SweepRunner.map``, ``ProcessPoolExecutor``)
 DS402    no wall-clock / unseeded randomness (``time.time()``,
          ``random.*``) in model or experiment code outside
          :mod:`repro.obs` — it breaks manifest fingerprint
          reproducibility
+DS501    no arithmetic or comparison mixing physical dimensions
+         (watts plus kelvin), inferred from :mod:`repro.units` helper
+         provenance, ``units.Seconds``-style annotations, and
+         ``_hz``/``_w`` name suffixes, propagated through the call
+         graph
+DS502    no argument whose dimension contradicts the callee
+         parameter's (seconds passed where hertz is expected)
+DS601    no write to a lock-guarded attribute outside its lock —
+         DS401's discipline lifted to class call-graph reachability
+DS602    no pool-dispatched worker that transitively mutates
+         module-level state (lost under the spawn start method)
+DS701    every started resource (``tracemalloc``, samplers, metric
+         servers) is stopped, handed off, or ``with``-managed
+DS702    every opened sink/file is closed, handed off, or
+         ``with``-managed
 =======  ==========================================================
 
 Findings can be silenced two ways: an inline comment on the offending
@@ -49,10 +70,21 @@ from repro.lint.engine import (
     all_rules,
     lint_paths,
     lint_source,
+    prune_manifest,
     rule,
 )
+from repro.lint.callgraph import Program
+from repro.lint.dataflow import (
+    ProgramRule,
+    all_program_rules,
+    analyze_program,
+    analyze_source,
+    program_rule,
+)
+from repro.lint.summaries import ModuleSummary, SummaryCache, summarize_source
 
-# Importing the rule module registers the built-in DS rules.
+# Importing the rule module registers the built-in per-file DS rules
+# (the program rules register when repro.lint.dataflow imports above).
 from repro.lint import rules as _rules  # noqa: F401  (registration side effect)
 
 __all__ = [
@@ -60,10 +92,20 @@ __all__ = [
     "Finding",
     "LintReport",
     "MetricManifest",
+    "ModuleSummary",
+    "Program",
+    "ProgramRule",
     "Rule",
+    "SummaryCache",
+    "all_program_rules",
     "all_rules",
+    "analyze_program",
+    "analyze_source",
     "lint_paths",
     "lint_source",
+    "program_rule",
+    "prune_manifest",
     "rule",
+    "summarize_source",
     "write_baseline",
 ]

@@ -1,0 +1,314 @@
+"""Phase 2a of the whole-program lint: linking summaries into a program.
+
+:class:`Program` joins the per-module summaries produced by
+:mod:`repro.lint.summaries` into one namespace:
+
+* a function index keyed by qualified name
+  (``repro.core.tsp.ThermalSafePower.worst_case``);
+* name resolution from a *reference as written* in one module
+  (``units.ghz``, ``Baseline``, ``self._solve``) to that index, via the
+  module's import map, with re-export chasing so ``repro.lint.Baseline``
+  links to ``repro.lint.baseline.Baseline``;
+* call-graph edges and reachability (used by DS602 spawn analysis);
+* a return-dimension fixpoint so dimension labels flow through calls
+  (``f = units.ghz(f_ghz)`` then ``f + t_degc`` is flagged even though
+  the intermediate has no suffix).
+
+Dimension resolution for the dterm IR lives here too, because both the
+fixpoint and the :mod:`repro.lint.dataflow` rules need it: a dterm
+resolves to a dimension label via, in order, the local environment
+(parameters + assignments), :mod:`repro.units` constant provenance, the
+units-helper table, callee return dimensions, and name-suffix
+conventions as the fallback.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from repro import units
+from repro.lint.summaries import ModuleSummary, suffix_dimension
+
+#: Qualified prefix under which the units helper/constant tables apply.
+_UNITS_MODULE = "repro.units"
+
+
+class Program:
+    """The linked whole-program view over a set of module summaries."""
+
+    def __init__(
+        self,
+        summaries: Iterable[ModuleSummary],
+        *,
+        manifest=None,
+        stale_manifest: bool = False,
+    ) -> None:
+        self.summaries = list(summaries)
+        #: The loaded :class:`repro.lint.engine.MetricManifest` (opaque
+        #: here; consumed by the DS302 stale-entry rule).
+        self.manifest = manifest
+        #: Whether DS302 should run (only sound on whole-tree walks).
+        self.stale_manifest = stale_manifest
+        self.modules: dict[str, ModuleSummary] = {
+            s.module: s for s in self.summaries
+        }
+        #: "module.qualname" -> function facts.
+        self.functions: dict[str, dict] = {}
+        #: "module.qualname" -> owning summary (for import resolution).
+        self.owner: dict[str, ModuleSummary] = {}
+        #: "module.Class" -> class facts.
+        self.classes: dict[str, dict] = {}
+        for summary in self.summaries:
+            for qualname, facts in summary.functions.items():
+                key = f"{summary.module}.{qualname}"
+                self.functions[key] = facts
+                self.owner[key] = summary
+            for name, facts in summary.classes.items():
+                self.classes[f"{summary.module}.{name}"] = facts
+        self._return_dims: Optional[dict[str, Optional[str]]] = None
+
+    # -- name resolution ----------------------------------------------
+
+    def resolve_name(
+        self, summary: ModuleSummary, dotted: str
+    ) -> Optional[str]:
+        """Qualified name for a reference as written in ``summary``."""
+        head, _, rest = dotted.partition(".")
+        if head == "self":
+            return None
+        if head in summary.imports:
+            base = summary.imports[head]
+            qualified = f"{base}.{rest}" if rest else base
+        elif dotted in summary.functions or (
+            head in summary.classes or head in summary.module_globals
+        ):
+            qualified = f"{summary.module}.{dotted}"
+        else:
+            return None
+        return self._dealias(qualified)
+
+    def _dealias(self, qualified: str, depth: int = 0) -> str:
+        """Chase re-exports: ``repro.lint.Baseline`` -> its home module."""
+        if depth > 4:
+            return qualified
+        # Longest module prefix that we actually summarized.
+        parts = qualified.split(".")
+        for cut in range(len(parts) - 1, 0, -1):
+            prefix = ".".join(parts[:cut])
+            if prefix in self.modules:
+                owner = self.modules[prefix]
+                rest = parts[cut:]
+                name = rest[0]
+                local = ".".join(rest)
+                if local in owner.functions or name in owner.classes:
+                    return qualified
+                if name in owner.imports:
+                    rebased = ".".join([owner.imports[name], *rest[1:]])
+                    return self._dealias(rebased, depth + 1)
+                return qualified
+        return qualified
+
+    def resolve_function(
+        self,
+        summary: ModuleSummary,
+        callee: str,
+        *,
+        caller_class: Optional[str] = None,
+    ) -> Optional[str]:
+        """Function-index key for a call reference, or ``None``."""
+        if callee.startswith("self."):
+            if caller_class is None or callee.count(".") != 1:
+                return None
+            key = f"{summary.module}.{caller_class}.{callee[5:]}"
+            return key if key in self.functions else None
+        qualified = self.resolve_name(summary, callee)
+        if qualified is None:
+            return None
+        if qualified in self.functions:
+            return qualified
+        if qualified in self.classes:
+            init = f"{qualified}.__init__"
+            return init if init in self.functions else None
+        return None
+
+    # -- call graph ----------------------------------------------------
+
+    def _caller_class(self, qual: str) -> Optional[str]:
+        summary = self.owner[qual]
+        local = qual[len(summary.module) + 1 :]
+        if "." in local and local.split(".", 1)[0] in summary.classes:
+            return local.split(".", 1)[0]
+        return None
+
+    def callees(self, qual: str) -> list[tuple[str, dict]]:
+        """Resolved (callee key, call fact) pairs for one function."""
+        facts = self.functions.get(qual)
+        if facts is None:
+            return []
+        summary = self.owner[qual]
+        caller_class = self._caller_class(qual)
+        out: list[tuple[str, dict]] = []
+        for call in facts["calls"]:
+            target = self.resolve_function(
+                summary, call["callee"], caller_class=caller_class
+            )
+            if target is not None:
+                out.append((target, call))
+        return out
+
+    def reachable(self, start: Iterable[str]) -> set[str]:
+        """Functions transitively reachable from ``start`` keys."""
+        seen: set[str] = set()
+        frontier = [q for q in start if q in self.functions]
+        while frontier:
+            qual = frontier.pop()
+            if qual in seen:
+                continue
+            seen.add(qual)
+            for target, _ in self.callees(qual):
+                if target not in seen:
+                    frontier.append(target)
+        return seen
+
+    # -- dimension resolution -----------------------------------------
+
+    def _units_helper(self, qualified: Optional[str]) -> Optional[tuple]:
+        """(arg label, result label) when ``qualified`` is a units helper."""
+        if qualified is None or not qualified.startswith(_UNITS_MODULE + "."):
+            return None
+        return units.HELPER_DIMENSIONS.get(
+            qualified[len(_UNITS_MODULE) + 1 :]
+        )
+
+    def _units_constant(self, qualified: Optional[str]) -> Optional[str]:
+        if qualified is None or not qualified.startswith(_UNITS_MODULE + "."):
+            return None
+        return units.CONSTANT_DIMENSIONS.get(
+            qualified[len(_UNITS_MODULE) + 1 :]
+        )
+
+    def resolve_dterm(
+        self,
+        term: list,
+        summary: ModuleSummary,
+        env: dict[str, str],
+        *,
+        caller_class: Optional[str] = None,
+        _return_dims: Optional[dict] = None,
+    ) -> Optional[str]:
+        """Dimension label of a dterm, or ``None`` when unknown."""
+        kind = term[0]
+        if kind == "dim":
+            return term[1]
+        if kind == "var":
+            name = term[1]
+            if name in env:
+                return env[name]
+            qualified = self.resolve_name(summary, name)
+            constant = self._units_constant(qualified)
+            if constant is not None:
+                return constant
+            return suffix_dimension(name)
+        if kind == "call":
+            callee = term[1]
+            qualified = (
+                None
+                if callee.startswith("self.")
+                else self.resolve_name(summary, callee)
+            )
+            helper = self._units_helper(qualified)
+            if helper is not None:
+                return helper[1]
+            target = self.resolve_function(
+                summary, callee, caller_class=caller_class
+            )
+            if target is not None:
+                dims = (
+                    _return_dims
+                    if _return_dims is not None
+                    else self.return_dims()
+                )
+                return dims.get(target)
+            return None
+        if kind == "binop":
+            left = self.resolve_dterm(
+                term[2],
+                summary,
+                env,
+                caller_class=caller_class,
+                _return_dims=_return_dims,
+            )
+            right = self.resolve_dterm(
+                term[3],
+                summary,
+                env,
+                caller_class=caller_class,
+                _return_dims=_return_dims,
+            )
+            if left is not None and left == right:
+                return left
+            return None
+        return None
+
+    def build_env(
+        self,
+        qual: str,
+        *,
+        _return_dims: Optional[dict] = None,
+    ) -> dict[str, str]:
+        """Known dimensions of one function's parameters and locals.
+
+        Only *known* labels are stored; a variable assigned conflicting
+        dimensions is dropped so the suffix fallback applies instead.
+        """
+        facts = self.functions[qual]
+        summary = self.owner[qual]
+        caller_class = self._caller_class(qual)
+        env: dict[str, str] = dict(facts["param_dims"])
+        for name, term in facts["assigns"]:
+            dim = self.resolve_dterm(
+                term,
+                summary,
+                env,
+                caller_class=caller_class,
+                _return_dims=_return_dims,
+            )
+            if dim is None:
+                continue
+            if name in env and env[name] != dim:
+                del env[name]
+            else:
+                env[name] = dim
+        return env
+
+    def return_dims(self) -> dict[str, Optional[str]]:
+        """Fixpoint of each function's (unique) return dimension."""
+        if self._return_dims is not None:
+            return self._return_dims
+        dims: dict[str, Optional[str]] = {q: None for q in self.functions}
+        for _ in range(5):
+            changed = False
+            for qual, facts in self.functions.items():
+                if not facts["returns"]:
+                    continue
+                summary = self.owner[qual]
+                caller_class = self._caller_class(qual)
+                env = self.build_env(qual, _return_dims=dims)
+                seen = {
+                    self.resolve_dterm(
+                        term,
+                        summary,
+                        env,
+                        caller_class=caller_class,
+                        _return_dims=dims,
+                    )
+                    for term in facts["returns"]
+                }
+                new = seen.pop() if len(seen) == 1 else None
+                if new != dims[qual]:
+                    dims[qual] = new
+                    changed = True
+            if not changed:
+                break
+        self._return_dims = dims
+        return dims

@@ -1,0 +1,527 @@
+"""Phase 2b of the whole-program lint: interprocedural rule families.
+
+Three families run over the linked :class:`~repro.lint.callgraph.Program`
+rather than over one file's AST:
+
+* **DS5xx dimensional analysis** — DS501 flags add/sub/compare whose
+  operands carry different dimension labels (watts plus kelvin); DS502
+  flags call sites passing a value of one dimension where the callee's
+  parameter claims another (seconds where hertz is expected).  Labels
+  come from :mod:`repro.units` helper provenance, annotation aliases,
+  and name-suffix conventions, propagated through assignments and call
+  returns by the call-graph fixpoint.
+* **DS6xx lock/spawn discipline** — DS601 generalizes DS401 from
+  syntax to the class call graph: an attribute written under its class
+  lock *somewhere* is "guarded", and any other write outside the lock
+  (and outside ``__init__``, and not in a private method whose call
+  sites all hold the lock) is flagged.  DS602 walks the call graph from
+  every pool-dispatched worker and flags workers that transitively
+  mutate module-level state — mutations that silently vanish under the
+  spawn start method.
+* **DS7xx resource lifecycle** — DS701 (must-stop) and DS702
+  (must-close) do a per-function escape analysis: a started sampler /
+  metric server / tracemalloc session, or an opened sink/file, must be
+  stopped/closed in the same function, handed off (returned, stored,
+  passed on), or managed by ``with`` — unless the function *is* the
+  lifecycle API (``start*``/``enable*``/``open*``/``acquire*``/
+  ``serve*``).
+
+Program rules subclass :class:`ProgramRule` and register with
+:func:`program_rule`; :func:`analyze_program` runs them and applies the
+per-file inline suppressions recorded in the summaries, so
+``# repro-lint: disable=DS601 - reason`` works identically to phase 1.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Optional
+
+from repro.errors import ConfigurationError
+from repro.lint.callgraph import Program
+from repro.lint.engine import Finding, SUPPRESS_ALL
+from repro.lint.summaries import MUTATORS, ModuleSummary
+
+#: Function-name prefixes exempt from DS701/DS702: these *are* the
+#: lifecycle API, and handing back a running resource is their job.
+LIFECYCLE_PREFIXES = ("start", "enable", "open", "acquire", "serve")
+
+
+class ProgramRule:
+    """Base class for one whole-program DS rule."""
+
+    code: str = ""
+    summary: str = ""
+
+    def check(self, program: Program) -> Iterator[Finding]:
+        """Yield findings over the linked program."""
+        return iter(())
+
+
+_PROGRAM_RULES: list[type[ProgramRule]] = []
+
+
+def program_rule(cls: type[ProgramRule]) -> type[ProgramRule]:
+    """Class decorator registering a program rule."""
+    if not cls.code:
+        raise ConfigurationError(f"program rule {cls.__name__} has no code")
+    if any(existing.code == cls.code for existing in _PROGRAM_RULES):
+        raise ConfigurationError(f"duplicate program rule code {cls.code}")
+    _PROGRAM_RULES.append(cls)
+    return cls
+
+
+def all_program_rules() -> list[type[ProgramRule]]:
+    """Every registered program rule class, in registration order."""
+    return list(_PROGRAM_RULES)
+
+
+def _local_name(program: Program, qual: str) -> str:
+    summary = program.owner[qual]
+    return qual[len(summary.module) + 1 :]
+
+
+def _iter_functions(program: Program, *, library_only: bool):
+    for qual, facts in program.functions.items():
+        summary = program.owner[qual]
+        if library_only and not summary.in_library:
+            continue
+        yield qual, facts, summary
+
+
+@program_rule
+class DimensionMixing(ProgramRule):
+    """DS501: arithmetic/comparison across different dimension labels."""
+
+    code = "DS501"
+    summary = "arithmetic or comparison mixes physical dimensions"
+
+    def check(self, program: Program) -> Iterator[Finding]:
+        for qual, facts, summary in _iter_functions(
+            program, library_only=True
+        ):
+            env = program.build_env(qual)
+            caller_class = program._caller_class(qual)
+
+            def dim(term):
+                return program.resolve_dterm(
+                    term, summary, env, caller_class=caller_class
+                )
+
+            for record in (*facts["binops"], *facts["compares"]):
+                left = dim(record["l"])
+                right = dim(record["r"])
+                if left is None or right is None or left == right:
+                    continue
+                verb = (
+                    "arithmetic"
+                    if record["op"] in ("+", "-")
+                    else "comparison"
+                )
+                yield Finding(
+                    code=self.code,
+                    path=summary.path,
+                    line=record["ln"],
+                    col=record["col"],
+                    message=(
+                        f"{verb} mixes dimensions '{left}' and '{right}' "
+                        f"in {_local_name(program, qual)}()"
+                    ),
+                )
+
+
+@program_rule
+class DimensionArgument(ProgramRule):
+    """DS502: argument dimension contradicts the callee's parameter."""
+
+    code = "DS502"
+    summary = "argument dimension contradicts the callee parameter"
+
+    def check(self, program: Program) -> Iterator[Finding]:
+        from repro import units
+
+        for qual, facts, summary in _iter_functions(
+            program, library_only=True
+        ):
+            env = program.build_env(qual)
+            caller_class = program._caller_class(qual)
+
+            def dim(term):
+                return program.resolve_dterm(
+                    term, summary, env, caller_class=caller_class
+                )
+
+            for call in facts["calls"]:
+                if call.get("star"):
+                    continue
+                callee = call["callee"]
+                qualified = (
+                    None
+                    if callee.startswith("self.")
+                    else program.resolve_name(summary, callee)
+                )
+                expected: dict[object, tuple[str, str]] = {}
+                callee_label = callee
+                if qualified is not None and qualified.startswith(
+                    "repro.units."
+                ):
+                    helper = units.HELPER_DIMENSIONS.get(
+                        qualified.rsplit(".", 1)[-1]
+                    )
+                    if helper is not None and helper[0] is not None:
+                        expected[0] = ("value", helper[0])
+                        callee_label = qualified.rsplit(".", 1)[-1]
+                if not expected:
+                    target = program.resolve_function(
+                        summary, callee, caller_class=caller_class
+                    )
+                    if target is None:
+                        continue
+                    callee_facts = program.functions[target]
+                    if callee_facts["flexible"]:
+                        continue
+                    params = callee_facts["params"]
+                    if len(call["args"]) > len(params):
+                        continue
+                    for index, param in enumerate(params):
+                        pdim = callee_facts["param_dims"].get(param)
+                        if pdim is not None:
+                            expected[index] = (param, pdim)
+                            expected[param] = (param, pdim)
+                    callee_label = _local_name(program, target)
+                for index, term in enumerate(call["args"]):
+                    if index not in expected:
+                        continue
+                    param, pdim = expected[index]
+                    actual = dim(term)
+                    if actual is not None and actual != pdim:
+                        yield Finding(
+                            code=self.code,
+                            path=summary.path,
+                            line=call["ln"],
+                            col=call["col"],
+                            message=(
+                                f"argument '{param}' of {callee_label}() "
+                                f"expects '{pdim}' but receives '{actual}'"
+                            ),
+                        )
+                for name, term in call["kw"].items():
+                    if name not in expected:
+                        continue
+                    param, pdim = expected[name]
+                    actual = dim(term)
+                    if actual is not None and actual != pdim:
+                        yield Finding(
+                            code=self.code,
+                            path=summary.path,
+                            line=call["ln"],
+                            col=call["col"],
+                            message=(
+                                f"argument '{param}' of {callee_label}() "
+                                f"expects '{pdim}' but receives '{actual}'"
+                            ),
+                        )
+
+
+def _lock_held_methods(facts: dict) -> set[str]:
+    """Private methods whose in-class call sites all hold the lock."""
+    sites: dict[str, list[dict]] = {}
+    for call in facts["self_calls"]:
+        sites.setdefault(call["method"], []).append(call)
+    held: set[str] = set()
+    changed = True
+    while changed:
+        changed = False
+        for method in facts["methods"]:
+            if method in held or not method.startswith("_"):
+                continue
+            if method.startswith("__") and method.endswith("__"):
+                continue
+            calls = sites.get(method)
+            if not calls:
+                continue
+            if all(c["locked"] or c["caller"] in held for c in calls):
+                held.add(method)
+                changed = True
+    return held
+
+
+@program_rule
+class UnlockedGuardedWrite(ProgramRule):
+    """DS601: write to a lock-guarded attribute outside the lock."""
+
+    code = "DS601"
+    summary = "write to a lock-guarded attribute outside the lock"
+
+    def check(self, program: Program) -> Iterator[Finding]:
+        for class_qual, facts in program.classes.items():
+            if not facts["lock_attrs"]:
+                continue
+            module = class_qual.rsplit(".", 1)[0]
+            summary = program.modules.get(module)
+            if summary is None:
+                continue
+            held = _lock_held_methods(facts)
+
+            def effective_locked(write: dict) -> bool:
+                return write["locked"] or write["method"] in held
+
+            guarded: set[str] = {
+                write["attr"]
+                for write in facts["attr_writes"]
+                if write["method"] != "__init__" and effective_locked(write)
+            }
+            lock_label = "/".join(facts["lock_attrs"])
+            class_name = class_qual.rsplit(".", 1)[-1]
+            for write in facts["attr_writes"]:
+                if (
+                    write["attr"] not in guarded
+                    or write["method"] == "__init__"
+                    or effective_locked(write)
+                ):
+                    continue
+                yield Finding(
+                    code=self.code,
+                    path=summary.path,
+                    line=write["ln"],
+                    col=write["col"],
+                    message=(
+                        f"self.{write['attr']} is guarded by "
+                        f"self.{lock_label} elsewhere but written without "
+                        f"it in {class_name}.{write['method']}()"
+                    ),
+                )
+
+
+def _module_mutations(
+    program: Program, qual: str
+) -> list[str]:
+    """Module-state mutations performed directly by one function."""
+    facts = program.functions[qual]
+    summary = program.owner[qual]
+    out = [f"global {name}" for name in facts["global_writes"]]
+    for call in facts["calls"]:
+        callee = call["callee"]
+        if "." not in callee:
+            continue
+        head, _, _ = callee.partition(".")
+        terminal = callee.rsplit(".", 1)[-1]
+        if head in summary.module_globals and terminal in MUTATORS:
+            out.append(callee)
+    return out
+
+
+@program_rule
+class SpawnWorkerMutation(ProgramRule):
+    """DS602: pool worker transitively mutates module-level state."""
+
+    code = "DS602"
+    summary = "spawn worker reaches a module-state mutation"
+
+    def check(self, program: Program) -> Iterator[Finding]:
+        for summary in program.summaries:
+            for dispatch in summary.spawn_dispatches:
+                worker = program.resolve_function(summary, dispatch["worker"])
+                if worker is None:
+                    continue
+                mutations: list[str] = []
+                for reached in sorted(program.reachable([worker])):
+                    for what in _module_mutations(program, reached):
+                        mutations.append(
+                            f"{what} in {_local_name(program, reached)}()"
+                        )
+                if not mutations:
+                    continue
+                shown = "; ".join(sorted(set(mutations))[:3])
+                yield Finding(
+                    code=self.code,
+                    path=summary.path,
+                    line=dispatch["ln"],
+                    col=dispatch["col"],
+                    message=(
+                        f"spawn worker '{dispatch['worker']}' mutates "
+                        f"module state invisible to the parent process: "
+                        f"{shown}"
+                    ),
+                )
+
+
+@program_rule
+class StaleManifestEntry(ProgramRule):
+    """DS302: manifest entry matches no emitted metric.
+
+    The converse of DS301: every name/wildcard in ``docs/metrics.txt``
+    must still be reachable from some statically harvested obs call
+    site, or be ratified with a ``# keep`` comment.  Only runs on
+    whole-tree walks (see ``stale_manifest`` in
+    :func:`repro.lint.engine.lint_paths`); ``lint --prune-manifest``
+    rewrites the file dropping the flagged lines.
+    """
+
+    code = "DS302"
+    summary = "stale metric-manifest entry matches no emitted metric"
+
+    def check(self, program: Program) -> Iterator[Finding]:
+        manifest = program.manifest
+        if manifest is None or not program.stale_manifest:
+            return
+        names: set[str] = set()
+        prefixes: set[str] = set()
+        for summary in program.summaries:
+            names.update(summary.metric_names)
+            prefixes.update(summary.metric_prefixes)
+        for entry, lineno in manifest.stale_entries(names, prefixes):
+            yield Finding(
+                code=self.code,
+                path=manifest.path or "<manifest>",
+                line=lineno or 0,
+                col=0,
+                message=(
+                    f"manifest entry '{entry}' matches no emitted metric "
+                    "name; prune it (lint --prune-manifest) or ratify "
+                    "with a '# keep' comment"
+                ),
+            )
+
+
+def _lifecycle_exempt(qual_local: str) -> bool:
+    terminal = qual_local.rsplit(".", 1)[-1].lstrip("_")
+    return terminal.startswith(LIFECYCLE_PREFIXES)
+
+
+@program_rule
+class UnstoppedResource(ProgramRule):
+    """DS701: started resource neither stopped nor handed off."""
+
+    code = "DS701"
+    summary = "started resource is never stopped and does not escape"
+
+    def check(self, program: Program) -> Iterator[Finding]:
+        for qual, facts, summary in _iter_functions(
+            program, library_only=False
+        ):
+            local = _local_name(program, qual)
+            if _lifecycle_exempt(local):
+                continue
+            resources = facts["resources"]
+            stops = set(resources["stops"])
+            escapes = set(resources["escapes"])
+            managed = set(resources["with"])
+            for start in resources["starts"]:
+                if start["kind"] == "tracemalloc":
+                    if "tracemalloc" in stops:
+                        continue
+                elif start["var"] is not None:
+                    var = start["var"]
+                    if var in stops or var in escapes or var in managed:
+                        continue
+                yield Finding(
+                    code=self.code,
+                    path=summary.path,
+                    line=start["ln"],
+                    col=start["col"],
+                    message=(
+                        f"{start['what']} started in {local}() but never "
+                        f"stopped, handed off, or managed by 'with'"
+                    ),
+                )
+
+
+@program_rule
+class UnclosedResource(ProgramRule):
+    """DS702: opened sink/file neither closed nor handed off."""
+
+    code = "DS702"
+    summary = "opened sink or file is never closed and does not escape"
+
+    def check(self, program: Program) -> Iterator[Finding]:
+        for qual, facts, summary in _iter_functions(
+            program, library_only=False
+        ):
+            local = _local_name(program, qual)
+            if _lifecycle_exempt(local):
+                continue
+            resources = facts["resources"]
+            stops = set(resources["stops"])
+            escapes = set(resources["escapes"])
+            managed = set(resources["with"])
+            for opened in facts["resources"]["opens"]:
+                var = opened["var"]
+                if var in stops or var in escapes or var in managed:
+                    continue
+                yield Finding(
+                    code=self.code,
+                    path=summary.path,
+                    line=opened["ln"],
+                    col=opened["col"],
+                    message=(
+                        f"{opened['what']}(...) opened as '{var}' in "
+                        f"{local}() but never closed, handed off, or "
+                        f"managed by 'with'"
+                    ),
+                )
+
+
+def analyze_program(
+    summaries: Iterable[ModuleSummary],
+    *,
+    manifest=None,
+    stale_manifest: bool = False,
+    select: Optional[Iterable[str]] = None,
+) -> list[Finding]:
+    """Run every program rule over linked summaries.
+
+    Inline suppressions recorded in the summaries are applied here, so
+    cached (warm) summaries silence findings exactly like fresh ones.
+    """
+    summaries = list(summaries)
+    program = Program(
+        summaries, manifest=manifest, stale_manifest=stale_manifest
+    )
+    selected = set(select) if select is not None else None
+    findings: list[Finding] = []
+    for cls in _PROGRAM_RULES:
+        if selected is not None and cls.code not in selected:
+            continue
+        findings.extend(cls().check(program))
+    silenced = {
+        s.path: s.suppressions for s in summaries if s.suppressions
+    }
+    kept = []
+    for f in findings:
+        codes = silenced.get(f.path, {}).get(f.line)
+        if codes and (SUPPRESS_ALL in codes or f.code in codes):
+            continue
+        kept.append(f)
+    kept.sort(key=lambda f: (f.path, f.line, f.col, f.code))
+    return kept
+
+
+def analyze_source(
+    source: str,
+    path: str,
+    *,
+    library: bool = True,
+    select: Optional[Iterable[str]] = None,
+) -> list[Finding]:
+    """Run the program rules over one file's text (fixture harness).
+
+    Summarizes the source as a standalone one-module program — enough
+    for every program rule except DS302, which needs a whole-tree walk.
+    """
+    import ast
+
+    from pathlib import Path
+
+    from repro.lint.engine import _suppressions
+    from repro.lint.summaries import summarize_source
+
+    tree = ast.parse(source, filename=path)
+    summary = summarize_source(
+        source,
+        Path(path).as_posix(),
+        tree,
+        library_rel=None,
+        in_library=library,
+        suppressions=_suppressions(source),
+    )
+    return analyze_program([summary], select=select)

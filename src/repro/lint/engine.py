@@ -20,8 +20,10 @@ rather than emitted).
 from __future__ import annotations
 
 import ast
+import hashlib
 import io
 import re
+import time
 import tokenize
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -78,12 +80,32 @@ class MetricManifest:
     One name per line; ``#`` starts a comment; a trailing ``*`` makes
     the entry a prefix wildcard (``experiment.*`` covers every
     hierarchical span path rooted at ``experiment.``).
+
+    Loaded manifests also remember each entry's line number and whether
+    its trailing comment starts with ``keep`` — the inputs to the
+    *stale-entry* check (DS302), which flags entries no longer matched
+    by any statically harvested metric name.  ``# keep - reason``
+    ratifies an entry the harvester cannot see (names emitted by
+    external tooling, reserved namespaces).
     """
 
-    def __init__(self, names: Iterable[str]) -> None:
+    def __init__(
+        self,
+        names: Iterable[str | tuple[str, Optional[int], bool]],
+        *,
+        path: Optional[str | Path] = None,
+    ) -> None:
         self.names: set[str] = set()
         self.prefixes: list[str] = []
-        for entry in names:
+        #: (entry text, 1-based line or None, keep flag) per entry.
+        self.entries: list[tuple[str, Optional[int], bool]] = []
+        self.path = Path(path).as_posix() if path is not None else None
+        for item in names:
+            if isinstance(item, tuple):
+                entry, lineno, keep = item
+            else:
+                entry, lineno, keep = item, None, False
+            self.entries.append((entry, lineno, keep))
             if entry.endswith("*"):
                 self.prefixes.append(entry[:-1])
             else:
@@ -92,11 +114,59 @@ class MetricManifest:
     @classmethod
     def load(cls, path: str | Path) -> "MetricManifest":
         entries = []
-        for raw in Path(path).read_text().splitlines():
-            line = raw.split("#", 1)[0].strip()
+        for lineno, raw in enumerate(
+            Path(path).read_text().splitlines(), start=1
+        ):
+            text, _, comment = raw.partition("#")
+            line = text.strip()
             if line:
-                entries.append(line)
-        return cls(entries)
+                keep = comment.split()[:1] == ["keep"]
+                entries.append((line, lineno, keep))
+        return cls(entries, path=path)
+
+    def digest(self) -> str:
+        """Content hash of the entries (part of the summary-cache key:
+        DS301 findings cached per file depend on the manifest)."""
+        blob = "\n".join(
+            f"{entry}\t{keep}" for entry, _, keep in self.entries
+        )
+        return hashlib.sha256(blob.encode()).hexdigest()
+
+    def stale_entries(
+        self, names: set[str], prefixes: set[str]
+    ) -> list[tuple[str, Optional[int]]]:
+        """Entries matched by no harvested metric name (DS302 inputs).
+
+        ``names``/``prefixes`` are the statically discovered literal
+        names and f-string prefixes.  A concrete entry is live when a
+        harvested name or prefix covers it; a wildcard ``p.*`` is live
+        when a harvested name falls under it *or* equals ``p`` itself
+        (span paths nest under their span's own name), or a harvested
+        prefix overlaps it in either direction.  ``# keep`` entries are
+        never stale.
+        """
+        out: list[tuple[str, Optional[int]]] = []
+        for entry, lineno, keep in self.entries:
+            if keep:
+                continue
+            if entry.endswith("*"):
+                stem = entry[:-1]
+                live = any(
+                    n.startswith(stem)
+                    or stem == n
+                    or stem.startswith(n + ".")
+                    for n in names
+                ) or any(
+                    d.startswith(stem) or stem.startswith(d)
+                    for d in prefixes
+                )
+            else:
+                live = entry in names or any(
+                    entry.startswith(d) for d in prefixes
+                )
+            if not live:
+                out.append((entry, lineno))
+        return out
 
     def covers(self, name: str) -> bool:
         """Whether a concrete metric name is registered."""
@@ -247,7 +317,17 @@ def lint_source(
         library_rel=rel if rel is not None else (path.name if in_library else None),
         manifest=manifest,
     )
-    active: list[Rule] = []
+    findings = _run_rules(ctx, select)
+    silenced = _suppressions(source)
+    kept = _apply_suppressions(findings, silenced)
+    kept.sort(key=lambda f: (f.line, f.col, f.code))
+    return kept
+
+
+def _run_rules(
+    ctx: FileContext, select: Optional[Sequence[str]] = None
+) -> list[Finding]:
+    """Dispatch one parsed file through every registered per-file rule."""
     dispatch: dict[type, list[Rule]] = {}
     for cls in _RULES:
         if select is not None and cls.code not in select:
@@ -256,16 +336,20 @@ def lint_source(
         if not instance.applies(ctx):
             continue
         instance.begin_file(ctx)
-        active.append(instance)
         for node_type in instance.visits:
             dispatch.setdefault(node_type, []).append(instance)
     findings: list[Finding] = []
     if dispatch:
-        for node in ast.walk(tree):
+        for node in ast.walk(ctx.tree):
             for instance in dispatch.get(type(node), ()):
                 findings.extend(instance.visit(node, ctx))
-    silenced = _suppressions(source)
-    kept = [
+    return findings
+
+
+def _apply_suppressions(
+    findings: Iterable[Finding], silenced: dict[int, set[str]]
+) -> list[Finding]:
+    return [
         f
         for f in findings
         if not (
@@ -273,8 +357,54 @@ def lint_source(
             and (SUPPRESS_ALL in silenced[f.line] or f.code in silenced[f.line])
         )
     ]
+
+
+def _phase1_file(
+    path_str: str,
+    source: str,
+    manifest: Optional[MetricManifest],
+    select: Optional[Sequence[str]],
+) -> tuple[list[Finding], "ModuleSummary"]:
+    """Phase 1 for one file: per-file findings plus its module summary.
+
+    Module-level on purpose: ``lint --jobs N`` hands this to a process
+    pool, and spawn workers can only pickle module-level callables
+    (rule DS401's own discipline).
+    """
+    path = Path(path_str)
+    rel = _library_rel(path)
+    in_library = rel is not None
+    try:
+        tree = ast.parse(source, filename=path_str)
+    except SyntaxError as exc:
+        raise ConfigurationError(f"cannot parse {path}: {exc}") from exc
+    ctx = FileContext(
+        path=path.as_posix(),
+        tree=tree,
+        source=source,
+        in_library=in_library,
+        library_rel=rel,
+        manifest=manifest,
+    )
+    findings = _run_rules(ctx, select)
+    silenced = _suppressions(source)
+    kept = _apply_suppressions(findings, silenced)
     kept.sort(key=lambda f: (f.line, f.col, f.code))
-    return kept
+    summary = summarize_source(
+        source,
+        ctx.path,
+        tree,
+        library_rel=rel,
+        in_library=in_library,
+        suppressions=silenced,
+    )
+    return kept, summary
+
+
+def _phase1_worker(args: tuple) -> tuple[list[Finding], "ModuleSummary"]:
+    """Picklable pool entry point for ``lint --jobs N``."""
+    path_str, source, manifest, select = args
+    return _phase1_file(path_str, source, manifest, select)
 
 
 #: Directories containing this marker file are excluded from directory
@@ -307,6 +437,13 @@ def iter_python_files(paths: Sequence[str | Path]) -> list[Path]:
     return out
 
 
+#: SARIF 2.1.0 schema URI emitted by :meth:`LintReport.to_sarif`.
+SARIF_SCHEMA = (
+    "https://docs.oasis-open.org/sarif/sarif/v2.1.0/errata01/os/schemas/"
+    "sarif-schema-2.1.0.json"
+)
+
+
 @dataclass
 class LintReport:
     """The outcome of one :func:`lint_paths` run."""
@@ -314,6 +451,9 @@ class LintReport:
     findings: list[Finding]
     files: int
     baseline_suppressed: int = 0
+    #: Two-phase instrumentation: ``phase1_s``/``phase2_s`` wall clock,
+    #: ``cache_hits``/``cache_misses`` when a summary cache was used.
+    timings: dict = field(default_factory=dict)
 
     @property
     def clean(self) -> bool:
@@ -332,7 +472,55 @@ class LintReport:
             "files": self.files,
             "counts": self.counts(),
             "baseline_suppressed": self.baseline_suppressed,
+            "timings": self.timings,
             "findings": [f.to_dict() for f in self.findings],
+        }
+
+    def to_sarif(self) -> dict:
+        """The ``--format sarif`` document (SARIF 2.1.0)."""
+        from repro.lint.dataflow import all_program_rules
+
+        rules_meta = [
+            {
+                "id": cls.code,
+                "shortDescription": {"text": cls.summary},
+            }
+            for cls in (*all_rules(), *all_program_rules())
+        ]
+        results = [
+            {
+                "ruleId": f.code,
+                "level": "error",
+                "message": {"text": f.message},
+                "locations": [
+                    {
+                        "physicalLocation": {
+                            "artifactLocation": {"uri": f.path},
+                            "region": {
+                                "startLine": max(f.line, 1),
+                                "startColumn": f.col + 1,
+                            },
+                        }
+                    }
+                ],
+            }
+            for f in self.findings
+        ]
+        return {
+            "$schema": SARIF_SCHEMA,
+            "version": "2.1.0",
+            "runs": [
+                {
+                    "tool": {
+                        "driver": {
+                            "name": "repro-lint",
+                            "informationUri": "docs/linting.md",
+                            "rules": rules_meta,
+                        }
+                    },
+                    "results": results,
+                }
+            ],
         }
 
     def render_text(self) -> str:
@@ -349,7 +537,24 @@ class LintReport:
             else ""
         )
         lines.append(f"[lint] {self.files} file(s): {verdict}{suffix}")
+        if self.timings:
+            bits = [
+                f"phase1 {self.timings.get('phase1_s', 0.0):.3f}s",
+                f"phase2 {self.timings.get('phase2_s', 0.0):.3f}s",
+            ]
+            if "cache_hits" in self.timings:
+                bits.append(
+                    f"cache {self.timings['cache_hits']} hit(s) / "
+                    f"{self.timings['cache_misses']} miss(es)"
+                )
+            lines.append(f"[lint] {', '.join(bits)}")
         return "\n".join(lines)
+
+
+#: Library-file count below which the stale-manifest check (DS302)
+#: stays off in auto mode: linting a subset of the tree would make
+#: every entry for the *unlinted* part look stale.
+STALE_CHECK_MIN_LIBRARY_FILES = 50
 
 
 def lint_paths(
@@ -358,27 +563,162 @@ def lint_paths(
     manifest: Optional[MetricManifest] = None,
     baseline: Optional["Baseline"] = None,
     select: Optional[Sequence[str]] = None,
+    cache_dir: Optional[str | Path] = None,
+    jobs: int = 1,
+    program: bool = True,
+    stale_manifest: Optional[bool] = None,
 ) -> LintReport:
-    """Lint every python file under ``paths``.
+    """Lint every python file under ``paths`` — the two-phase pass.
+
+    Phase 1 runs the per-file rules and builds module summaries, in
+    parallel when ``jobs > 1`` and content-addressed through the
+    summary cache when ``cache_dir`` is given (unchanged files are
+    served findings + summary without re-parsing).  Phase 2 links the
+    summaries into a :class:`~repro.lint.callgraph.Program` and runs
+    the interprocedural DS5xx/DS6xx/DS7xx rules plus the DS302
+    stale-manifest check (auto-enabled on whole-tree runs with a
+    file-loaded manifest; force with ``stale_manifest=True/False``).
 
     Baseline-ratified findings are dropped (counted in
     :attr:`LintReport.baseline_suppressed`); inline suppressions are
-    handled per file by :func:`lint_source`.
+    handled per file in both phases.
     """
+    from repro.lint.dataflow import analyze_program
+
     files = iter_python_files(paths)
+    manifest_digest = manifest.digest() if manifest is not None else ""
+    cache = None
+    if cache_dir is not None and select is None:
+        cache = SummaryCache(cache_dir)
+
+    t0 = time.perf_counter()
     findings: list[Finding] = []
+    summaries: list[ModuleSummary] = []
+    pending: list[tuple[Path, str, Optional[str]]] = []
     for f in files:
+        source = f.read_text()
+        if cache is not None:
+            digest = content_hash(source)
+            payload = cache.get(f.as_posix(), digest, manifest_digest)
+            if payload is not None:
+                findings.extend(
+                    Finding(**d) for d in payload["findings"]
+                )
+                summaries.append(
+                    ModuleSummary.from_payload(payload["summary"])
+                )
+                continue
+            pending.append((f, source, digest))
+        else:
+            pending.append((f, source, None))
+
+    if jobs > 1 and len(pending) > 1:
+        from concurrent.futures import ProcessPoolExecutor
+
+        with ProcessPoolExecutor(max_workers=jobs) as pool:
+            results = list(
+                pool.map(
+                    _phase1_worker,
+                    [
+                        (f.as_posix(), source, manifest, select)
+                        for f, source, _ in pending
+                    ],
+                    chunksize=8,
+                )
+            )
+    else:
+        results = [
+            _phase1_file(f.as_posix(), source, manifest, select)
+            for f, source, _ in pending
+        ]
+    for (f, _, digest), (file_findings, summary) in zip(pending, results):
+        findings.extend(file_findings)
+        summaries.append(summary)
+        if cache is not None and digest is not None:
+            cache.put(
+                f.as_posix(), digest, manifest_digest, summary, file_findings
+            )
+    phase1_s = time.perf_counter() - t0
+
+    t1 = time.perf_counter()
+    if program:
+        library_files = sum(1 for s in summaries if s.in_library)
+        if stale_manifest is None:
+            check_stale = (
+                manifest is not None
+                and manifest.path is not None
+                and library_files >= STALE_CHECK_MIN_LIBRARY_FILES
+            )
+        else:
+            check_stale = stale_manifest
         findings.extend(
-            lint_source(
-                f.read_text(), f, manifest=manifest, select=select
+            analyze_program(
+                summaries,
+                manifest=manifest,
+                stale_manifest=check_stale,
+                select=select,
             )
         )
+    phase2_s = time.perf_counter() - t1
+
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.code))
     suppressed = 0
     if baseline is not None:
         findings, suppressed = baseline.filter(findings)
+    timings: dict = {
+        "phase1_s": phase1_s,
+        "phase2_s": phase2_s,
+        "jobs": jobs,
+    }
+    if cache is not None:
+        timings["cache_hits"] = cache.hits
+        timings["cache_misses"] = cache.misses
+
+    from repro import obs
+
+    obs.incr("lint.analysis.files", len(files))
+    obs.observe("lint.analysis.phase1_s", phase1_s)
+    obs.observe("lint.analysis.phase2_s", phase2_s)
+    if cache is not None:
+        obs.incr("lint.analysis.summary_cache_hits", cache.hits)
+        obs.incr("lint.analysis.summary_cache_misses", cache.misses)
+
     return LintReport(
-        findings=findings, files=len(files), baseline_suppressed=suppressed
+        findings=findings,
+        files=len(files),
+        baseline_suppressed=suppressed,
+        timings=timings,
     )
 
 
+def prune_manifest(
+    manifest_path: str | Path, stale: Sequence[tuple[str, Optional[int]]]
+) -> int:
+    """Rewrite the manifest dropping the given stale entries.
+
+    ``stale`` is :meth:`MetricManifest.stale_entries` output; lines are
+    removed by line number (entry text double-checked).  Returns the
+    number of lines removed — the ``lint --prune-manifest`` fixer.
+    """
+    path = Path(manifest_path)
+    lines = path.read_text().splitlines()
+    drop: set[int] = set()
+    for entry, lineno in stale:
+        if lineno is None or lineno > len(lines):
+            continue
+        if lines[lineno - 1].partition("#")[0].strip() == entry:
+            drop.add(lineno - 1)
+    if not drop:
+        return 0
+    kept = [line for i, line in enumerate(lines) if i not in drop]
+    path.write_text("\n".join(kept) + "\n")
+    return len(drop)
+
+
 from repro.lint.baseline import Baseline  # noqa: E402  (cycle-free tail import)
+from repro.lint.summaries import (  # noqa: E402  (cycle-free tail import)
+    ModuleSummary,
+    SummaryCache,
+    content_hash,
+    summarize_source,
+)

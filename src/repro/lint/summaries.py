@@ -1,0 +1,926 @@
+"""Phase 1 of the whole-program lint: per-module summaries.
+
+:func:`summarize_source` distils one parsed file into a JSON-ready
+:class:`ModuleSummary` — everything phase 2 (:mod:`repro.lint.callgraph`
+linking plus the :mod:`repro.lint.dataflow` rule families) needs to
+reason *across* files without re-reading them:
+
+* the import map (local name -> qualified target), so call references
+  written as ``units.ghz`` or ``ThermalSafePower`` resolve to one
+  program-wide qualified name;
+* per-function dimension facts for DS5xx — parameter dimensions (from
+  :data:`repro.units.ANNOTATION_DIMENSIONS` aliases or
+  :data:`repro.units.SUFFIX_DIMENSIONS` name suffixes), assignments,
+  add/sub/compare operand terms and call sites, all expressed in a tiny
+  serialisable expression IR (*dterms*, below);
+* per-class lock facts for DS6xx — which ``self`` attributes are
+  written where, whether the write sits lexically inside a
+  ``with self.<lock>`` block, and the intra-class call sites needed to
+  decide whether a private method always runs with the lock held;
+* resource lifecycle facts for DS7xx — start/stop/open/close events,
+  ``with``-managed names and escapes (returns, stores, argument passes);
+* spawn-dispatch sites (workers handed to process pools) and the
+  harvested metric names/prefixes used by the stale-manifest check;
+* the file's inline-suppression map, so phase-2 findings respect
+  ``# repro-lint: disable=DSxxx`` comments exactly like phase-1 ones.
+
+Summaries are content-addressed: :class:`SummaryCache` stores the
+summary *and* the file's phase-1 findings in a
+:class:`repro.store.ArtifactStore` keyed by the source's SHA-256 (plus
+the manifest digest, which DS301 findings depend on), so a warm lint
+run skips parsing and summarising unchanged files entirely.
+
+The dterm IR (plain lists, JSON-stable)::
+
+    ["dim", "hz"]                 # a known dimension label
+    ["var", "x"] / ["var", "units.F_GATED"]   # a (dotted) name as written
+    ["call", "units.ghz", [args], {kwargs}, line, col]
+    ["binop", "+", left, right]   # add/sub whose dim is its operands'
+    ["unknown"]
+"""
+
+from __future__ import annotations
+
+import ast
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from repro import units
+
+#: Summary schema version: bump to invalidate every cached summary.
+SUMMARY_VERSION = 1
+
+#: Cache fingerprint (see ArtifactStore.get_payload): encodes the
+#: summary schema and the rule-engine generation, so either bumping
+#: invalidates warm summaries.
+CACHE_FINGERPRINT = f"repro-lint-cache-v{SUMMARY_VERSION}"
+
+#: Method names that mutate their receiver in place — a call
+#: ``self.attr.append(...)`` counts as a *write* to ``attr`` for the
+#: DS601 lock-discipline analysis.
+MUTATORS = frozenset(
+    {
+        "append",
+        "appendleft",
+        "add",
+        "update",
+        "extend",
+        "insert",
+        "pop",
+        "popleft",
+        "popitem",
+        "remove",
+        "discard",
+        "clear",
+        "setdefault",
+        "write",
+    }
+)
+
+#: Receiver terminal names treated as a metric registry when harvesting
+#: names for the stale-manifest check.  Wider than DS301's enforcement
+#: set on purpose: the obs layer itself records through locals named
+#: ``registry``/``_registry``, and those emissions must count as "used".
+HARVEST_RECEIVERS = frozenset({"obs", "REGISTRY", "registry", "_registry"})
+
+#: ``.start()``-style calls that begin a must-stop resource.
+START_METHODS = frozenset({"start"})
+
+#: Calls that end a must-stop resource.
+STOP_METHODS = frozenset({"stop", "shutdown", "server_close", "close", "join"})
+
+#: Free functions / methods whose *return value* is a running resource.
+SERVER_FACTORIES = frozenset({"start_metrics_server", "serve_prometheus"})
+
+#: Constructors that open an underlying file handle (DS702).
+OPENERS = frozenset({"JsonlSink", "open"})
+
+
+def _dotted_name(node: ast.AST) -> Optional[str]:
+    """The expression as a dotted name (``units.ghz``), when it is one."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def suffix_dimension(name: str) -> Optional[str]:
+    """The dimension a name suffix implies, or ``None``.
+
+    Matched longest-suffix-first; a name that *is* the bare suffix
+    (``s``) does not match — only ``interval_s`` style names do.
+    """
+    terminal = name.rsplit(".", 1)[-1]
+    for suffix in sorted(units.SUFFIX_DIMENSIONS, key=len, reverse=True):
+        if terminal.endswith(suffix) and len(terminal) > len(suffix):
+            return units.SUFFIX_DIMENSIONS[suffix]
+    return None
+
+
+def _annotation_dimension(annotation: Optional[ast.AST]) -> Optional[str]:
+    """Dimension claimed by a ``units.Seconds``-style annotation."""
+    if annotation is None:
+        return None
+    if isinstance(annotation, ast.Subscript):
+        outer = _dotted_name(annotation.value)
+        if outer is not None and outer.rsplit(".", 1)[-1] == "Optional":
+            return _annotation_dimension(annotation.slice)
+        return None
+    name = _dotted_name(annotation)
+    if name is None:
+        return None
+    return units.ANNOTATION_DIMENSIONS.get(name.rsplit(".", 1)[-1])
+
+
+@dataclass
+class ModuleSummary:
+    """Everything phase 2 needs to know about one source file."""
+
+    path: str
+    module: str
+    in_library: bool
+    imports: dict[str, str] = field(default_factory=dict)
+    module_globals: list[str] = field(default_factory=list)
+    #: qualname ("func" / "Class.method") -> function fact dict.
+    functions: dict[str, dict] = field(default_factory=dict)
+    #: class name -> lock/attribute fact dict.
+    classes: dict[str, dict] = field(default_factory=dict)
+    spawn_dispatches: list[dict] = field(default_factory=list)
+    metric_names: list[str] = field(default_factory=list)
+    metric_prefixes: list[str] = field(default_factory=list)
+    #: line -> suppressed codes ("*" = all), mirrored from the engine.
+    suppressions: dict[int, list[str]] = field(default_factory=dict)
+
+    def to_payload(self) -> dict:
+        return {
+            "version": SUMMARY_VERSION,
+            "path": self.path,
+            "module": self.module,
+            "in_library": self.in_library,
+            "imports": self.imports,
+            "module_globals": self.module_globals,
+            "functions": self.functions,
+            "classes": self.classes,
+            "spawn_dispatches": self.spawn_dispatches,
+            "metric_names": self.metric_names,
+            "metric_prefixes": self.metric_prefixes,
+            "suppressions": {
+                str(line): codes for line, codes in self.suppressions.items()
+            },
+        }
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "ModuleSummary":
+        return cls(
+            path=payload["path"],
+            module=payload["module"],
+            in_library=payload["in_library"],
+            imports=payload["imports"],
+            module_globals=payload["module_globals"],
+            functions=payload["functions"],
+            classes=payload["classes"],
+            spawn_dispatches=payload["spawn_dispatches"],
+            metric_names=payload["metric_names"],
+            metric_prefixes=payload["metric_prefixes"],
+            suppressions={
+                int(line): codes
+                for line, codes in payload["suppressions"].items()
+            },
+        )
+
+
+class _FunctionSummarizer(ast.NodeVisitor):
+    """Collects one function body's dterm/lock/resource facts."""
+
+    def __init__(
+        self,
+        node: ast.FunctionDef | ast.AsyncFunctionDef,
+        class_name: Optional[str],
+    ) -> None:
+        self.node = node
+        self.class_name = class_name
+        self.is_method = class_name is not None
+        args = node.args
+        all_args = [*args.posonlyargs, *args.args, *args.kwonlyargs]
+        if self.is_method and all_args and all_args[0].arg in ("self", "cls"):
+            all_args = all_args[1:]
+        self.params = [a.arg for a in all_args]
+        self.flexible = args.vararg is not None or args.kwarg is not None
+        self.param_dims: dict[str, str] = {}
+        for arg in all_args:
+            dim = _annotation_dimension(arg.annotation) or suffix_dimension(
+                arg.arg
+            )
+            if dim is not None:
+                self.param_dims[arg.arg] = dim
+        self.assigns: list[list] = []
+        self.binops: list[dict] = []
+        self.compares: list[dict] = []
+        self.calls: list[dict] = []
+        self.returns: list[list] = []
+        self.global_writes: list[str] = []
+        self.attr_writes: list[dict] = []
+        self.self_calls: list[dict] = []
+        self.lock_attrs: set[str] = set()
+        self.starts: list[dict] = []
+        self.stops: list[str] = []
+        self.opens: list[dict] = []
+        self.escapes: set[str] = set()
+        self.with_vars: set[str] = set()
+        self._lock_depth = 0
+        self._global_names: set[str] = set()
+        for stmt in node.body:
+            self.visit(stmt)
+
+    # -- dterm extraction ---------------------------------------------
+
+    def _dterm(self, node: ast.AST) -> list:
+        if isinstance(node, (ast.Name, ast.Attribute)):
+            dotted = _dotted_name(node)
+            if dotted is not None and not dotted.startswith("self."):
+                return ["var", dotted]
+            if dotted is not None:
+                # self.<attr>: keep the terminal for suffix inference.
+                return ["var", dotted]
+            return ["unknown"]
+        if isinstance(node, ast.Call):
+            callee = _dotted_name(node.func)
+            if callee is None:
+                return ["unknown"]
+            term = [
+                "call",
+                callee,
+                [self._dterm(a) for a in node.args],
+                {
+                    kw.arg: self._dterm(kw.value)
+                    for kw in node.keywords
+                    if kw.arg is not None
+                },
+                node.lineno,
+                node.col_offset,
+            ]
+            return term
+        if isinstance(node, ast.BinOp) and isinstance(
+            node.op, (ast.Add, ast.Sub)
+        ):
+            op = "+" if isinstance(node.op, ast.Add) else "-"
+            return ["binop", op, self._dterm(node.left), self._dterm(node.right)]
+        if isinstance(node, ast.UnaryOp):
+            return self._dterm(node.operand)
+        return ["unknown"]
+
+    # -- expression visitors ------------------------------------------
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        # Nested defs are opaque to the interprocedural pass.
+        pass
+
+    visit_AsyncFunctionDef = visit_FunctionDef
+    visit_Lambda = visit_FunctionDef
+
+    def visit_Global(self, node: ast.Global) -> None:
+        self._global_names.update(node.names)
+
+    def visit_BinOp(self, node: ast.BinOp) -> None:
+        if isinstance(node.op, (ast.Add, ast.Sub)):
+            self.binops.append(
+                {
+                    "op": "+" if isinstance(node.op, ast.Add) else "-",
+                    "l": self._dterm(node.left),
+                    "r": self._dterm(node.right),
+                    "ln": node.lineno,
+                    "col": node.col_offset,
+                }
+            )
+        self.generic_visit(node)
+
+    def visit_Compare(self, node: ast.Compare) -> None:
+        left = node.left
+        for op, right in zip(node.ops, node.comparators):
+            if isinstance(
+                op, (ast.Lt, ast.LtE, ast.Gt, ast.GtE, ast.Eq, ast.NotEq)
+            ):
+                self.compares.append(
+                    {
+                        "op": type(op).__name__,
+                        "l": self._dterm(left),
+                        "r": self._dterm(right),
+                        "ln": node.lineno,
+                        "col": node.col_offset,
+                    }
+                )
+            left = right
+        self.generic_visit(node)
+
+    def _record_assign_target(self, target: ast.AST, value: ast.AST) -> None:
+        if isinstance(target, ast.Name):
+            self.assigns.append([target.id, self._dterm(value)])
+            # v = SnapshotSampler(...).start()  /  v = start_metrics_server(...)
+            started = self._started_resource(value)
+            if started is not None:
+                self.starts.append(
+                    {
+                        "kind": "var",
+                        "var": target.id,
+                        "what": started,
+                        "ln": value.lineno,
+                        "col": value.col_offset,
+                    }
+                )
+            opened = self._opened_resource(value)
+            if opened is not None:
+                self.opens.append(
+                    {
+                        "var": target.id,
+                        "what": opened,
+                        "ln": value.lineno,
+                        "col": value.col_offset,
+                    }
+                )
+        elif isinstance(target, (ast.Attribute, ast.Subscript)):
+            # Stores into attributes/containers make the value escape.
+            if isinstance(value, ast.Name):
+                self.escapes.add(value.id)
+            if (
+                isinstance(target, ast.Attribute)
+                and isinstance(target.value, ast.Name)
+                and target.value.id == "self"
+            ):
+                self.attr_writes.append(
+                    {
+                        "attr": target.attr,
+                        "ln": target.lineno,
+                        "col": target.col_offset,
+                        "locked": self._lock_depth > 0,
+                        "kind": "assign",
+                    }
+                )
+            if isinstance(target, ast.Subscript) and isinstance(
+                target.value, ast.Attribute
+            ):
+                inner = target.value
+                if (
+                    isinstance(inner.value, ast.Name)
+                    and inner.value.id == "self"
+                ):
+                    self.attr_writes.append(
+                        {
+                            "attr": inner.attr,
+                            "ln": target.lineno,
+                            "col": target.col_offset,
+                            "locked": self._lock_depth > 0,
+                            "kind": "mutate",
+                        }
+                    )
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                self._record_assign_target(element, value)
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        for target in node.targets:
+            self._record_assign_target(target, node.value)
+            if isinstance(target, ast.Name) and target.id in self._global_names:
+                self.global_writes.append(target.id)
+        self.generic_visit(node)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        if isinstance(node.target, ast.Name):
+            dim = _annotation_dimension(node.annotation)
+            if dim is not None:
+                self.assigns.append([node.target.id, ["dim", dim]])
+            elif node.value is not None:
+                self._record_assign_target(node.target, node.value)
+        elif node.value is not None:
+            self._record_assign_target(node.target, node.value)
+        self.generic_visit(node)
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        target = node.target
+        if isinstance(target, ast.Name) and target.id in self._global_names:
+            self.global_writes.append(target.id)
+        if (
+            isinstance(target, ast.Attribute)
+            and isinstance(target.value, ast.Name)
+            and target.value.id == "self"
+        ):
+            self.attr_writes.append(
+                {
+                    "attr": target.attr,
+                    "ln": target.lineno,
+                    "col": target.col_offset,
+                    "locked": self._lock_depth > 0,
+                    "kind": "assign",
+                }
+            )
+        self.generic_visit(node)
+
+    def visit_Return(self, node: ast.Return) -> None:
+        if node.value is not None:
+            self.returns.append(self._dterm(node.value))
+            if isinstance(node.value, ast.Name):
+                self.escapes.add(node.value.id)
+            elif isinstance(node.value, ast.Call):
+                # ``return self`` chains and wrapped handles escape too.
+                for arg in node.value.args:
+                    if isinstance(arg, ast.Name):
+                        self.escapes.add(arg.id)
+        self.generic_visit(node)
+
+    def visit_Yield(self, node: ast.Yield) -> None:
+        if isinstance(node.value, ast.Name):
+            self.escapes.add(node.value.id)
+        self.generic_visit(node)
+
+    def visit_With(self, node: ast.With) -> None:
+        lockish = 0
+        for item in node.items:
+            expr = item.context_expr
+            dotted = _dotted_name(expr)
+            if dotted is not None and "lock" in dotted.rsplit(".", 1)[-1].lower():
+                lockish += 1
+                if dotted.startswith("self."):
+                    self.lock_attrs.add(dotted.split(".", 1)[1])
+            if dotted is not None and not dotted.startswith("self."):
+                self.with_vars.add(dotted)
+            if isinstance(item.optional_vars, ast.Name):
+                self.with_vars.add(item.optional_vars.id)
+            # ``with SnapshotSampler(...):`` manages the resource itself.
+            if isinstance(expr, ast.Call):
+                name = _dotted_name(expr.func)
+                if name is not None:
+                    terminal = name.rsplit(".", 1)[-1]
+                    if terminal in OPENERS or terminal in SERVER_FACTORIES:
+                        if isinstance(item.optional_vars, ast.Name):
+                            self.with_vars.add(item.optional_vars.id)
+        if lockish:
+            self._lock_depth += 1
+        for stmt in node.body:
+            self.visit(stmt)
+        if lockish:
+            self._lock_depth -= 1
+        for item in node.items:
+            self.visit(item.context_expr)
+
+    visit_AsyncWith = visit_With
+
+    def visit_Expr(self, node: ast.Expr) -> None:
+        # A server factory whose handle is discarded outright can never
+        # be stopped — record it with no variable (DS701 always fires).
+        value = node.value
+        if isinstance(value, ast.Call):
+            name = _dotted_name(value.func)
+            if (
+                name is not None
+                and name.rsplit(".", 1)[-1] in SERVER_FACTORIES
+            ):
+                self.starts.append(
+                    {
+                        "kind": "var",
+                        "var": None,
+                        "what": name.rsplit(".", 1)[-1],
+                        "ln": value.lineno,
+                        "col": value.col_offset,
+                    }
+                )
+        self.generic_visit(node)
+
+    # -- calls ---------------------------------------------------------
+
+    def _started_resource(self, node: ast.AST) -> Optional[str]:
+        """Display text when ``node`` evaluates to a running resource."""
+        if not isinstance(node, ast.Call):
+            return None
+        func = node.func
+        if (
+            isinstance(func, ast.Attribute)
+            and func.attr in START_METHODS
+            and isinstance(func.value, ast.Call)
+        ):
+            # Constructor-chained start: SnapshotSampler(...).start()
+            inner = _dotted_name(func.value.func)
+            if inner is not None:
+                return f"{inner.rsplit('.', 1)[-1]}().start()"
+        name = _dotted_name(func)
+        if name is not None and name.rsplit(".", 1)[-1] in SERVER_FACTORIES:
+            return name.rsplit(".", 1)[-1]
+        return None
+
+    def _opened_resource(self, node: ast.AST) -> Optional[str]:
+        if not isinstance(node, ast.Call):
+            return None
+        name = _dotted_name(node.func)
+        if name is None:
+            return None
+        terminal = name.rsplit(".", 1)[-1]
+        if terminal in OPENERS:
+            return terminal
+        return None
+
+    def visit_Call(self, node: ast.Call) -> None:
+        callee = _dotted_name(node.func)
+        if callee is not None:
+            self.calls.append(
+                {
+                    "callee": callee,
+                    "args": [self._dterm(a) for a in node.args],
+                    "kw": {
+                        kw.arg: self._dterm(kw.value)
+                        for kw in node.keywords
+                        if kw.arg is not None
+                    },
+                    "ln": node.lineno,
+                    "col": node.col_offset,
+                    "star": any(
+                        isinstance(a, ast.Starred) for a in node.args
+                    )
+                    or any(kw.arg is None for kw in node.keywords),
+                }
+            )
+            terminal = callee.rsplit(".", 1)[-1]
+            receiver = callee.rsplit(".", 1)[0] if "." in callee else None
+            # Resource lifecycle events.
+            if callee == "tracemalloc.start":
+                self.starts.append(
+                    {
+                        "kind": "tracemalloc",
+                        "var": None,
+                        "what": "tracemalloc.start()",
+                        "ln": node.lineno,
+                        "col": node.col_offset,
+                    }
+                )
+            elif callee == "tracemalloc.stop":
+                self.stops.append("tracemalloc")
+            elif terminal in STOP_METHODS and receiver is not None:
+                self.stops.append(receiver)
+            elif terminal in SERVER_FACTORIES:
+                # A factory whose handle is discarded leaks the server;
+                # assignment targets were recorded by visit_Assign.
+                pass
+            elif (
+                terminal in START_METHODS
+                and receiver is not None
+                and receiver != "self"
+                and not receiver.startswith("self.")
+            ):
+                self.starts.append(
+                    {
+                        "kind": "var",
+                        "var": receiver,
+                        "what": f"{receiver}.start()",
+                        "ln": node.lineno,
+                        "col": node.col_offset,
+                    }
+                )
+            # self-calls for the lock-held fixpoint.
+            if callee.startswith("self.") and callee.count(".") == 1:
+                self.self_calls.append(
+                    {
+                        "method": callee.split(".", 1)[1],
+                        "locked": self._lock_depth > 0,
+                        "ln": node.lineno,
+                    }
+                )
+            # Mutator calls on self attributes are writes (DS601).
+            if (
+                callee.startswith("self.")
+                and callee.count(".") == 2
+                and terminal in MUTATORS
+            ):
+                self.attr_writes.append(
+                    {
+                        "attr": callee.split(".")[1],
+                        "ln": node.lineno,
+                        "col": node.col_offset,
+                        "locked": self._lock_depth > 0,
+                        "kind": "mutate",
+                    }
+                )
+        # Names passed as arguments escape the function's custody.
+        for arg in node.args:
+            if isinstance(arg, ast.Name):
+                self.escapes.add(arg.id)
+        for kw in node.keywords:
+            if isinstance(kw.value, ast.Name):
+                self.escapes.add(kw.value.id)
+        self.generic_visit(node)
+
+    def facts(self) -> dict:
+        return {
+            "ln": self.node.lineno,
+            "col": self.node.col_offset,
+            "params": self.params,
+            "flexible": self.flexible,
+            "param_dims": self.param_dims,
+            "assigns": self.assigns,
+            "binops": self.binops,
+            "compares": self.compares,
+            "calls": self.calls,
+            "returns": self.returns,
+            "global_writes": sorted(set(self.global_writes)),
+            "resources": {
+                "starts": self.starts,
+                "stops": sorted(set(self.stops)),
+                "opens": self.opens,
+                "escapes": sorted(self.escapes),
+                "with": sorted(self.with_vars),
+            },
+        }
+
+
+def _module_name(path: str, library_rel: Optional[str]) -> str:
+    if library_rel is not None:
+        stem = library_rel[: -len(".py")] if library_rel.endswith(".py") else library_rel
+        dotted = stem.replace("/", ".")
+        if dotted == "__init__" or not dotted:
+            return "repro"
+        if dotted.endswith(".__init__"):
+            dotted = dotted[: -len(".__init__")]
+        return f"repro.{dotted}"
+    parts = [p for p in path.split("/") if p]
+    if parts and parts[-1].endswith(".py"):
+        parts[-1] = parts[-1][: -len(".py")]
+    return ".".join(parts) or path
+
+
+def _imports(tree: ast.Module, module: str) -> dict[str, str]:
+    """Local name -> qualified target for every import statement."""
+    out: dict[str, str] = {}
+    package = module.rsplit(".", 1)[0] if "." in module else module
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.asname:
+                    out[alias.asname] = alias.name
+                else:
+                    out[alias.name.split(".", 1)[0]] = alias.name.split(
+                        ".", 1
+                    )[0]
+        elif isinstance(node, ast.ImportFrom):
+            if node.level:
+                base_parts = module.split(".")
+                # level 1 = current package, 2 = parent, ...
+                anchor = base_parts[: len(base_parts) - node.level]
+                base = ".".join(anchor + ([node.module] if node.module else []))
+            else:
+                base = node.module or package
+            for alias in node.names:
+                local = alias.asname or alias.name
+                out[local] = f"{base}.{alias.name}" if base else alias.name
+    return out
+
+
+def _spawn_dispatches(tree: ast.Module) -> list[dict]:
+    """Workers handed to process pools, as written (for DS602)."""
+    from repro.lint.rules import POOL_CONSTRUCTORS, POOL_NAME_HINTS
+
+    pool_names: set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Assign):
+            value = node.value
+            if (
+                isinstance(value, ast.Call)
+                and _dotted_name(value.func) is not None
+                and _dotted_name(value.func).rsplit(".", 1)[-1]
+                in POOL_CONSTRUCTORS
+            ):
+                for target in node.targets:
+                    if isinstance(target, ast.Name):
+                        pool_names.add(target.id)
+        elif isinstance(node, ast.withitem):
+            expr = node.context_expr
+            if (
+                isinstance(expr, ast.Call)
+                and _dotted_name(expr.func) is not None
+                and _dotted_name(expr.func).rsplit(".", 1)[-1]
+                in POOL_CONSTRUCTORS
+                and isinstance(node.optional_vars, ast.Name)
+            ):
+                pool_names.add(node.optional_vars.id)
+
+    def is_pool(recv: ast.AST) -> bool:
+        dotted = _dotted_name(recv)
+        if isinstance(recv, ast.Call):
+            name = _dotted_name(recv.func)
+            return (
+                name is not None
+                and name.rsplit(".", 1)[-1] in POOL_CONSTRUCTORS
+            )
+        if dotted is None:
+            return False
+        terminal = dotted.rsplit(".", 1)[-1]
+        return terminal in pool_names or terminal in POOL_NAME_HINTS
+
+    dispatches: list[dict] = []
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        if not (
+            isinstance(func, ast.Attribute) and func.attr in ("map", "submit")
+        ):
+            continue
+        if not is_pool(func.value):
+            continue
+        for arg in (*node.args, *(kw.value for kw in node.keywords)):
+            worker = None
+            if isinstance(arg, (ast.Name, ast.Attribute)):
+                worker = _dotted_name(arg)
+            elif isinstance(arg, ast.Call):
+                name = _dotted_name(arg.func)
+                if name is not None and name.rsplit(".", 1)[-1] == "partial":
+                    if arg.args and isinstance(
+                        arg.args[0], (ast.Name, ast.Attribute)
+                    ):
+                        worker = _dotted_name(arg.args[0])
+            if worker is not None:
+                dispatches.append(
+                    {
+                        "worker": worker,
+                        "ln": arg.lineno,
+                        "col": arg.col_offset,
+                    }
+                )
+    return dispatches
+
+
+def _metric_usage(tree: ast.Module) -> tuple[set[str], set[str]]:
+    """Names/prefixes recorded through any registry-like receiver."""
+    from repro.lint.rules import METRIC_METHODS
+
+    names: set[str] = set()
+    prefixes: set[str] = set()
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        if not (
+            isinstance(func, ast.Attribute)
+            and func.attr in METRIC_METHODS
+            and node.args
+        ):
+            continue
+        receiver = _dotted_name(func.value)
+        if receiver is None:
+            continue
+        if receiver.rsplit(".", 1)[-1] not in HARVEST_RECEIVERS:
+            continue
+        arg = node.args[0]
+        if isinstance(arg, ast.Constant) and isinstance(arg.value, str):
+            names.add(arg.value)
+        elif isinstance(arg, ast.JoinedStr):
+            prefix = ""
+            for part in arg.values:
+                if isinstance(part, ast.Constant) and isinstance(
+                    part.value, str
+                ):
+                    prefix += part.value
+                else:
+                    break
+            if prefix:
+                prefixes.add(prefix)
+    return names, prefixes
+
+
+def summarize_source(
+    source: str,
+    path: str,
+    tree: ast.Module,
+    *,
+    library_rel: Optional[str],
+    in_library: bool,
+    suppressions: Optional[dict[int, set[str]]] = None,
+) -> ModuleSummary:
+    """Build one file's :class:`ModuleSummary` from its parsed tree."""
+    module = _module_name(path, library_rel)
+    summary = ModuleSummary(
+        path=path,
+        module=module,
+        in_library=in_library,
+        imports=_imports(tree, module),
+        spawn_dispatches=_spawn_dispatches(tree),
+    )
+    names, prefixes = _metric_usage(tree)
+    summary.metric_names = sorted(names)
+    summary.metric_prefixes = sorted(prefixes)
+    if suppressions:
+        summary.suppressions = {
+            line: sorted(codes) for line, codes in suppressions.items()
+        }
+    for stmt in tree.body:
+        if isinstance(stmt, ast.Assign):
+            for target in stmt.targets:
+                if isinstance(target, ast.Name):
+                    summary.module_globals.append(target.id)
+        elif isinstance(stmt, ast.AnnAssign) and isinstance(
+            stmt.target, ast.Name
+        ):
+            summary.module_globals.append(stmt.target.id)
+        elif isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            fs = _FunctionSummarizer(stmt, class_name=None)
+            summary.functions[stmt.name] = fs.facts()
+        elif isinstance(stmt, ast.ClassDef):
+            class_facts: dict[str, Any] = {
+                "ln": stmt.lineno,
+                "methods": [],
+                "lock_attrs": [],
+                "attr_writes": [],
+                "self_calls": [],
+            }
+            lock_attrs: set[str] = set()
+            for member in stmt.body:
+                if not isinstance(
+                    member, (ast.FunctionDef, ast.AsyncFunctionDef)
+                ):
+                    continue
+                fs = _FunctionSummarizer(member, class_name=stmt.name)
+                summary.functions[f"{stmt.name}.{member.name}"] = fs.facts()
+                class_facts["methods"].append(member.name)
+                lock_attrs.update(fs.lock_attrs)
+                for write in fs.attr_writes:
+                    class_facts["attr_writes"].append(
+                        {**write, "method": member.name}
+                    )
+                for call in fs.self_calls:
+                    class_facts["self_calls"].append(
+                        {**call, "caller": member.name}
+                    )
+            class_facts["lock_attrs"] = sorted(lock_attrs)
+            summary.classes[stmt.name] = class_facts
+    summary.module_globals = sorted(set(summary.module_globals))
+    return summary
+
+
+# -- content-addressed summary cache ----------------------------------
+
+
+def content_hash(source: str) -> str:
+    """SHA-256 of the file's text — the cache coordinate."""
+    return hashlib.sha256(source.encode()).hexdigest()
+
+
+class SummaryCache:
+    """Warm-run summary + findings cache on a :class:`ArtifactStore`.
+
+    One envelope per ``(path, content-hash, manifest-digest)``: the
+    payload holds the module summary *and* the file's phase-1 findings,
+    so a warm run skips parsing entirely for unchanged files.  The
+    engine-generation fingerprint (:data:`CACHE_FINGERPRINT`) is
+    verified on read, so bumping :data:`SUMMARY_VERSION` invalidates
+    every stale envelope in place.
+    """
+
+    EXPERIMENT = "lint_summary"
+
+    def __init__(self, root) -> None:
+        from repro.store import ArtifactStore
+
+        self.store = ArtifactStore(root)
+        self.hits = 0
+        self.misses = 0
+
+    def _params(self, path: str, digest: str, manifest_digest: str) -> str:
+        return json.dumps(
+            {"path": path, "sha256": digest, "manifest": manifest_digest},
+            sort_keys=True,
+        )
+
+    def get(
+        self, path: str, digest: str, manifest_digest: str
+    ) -> Optional[dict]:
+        payload = self.store.get_payload(
+            self.EXPERIMENT,
+            self._params(path, digest, manifest_digest),
+            CACHE_FINGERPRINT,
+        )
+        if payload is None or payload.get("version") != SUMMARY_VERSION:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return payload
+
+    def put(
+        self,
+        path: str,
+        digest: str,
+        manifest_digest: str,
+        summary: ModuleSummary,
+        findings: list,
+    ) -> None:
+        payload = {
+            "version": SUMMARY_VERSION,
+            "summary": summary.to_payload(),
+            "findings": [f.to_dict() for f in findings],
+        }
+        self.store.put_payload(
+            self.EXPERIMENT,
+            self._params(path, digest, manifest_digest),
+            CACHE_FINGERPRINT,
+            payload,
+        )

@@ -49,6 +49,7 @@ from typing import Optional, Union
 from repro.obs.registry import Registry, diff_snapshots
 from repro.obs.resources import process_resources, publish_gauges
 from repro.obs.exporters import JsonlSink, start_metrics_server
+from repro.units import Seconds
 
 #: Consecutive snapshot attempts before a tick gives up (each retry is
 #: counted under ``obs.sampler.snapshot_retries``).
@@ -97,7 +98,7 @@ class SnapshotSampler:
     def __init__(
         self,
         registry: Optional[Registry] = None,
-        interval_s: float = 1.0,
+        interval_s: Seconds = 1.0,
         capacity: int = 600,
         sink: Optional[Union[JsonlSink, str, Path]] = None,
     ) -> None:
@@ -143,7 +144,7 @@ class SnapshotSampler:
         return self._registry
 
     @property
-    def interval_s(self) -> float:
+    def interval_s(self) -> Seconds:
         """Seconds between ticks."""
         return self._interval_s
 
@@ -252,10 +253,15 @@ class SnapshotSampler:
             self._thread = None
         if final_sample:
             self.sample_now()
-        if self._owns_sink and self._sink is not None:
-            self._sink.close()
-            self._sink = None
-            self._owns_sink = False
+        # Tear the sink down under the tick lock: a concurrent
+        # sample_now() from another thread streams to self._sink inside
+        # the same lock, so closing/clearing it unlocked could hand that
+        # tick a half-closed sink (lint rule DS601).
+        with self._tick_lock:
+            if self._owns_sink and self._sink is not None:
+                self._sink.close()
+                self._sink = None
+                self._owns_sink = False
 
     def __enter__(self) -> "SnapshotSampler":
         return self.start()

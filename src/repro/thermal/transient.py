@@ -25,6 +25,7 @@ import numpy as np
 from repro import obs
 from repro.errors import ConfigurationError
 from repro.thermal.model import ThermalModel
+from repro.units import Seconds
 
 
 @dataclass(frozen=True)
@@ -62,7 +63,7 @@ class TransientSimulator:
             is the natural choice).
     """
 
-    def __init__(self, model: ThermalModel, dt: float = 1e-3) -> None:
+    def __init__(self, model: ThermalModel, dt: Seconds = 1e-3) -> None:
         if dt <= 0:
             raise ConfigurationError(f"dt must be positive, got {dt}")
         self._model = model
@@ -77,7 +78,7 @@ class TransientSimulator:
         return self._model
 
     @property
-    def dt(self) -> float:
+    def dt(self) -> Seconds:
         """Integration step, s."""
         return self._dt
 
@@ -132,8 +133,8 @@ class TransientSimulator:
     def simulate(
         self,
         power_schedule: Callable[[float, np.ndarray], Sequence[float]],
-        duration: float,
-        record_interval: Optional[float] = None,
+        duration: Seconds,
+        record_interval: Optional[Seconds] = None,
     ) -> TransientResult:
         """Run ``duration`` seconds under a closed-loop power schedule.
 

@@ -1,0 +1,13 @@
+"""DS501 true positives: arithmetic/comparison across dimensions."""
+
+from repro import units
+from repro.units import Watts
+
+
+def headroom(budget_w: Watts, t_die_degc: float) -> float:
+    return budget_w - t_die_degc
+
+
+def is_fast(f_ghz: float) -> bool:
+    f_hz = units.ghz(f_ghz)
+    return f_hz > f_ghz

@@ -1,0 +1,11 @@
+"""DS501 clean pass: arithmetic stays within one dimension."""
+
+from repro import units
+
+
+def total_power(static_w: float, dynamic_w: float) -> float:
+    return static_w + dynamic_w
+
+
+def frequency_headroom(f_hz: float, f_cap_ghz: float) -> float:
+    return units.ghz(f_cap_ghz) - f_hz

@@ -1,0 +1,13 @@
+"""DS502 true positives: argument dimension contradicts the callee."""
+
+from repro import units
+from repro.units import Seconds, Watts
+
+
+def settle(dt: Seconds, budget_w: Watts) -> float:
+    return dt * budget_w
+
+
+def run(interval_s: float, power_w: float) -> float:
+    f_hz = units.ghz(interval_s)
+    return settle(f_hz, power_w)

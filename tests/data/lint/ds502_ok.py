@@ -1,0 +1,14 @@
+"""DS502 clean pass: arguments match the callee's dimensions."""
+
+from repro import units
+from repro.units import Seconds
+
+
+def settle(dt: Seconds) -> float:
+    return dt
+
+
+def run(interval_s: float, f_cap_ghz: float) -> float:
+    f_hz = units.ghz(f_cap_ghz)
+    elapsed = settle(interval_s)
+    return f_hz * elapsed

@@ -1,0 +1,19 @@
+"""DS601 true positives: unlocked writes to lock-guarded state."""
+
+import threading
+
+
+class SampleRing:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._samples = []
+        self._seq = 0
+
+    def record(self, sample):
+        with self._lock:
+            self._samples.append(sample)
+            self._seq += 1
+
+    def reset(self):
+        self._samples = []
+        self._seq = 0

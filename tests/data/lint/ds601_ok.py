@@ -1,0 +1,25 @@
+"""DS601 clean pass: guarded writes hold the lock, directly or via a
+private method whose call sites all hold it (the call-graph fixpoint).
+"""
+
+import threading
+
+
+class SampleRing:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._samples = []
+        self._seq = 0
+
+    def record(self, sample):
+        with self._lock:
+            self._append(sample)
+
+    def record_latest(self, sample):
+        with self._lock:
+            self._samples.clear()
+            self._append(sample)
+
+    def _append(self, sample):
+        self._samples.append(sample)
+        self._seq += 1

@@ -1,0 +1,38 @@
+"""DS602 true positives: spawn workers reaching module-state mutation.
+
+Unlike DS401 (which sees only a worker's own ``global`` statement),
+both workers here look harmless at the dispatch site: one mutates a
+module-level dict through a helper call, the other through ``global``
+one hop away — visible only via call-graph reachability.
+"""
+
+from concurrent.futures import ProcessPoolExecutor
+
+CACHE = {}
+TOTAL = 0
+
+
+def _remember(key, value):
+    CACHE.update({key: value})
+    return value
+
+
+def square(x):
+    return _remember(x, x * x)
+
+
+def _bump(x):
+    global TOTAL
+    TOTAL += x
+    return TOTAL
+
+
+def tally(x):
+    return _bump(x)
+
+
+def run(xs):
+    with ProcessPoolExecutor() as pool:
+        squares = list(pool.map(square, xs))
+        totals = list(pool.map(tally, xs))
+    return squares, totals

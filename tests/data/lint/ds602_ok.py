@@ -1,0 +1,12 @@
+"""DS602 clean pass: workers return results; the parent aggregates."""
+
+from concurrent.futures import ProcessPoolExecutor
+
+
+def square(x):
+    return x * x
+
+
+def run(xs):
+    with ProcessPoolExecutor() as pool:
+        return dict(zip(xs, pool.map(square, xs)))

@@ -1,0 +1,20 @@
+"""DS701 true positives: started resources never stopped."""
+
+import tracemalloc
+
+from repro.obs.exporters import start_metrics_server
+from repro.obs.sampler import SnapshotSampler
+
+
+def leak_tracer(fn):
+    tracemalloc.start()
+    return fn()
+
+
+def leak_sampler(fn, interval_s):
+    sampler = SnapshotSampler(interval_s=interval_s).start()
+    return fn()
+
+
+def leak_server(snapshot_fn):
+    start_metrics_server(snapshot_fn)

@@ -1,0 +1,27 @@
+"""DS701 clean pass: stopped, handed off, or lifecycle-API resources."""
+
+import tracemalloc
+
+from repro.obs.exporters import start_metrics_server
+from repro.obs.sampler import SnapshotSampler
+
+
+def measure(fn):
+    tracemalloc.start()
+    try:
+        return fn()
+    finally:
+        tracemalloc.stop()
+
+
+def sample_run(fn, interval_s):
+    sampler = SnapshotSampler(interval_s=interval_s).start()
+    try:
+        return fn()
+    finally:
+        sampler.stop()
+
+
+def start_scrape_endpoint(snapshot_fn):
+    # A lifecycle API by name: returning the running server is its job.
+    return start_metrics_server(snapshot_fn)

@@ -1,0 +1,15 @@
+"""DS702 true positives: opened sinks/files never closed."""
+
+from repro.obs.exporters import JsonlSink
+
+
+def dump_samples(records, path):
+    sink = JsonlSink(path)
+    for record in records:
+        sink.write(record)
+    return len(records)
+
+
+def read_header(path):
+    fh = open(path)
+    return fh.readline()

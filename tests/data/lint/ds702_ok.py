@@ -1,0 +1,22 @@
+"""DS702 clean pass: with-managed, closed, or handed-off sinks."""
+
+from repro.obs.exporters import JsonlSink
+
+
+def dump_samples(records, path):
+    with JsonlSink(path) as sink:
+        for record in records:
+            sink.write(record)
+    return len(records)
+
+
+def append_line(path, line):
+    fh = open(path, "a")
+    fh.write(line)
+    fh.close()
+
+
+def open_sink(path):
+    # A lifecycle API by name: the caller owns the returned sink.
+    sink = JsonlSink(path)
+    return sink

@@ -29,11 +29,30 @@ PLANTED = {
     "DS301": 3,
     "DS401": 4,
     "DS402": 4,
+    # Whole-program rules (phase 2; dispatched via analyze_source).
+    "DS501": 2,
+    "DS502": 2,
+    "DS601": 2,
+    "DS602": 2,
+    "DS701": 3,
+    "DS702": 2,
 }
+
+#: Program-rule codes routed through the phase-2 analyzer.  DS302 (the
+#: stale-manifest check) is also a program rule but needs a whole-tree
+#: walk plus a manifest file, so it is exercised in
+#: tests/test_lint_program.py rather than by a fixture pair here.
+PROGRAM_CODES = frozenset(
+    {"DS501", "DS502", "DS601", "DS602", "DS701", "DS702"}
+)
 
 
 def lint_fixture(filename: str, code: str) -> list[lint.Finding]:
     path = DATA / filename
+    if code in PROGRAM_CODES:
+        return lint.analyze_source(
+            path.read_text(), str(path), library=True, select=[code]
+        )
     return lint.lint_source(
         path.read_text(),
         path,
@@ -125,8 +144,22 @@ def test_ds402_exempts_the_obs_layer():
 
 
 def test_every_rule_has_both_fixtures():
-    codes = {cls.code for cls in lint.all_rules()}
-    assert codes == set(PLANTED)
-    for code in codes:
+    per_file = {cls.code for cls in lint.all_rules()}
+    program = {cls.code for cls in lint.all_program_rules()}
+    assert per_file | program == set(PLANTED) | {"DS302"}
+    assert program == PROGRAM_CODES | {"DS302"}
+    for code in set(PLANTED):
         assert (DATA / f"{code.lower()}_bad.py").exists()
         assert (DATA / f"{code.lower()}_ok.py").exists()
+
+
+def test_program_findings_respect_inline_suppressions():
+    source = (
+        "from repro.units import Watts\n"
+        "\n"
+        "def headroom(budget_w: Watts, t_degc: float) -> float:\n"
+        "    return budget_w - t_degc  # repro-lint: disable=DS501 - test\n"
+    )
+    assert lint.analyze_source(source, "x.py", select=["DS501"]) == []
+    unsuppressed = source.replace("  # repro-lint: disable=DS501 - test", "")
+    assert len(lint.analyze_source(unsuppressed, "x.py", select=["DS501"])) == 1
